@@ -1,0 +1,305 @@
+//! §5.1 disclosure-date case studies: Fig. 1 (lag CDF), Table 8 (top
+//! dates), Fig. 2 (day-of-week), Fig. 4 (average lag by severity).
+
+use std::collections::BTreeMap;
+
+use nvd_clean::disclosure::DisclosureEstimate;
+use nvd_clean::LagSummary;
+use nvd_model::prelude::{CveId, Database, Date, Severity, Weekday};
+
+use crate::render;
+use crate::Experiments;
+
+/// Fig. 1: the lag-time CDF plus its headline fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagCdf {
+    /// `(lag, CDF)` sample points at the paper's x-axis ticks.
+    pub points: Vec<(i32, f64)>,
+    /// Share of CVEs entering the NVD the day they disclose (paper ≈38%).
+    pub zero_fraction: f64,
+    /// Share within 6 days (paper ≈70%).
+    pub within_week_fraction: f64,
+    /// Share lagging over a week (paper ≈28%).
+    pub over_week_fraction: f64,
+}
+
+/// Computes Fig. 1 from the pipeline's estimates.
+pub fn lag_cdf(exps: &Experiments) -> LagCdf {
+    let summary = LagSummary::compute(&exps.cleaned, &exps.report.disclosure);
+    let ticks = [
+        0, 6, 7, 14, 30, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 600, 750, 900, 1100,
+        1400, 1700, 2000, 2372,
+    ];
+    LagCdf {
+        points: ticks.iter().map(|&t| (t, summary.cdf(t))).collect(),
+        zero_fraction: summary.zero_fraction,
+        within_week_fraction: summary.within_week_fraction,
+        over_week_fraction: summary.over_week_fraction,
+    }
+}
+
+/// Renders Fig. 1 as a text series.
+pub fn render_lag_cdf(cdf: &LagCdf) -> String {
+    let rows: Vec<Vec<String>> = cdf
+        .points
+        .iter()
+        .map(|(lag, p)| vec![lag.to_string(), render::pct(*p)])
+        .collect();
+    format!(
+        "{}\nzero-lag: {}   ≤6 days: {}   >7 days: {}\n",
+        render::table(&["lag (days)", "CDF"], &rows),
+        render::pct(cdf.zero_fraction),
+        render::pct(cdf.within_week_fraction),
+        render::pct(cdf.over_week_fraction),
+    )
+}
+
+/// Fraction of CVEs per v2 band whose estimated disclosure precedes their
+/// publication date (§4.1: 37% / 41% / 65% for L/M/H).
+pub fn improved_fraction_by_v2(exps: &Experiments) -> BTreeMap<Severity, f64> {
+    let mut counts: BTreeMap<Severity, (usize, usize)> = BTreeMap::new();
+    for e in exps.cleaned.iter() {
+        let Some(band) = e.severity_v2() else { continue };
+        let Some(est) = exps.report.disclosure.get(&e.id) else {
+            continue;
+        };
+        let slot = counts.entry(band).or_insert((0, 0));
+        slot.1 += 1;
+        if est.estimated < e.published {
+            slot.0 += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(k, (h, n))| (k, h as f64 / n as f64))
+        .collect()
+}
+
+/// One Table 8 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopDateRow {
+    /// The calendar date.
+    pub date: Date,
+    /// Its weekday.
+    pub weekday: Weekday,
+    /// CVEs on that date.
+    pub count: usize,
+    /// Share of that *year's* CVEs (the paper's `%` column).
+    pub share_of_year: f64,
+}
+
+/// Table 8 left: top dates by NVD publication.
+pub fn top_publication_dates(db: &Database, k: usize) -> Vec<TopDateRow> {
+    top_dates(db.iter().map(|e| e.published), k)
+}
+
+/// Table 8 right: top dates by estimated disclosure.
+pub fn top_disclosure_dates(
+    db: &Database,
+    estimates: &BTreeMap<CveId, DisclosureEstimate>,
+    k: usize,
+) -> Vec<TopDateRow> {
+    top_dates(
+        db.iter()
+            .filter_map(|e| estimates.get(&e.id).map(|est| est.estimated)),
+        k,
+    )
+}
+
+fn top_dates(dates: impl Iterator<Item = Date>, k: usize) -> Vec<TopDateRow> {
+    let mut by_date: BTreeMap<Date, usize> = BTreeMap::new();
+    let mut by_year: BTreeMap<i32, usize> = BTreeMap::new();
+    for d in dates {
+        *by_date.entry(d).or_insert(0) += 1;
+        *by_year.entry(d.year()).or_insert(0) += 1;
+    }
+    let mut rows: Vec<TopDateRow> = by_date
+        .into_iter()
+        .map(|(date, count)| TopDateRow {
+            date,
+            weekday: date.weekday(),
+            count,
+            share_of_year: count as f64 / by_year[&date.year()] as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.date.cmp(&b.date)));
+    rows.truncate(k);
+    rows
+}
+
+/// Renders a Table 8 half.
+pub fn render_top_dates(rows: &[TopDateRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.date.paper_short(),
+                r.weekday.paper_abbrev().to_owned(),
+                r.count.to_string(),
+                render::pct(r.share_of_year),
+            ]
+        })
+        .collect();
+    render::table(&["date", "DoW", "vulns", "% of year"], &body)
+}
+
+/// Fig. 2: CVE counts per weekday, by estimated disclosure and by NVD
+/// publication date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DayOfWeek {
+    /// Counts indexed by [`Weekday::index`] (Mon..Sun) — disclosure.
+    pub disclosure: [usize; 7],
+    /// Counts indexed by weekday — NVD publication.
+    pub published: [usize; 7],
+}
+
+/// Computes Fig. 2.
+pub fn day_of_week(exps: &Experiments) -> DayOfWeek {
+    let mut disclosure = [0usize; 7];
+    let mut published = [0usize; 7];
+    for e in exps.cleaned.iter() {
+        published[e.published.weekday().index()] += 1;
+        if let Some(est) = exps.report.disclosure.get(&e.id) {
+            disclosure[est.estimated.weekday().index()] += 1;
+        }
+    }
+    DayOfWeek {
+        disclosure,
+        published,
+    }
+}
+
+/// Renders Fig. 2 as a text series.
+pub fn render_day_of_week(d: &DayOfWeek) -> String {
+    let rows: Vec<Vec<String>> = Weekday::ALL
+        .iter()
+        .map(|w| {
+            vec![
+                w.paper_abbrev().to_owned(),
+                d.disclosure[w.index()].to_string(),
+                d.published[w.index()].to_string(),
+            ]
+        })
+        .collect();
+    render::table(&["day", "disclosure", "NVD date"], &rows)
+}
+
+/// Fig. 4: average lag (days) by rectified v3 severity.
+pub fn average_lag_by_severity(exps: &Experiments) -> BTreeMap<Severity, f64> {
+    let mut sums: BTreeMap<Severity, (f64, usize)> = BTreeMap::new();
+    for e in exps.cleaned.iter() {
+        let Some(band) = exps.report.effective_v3_severity(&exps.cleaned, &e.id) else {
+            continue;
+        };
+        let Some(est) = exps.report.disclosure.get(&e.id) else {
+            continue;
+        };
+        let lag = est.lag_days(e.published).max(0) as f64;
+        let slot = sums.entry(band).or_insert((0.0, 0));
+        slot.0 += lag;
+        slot.1 += 1;
+    }
+    sums.into_iter()
+        .filter(|(band, _)| *band != Severity::None)
+        .map(|(k, (s, n))| (k, s / n as f64))
+        .collect()
+}
+
+/// Renders Fig. 4.
+pub fn render_average_lag(lags: &BTreeMap<Severity, f64>) -> String {
+    let rows: Vec<Vec<String>> = lags
+        .iter()
+        .map(|(band, avg)| vec![format!("{band:?}"), render::f2(*avg)])
+        .collect();
+    render::table(&["severity (v3)", "avg lag (days)"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Experiments;
+
+    fn exps() -> Experiments {
+        Experiments::run_fast(0.02, 77)
+    }
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let e = exps();
+        let cdf = lag_cdf(&e);
+        assert!(
+            (0.28..0.50).contains(&cdf.zero_fraction),
+            "zero {}",
+            cdf.zero_fraction
+        );
+        assert!(
+            (0.55..0.82).contains(&cdf.within_week_fraction),
+            "≤6d {}",
+            cdf.within_week_fraction
+        );
+        // CDF is monotone and ends near 1.
+        for w in cdf.points.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(cdf.points.last().unwrap().1 > 0.99);
+    }
+
+    #[test]
+    fn improvement_ordering_matches_section_4_1() {
+        let e = exps();
+        let improved = improved_fraction_by_v2(&e);
+        // Paper: high-severity publication dates improve most (65% vs 37%).
+        assert!(
+            improved[&Severity::High] > improved[&Severity::Low],
+            "H {} vs L {}",
+            improved[&Severity::High],
+            improved[&Severity::Low]
+        );
+    }
+
+    #[test]
+    fn nye_artifact_in_publication_dates_only() {
+        let e = exps();
+        let pub_top = top_publication_dates(&e.cleaned, 10);
+        let nye_pub = pub_top.iter().filter(|r| r.date.is_new_years_eve()).count();
+        assert!(nye_pub >= 1, "NYE must appear in top publication dates");
+        let dis_top = top_disclosure_dates(&e.cleaned, &e.report.disclosure, 10);
+        let nye_dis = dis_top.iter().filter(|r| r.date.is_new_years_eve()).count();
+        assert_eq!(nye_dis, 0, "NYE must not appear in top disclosure dates");
+    }
+
+    #[test]
+    fn disclosures_skew_early_week() {
+        let e = exps();
+        let d = day_of_week(&e);
+        let mon_tue = d.disclosure[0] + d.disclosure[1];
+        let fri_sat_sun = d.disclosure[4] + d.disclosure[5] + d.disclosure[6];
+        assert!(mon_tue > fri_sat_sun, "{:?}", d.disclosure);
+    }
+
+    #[test]
+    fn average_lag_within_paper_band() {
+        let e = exps();
+        let lags = average_lag_by_severity(&e);
+        // Paper Fig. 4: 47.6–66.8 days across bands, i.e. no strong
+        // severity dependence. Population bands are wide at reduced scale
+        // (Low holds ≈1.6% of CVEs), so assert the well-populated bands
+        // plus overall flatness.
+        for band in [Severity::Medium, Severity::High, Severity::Critical] {
+            let avg = lags[&band];
+            assert!((15.0..180.0).contains(&avg), "{band:?}: {avg}");
+        }
+        let max = lags.values().cloned().fold(f64::MIN, f64::max);
+        let min = lags.values().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 6.0, "lag varies too much by severity: {lags:?}");
+    }
+
+    #[test]
+    fn renderers_do_not_panic() {
+        let e = exps();
+        let _ = render_lag_cdf(&lag_cdf(&e));
+        let _ = render_top_dates(&top_publication_dates(&e.cleaned, 10));
+        let _ = render_day_of_week(&day_of_week(&e));
+        let _ = render_average_lag(&average_lag_by_severity(&e));
+    }
+}

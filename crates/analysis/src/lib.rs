@@ -1,0 +1,98 @@
+//! # nvd-analysis
+//!
+//! Case-study analyses and the paper-reproduction harness for the
+//! `nvd-clean` workspace — the Rust reproduction of *"Cleaning the NVD"*
+//! (Anwar et al., DSN 2021).
+//!
+//! [`Experiments`] generates a corpus, runs the full cleaning pipeline, and
+//! hands the result to one module per paper artefact:
+//!
+//! * [`disclosure_study`] — Fig. 1 (lag CDF), Table 8 (top dates), Fig. 2
+//!   (day-of-week), Fig. 4 (average lag by severity);
+//! * [`model_study`] — Tables 4–7 and 13–15 (severity models);
+//! * [`severity_study`] — Table 9 and Fig. 3 (distributions);
+//! * [`types_study`] — Table 10 (top types by severity);
+//! * [`vendor_study`] — Tables 3, 11, 12, 16 (names);
+//! * [`pca_study`] — Fig. 5 (feature-space structure).
+//!
+//! The `paper-repro` binary prints every table and figure in paper order.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvd_analysis::Experiments;
+//!
+//! let exps = Experiments::run_fast(0.005, 1);
+//! let table9 = nvd_analysis::severity_study::severity_distribution(&exps);
+//! assert!(!table9.v2.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod disclosure_study;
+pub mod model_study;
+pub mod pca_study;
+pub mod render;
+pub mod severity_study;
+pub mod types_study;
+pub mod vendor_study;
+
+use nvd_clean::cleaner::{CleanOptions, CleanReport, Cleaner};
+use nvd_clean::names::OracleVerifier;
+use nvd_clean::severity::{BackportOptions, TrainProfile};
+use nvd_model::prelude::Database;
+use nvd_synth::{generate, SynthConfig, SynthCorpus};
+
+/// A complete experimental setting: synthetic corpus, rectified database,
+/// and the pipeline report all case studies read from.
+#[derive(Debug)]
+pub struct Experiments {
+    /// The generated corpus (original database + archive + truth).
+    pub corpus: SynthCorpus,
+    /// The rectified database.
+    pub cleaned: Database,
+    /// The pipeline's findings.
+    pub report: CleanReport,
+}
+
+impl Experiments {
+    /// Generates a corpus at `scale` and cleans it with the given training
+    /// profile for the severity models.
+    pub fn run(scale: f64, seed: u64, profile: TrainProfile) -> Self {
+        let corpus = generate(&SynthConfig::with_scale(scale, seed));
+        let cleaner = Cleaner::new(CleanOptions {
+            backport: BackportOptions {
+                profile,
+                seed,
+                ..BackportOptions::default()
+            },
+            ..CleanOptions::default()
+        });
+        let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+        let (cleaned, report) = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+        Self {
+            corpus,
+            cleaned,
+            report,
+        }
+    }
+
+    /// [`Experiments::run`] with the fast training profile (tests, CI).
+    pub fn run_fast(scale: f64, seed: u64) -> Self {
+        Self::run(scale, seed, TrainProfile::Fast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_wire_everything_together() {
+        let e = Experiments::run_fast(0.005, 55);
+        assert_eq!(e.corpus.database.len(), e.cleaned.len());
+        assert!(e.report.severity.is_some());
+        assert_eq!(e.report.disclosure.len(), e.cleaned.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! §4.3 result tables: Table 4 (ground-truth transitions), Table 5 (model
+//! errors), Table 6 (backport transitions), Table 7 (accuracies), and the
+//! Appendix sanity matrices (Tables 13–15).
+
+use mlkit::metrics::ConfusionMatrix;
+use nvd_clean::severity::{BackportOutcome, ModelKind};
+use nvd_model::prelude::Severity;
+
+use crate::render;
+
+/// Renders a v2 → v3 transition matrix in the paper's row/column layout.
+pub fn render_transition(title: &str, m: &ConfusionMatrix) -> String {
+    let rows: Vec<Vec<String>> = (0..3)
+        .map(|r| {
+            let mut row = vec![["L", "M", "H"][r].to_owned()];
+            for c in 0..4 {
+                row.push(format!("{} ({:.2}%)", m.count(r, c), m.row_percent(r, c)));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "{title}\n{}",
+        render::table(&["v2\\v3", "L", "M", "H", "C"], &rows)
+    )
+}
+
+/// Renders Table 5: AE and AER per model.
+pub fn render_model_errors(outcome: &BackportOutcome) -> String {
+    let mut header = vec!["metric"];
+    let mut aer = vec!["AER (%)".to_owned()];
+    let mut ae = vec!["AE".to_owned()];
+    for kind in ModelKind::ALL {
+        let Some(r) = outcome.reports.get(&kind) else {
+            continue;
+        };
+        header.push(kind.label());
+        aer.push(render::f2(r.aer_percent));
+        ae.push(render::f2(r.ae));
+    }
+    render::table(&header, &[aer, ae])
+}
+
+/// Renders Table 7: overall and per-input-class accuracy per model.
+pub fn render_model_accuracy(outcome: &BackportOutcome) -> String {
+    let mut rows = Vec::new();
+    for kind in ModelKind::ALL {
+        let Some(r) = outcome.reports.get(&kind) else {
+            continue;
+        };
+        let by = |band: Severity| {
+            r.accuracy_by_v2
+                .get(&band)
+                .map(|&a| render::pct(a))
+                .unwrap_or_else(|| "-".into())
+        };
+        rows.push(vec![
+            kind.label().to_owned(),
+            render::pct(r.overall_accuracy),
+            by(Severity::Low),
+            by(Severity::Medium),
+            by(Severity::High),
+        ]);
+    }
+    render::table(&["model", "overall", "L", "M", "H"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Experiments;
+
+    #[test]
+    fn tables_render_for_a_real_outcome() {
+        let e = Experiments::run_fast(0.01, 90);
+        let out = e.report.severity.as_ref().unwrap();
+        let t4 = render_transition("Table 4", &out.ground_truth_transition);
+        assert!(t4.contains("v2\\v3"));
+        let t5 = render_model_errors(out);
+        assert!(t5.contains("AER"));
+        let t7 = render_model_accuracy(out);
+        assert!(t7.contains("overall"));
+        let t6 = render_transition("Table 6", &out.backport_transition);
+        assert!(t6.contains("Table 6"));
+        let _ = render_transition("Table 13", &out.full_prediction_transition);
+        let _ = render_transition("Table 14", &out.test_ground_truth_transition);
+        let _ = render_transition("Table 15", &out.test_prediction_transition);
+    }
+
+    #[test]
+    fn chosen_model_has_best_accuracy() {
+        let e = Experiments::run_fast(0.01, 91);
+        let out = e.report.severity.as_ref().unwrap();
+        let best = out.reports[&out.chosen].overall_accuracy;
+        for r in out.reports.values() {
+            assert!(r.overall_accuracy <= best + 1e-12);
+        }
+    }
+}

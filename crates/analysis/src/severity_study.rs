@@ -1,0 +1,234 @@
+//! §5.2 severity case studies: Table 9 (distribution) and Fig. 3 (yearly
+//! proportions under v2 / labelled v3 / predicted v3).
+
+use std::collections::BTreeMap;
+
+use nvd_model::prelude::Severity;
+
+use crate::render;
+use crate::Experiments;
+
+/// Table 9: severity shares over all CVEs, v2 vs rectified v3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeverityDistribution {
+    /// v2 shares for Low/Medium/High.
+    pub v2: BTreeMap<Severity, f64>,
+    /// Rectified-v3 shares for Low/Medium/High/Critical.
+    pub pv3: BTreeMap<Severity, f64>,
+}
+
+/// Computes Table 9.
+pub fn severity_distribution(exps: &Experiments) -> SeverityDistribution {
+    let mut v2: BTreeMap<Severity, usize> = BTreeMap::new();
+    let mut pv3: BTreeMap<Severity, usize> = BTreeMap::new();
+    let mut n_v2 = 0usize;
+    let mut n_pv3 = 0usize;
+    for e in exps.cleaned.iter() {
+        if let Some(band) = e.severity_v2() {
+            *v2.entry(band).or_insert(0) += 1;
+            n_v2 += 1;
+        }
+        if let Some(band) = exps.report.effective_v3_severity(&exps.cleaned, &e.id) {
+            if band != Severity::None {
+                *pv3.entry(band).or_insert(0) += 1;
+                n_pv3 += 1;
+            }
+        }
+    }
+    let norm = |m: BTreeMap<Severity, usize>, n: usize| {
+        m.into_iter()
+            .map(|(k, c)| (k, c as f64 / n.max(1) as f64))
+            .collect()
+    };
+    SeverityDistribution {
+        v2: norm(v2, n_v2),
+        pv3: norm(pv3, n_pv3),
+    }
+}
+
+/// Renders Table 9.
+pub fn render_distribution(d: &SeverityDistribution) -> String {
+    let bands = [
+        Severity::Low,
+        Severity::Medium,
+        Severity::High,
+        Severity::Critical,
+    ];
+    let rows: Vec<Vec<String>> = bands
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{b:?}"),
+                d.v2.get(b).map(|&x| render::pct(x)).unwrap_or_else(|| "N.A.".into()),
+                d.pv3.get(b).map(|&x| render::pct(x)).unwrap_or_else(|| "0.00%".into()),
+            ]
+        })
+        .collect();
+    render::table(&["label", "v2", "predicted v3"], &rows)
+}
+
+/// One Fig. 3 cell: a year's severity proportions under one scoring view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct YearBands {
+    /// CVEs carrying this view's score in the year.
+    pub total: usize,
+    /// Shares of Low/Medium/High/Critical (None folded into Low).
+    pub shares: [f64; 4],
+}
+
+/// Fig. 3: per-year proportions for v2, labelled v3, and rectified v3.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct YearlySeverity {
+    /// Rows keyed by year.
+    pub years: BTreeMap<i32, [YearBands; 3]>,
+}
+
+fn band4(s: Severity) -> usize {
+    match s {
+        Severity::None | Severity::Low => 0,
+        Severity::Medium => 1,
+        Severity::High => 2,
+        Severity::Critical => 3,
+    }
+}
+
+/// Computes Fig. 3.
+pub fn yearly_severity(exps: &Experiments) -> YearlySeverity {
+    let mut counts: BTreeMap<i32, [[usize; 4]; 3]> = BTreeMap::new();
+    for e in exps.cleaned.iter() {
+        let year = e.published.year();
+        let slot = counts.entry(year).or_insert([[0; 4]; 3]);
+        if let Some(b) = e.severity_v2() {
+            slot[0][band4(b)] += 1;
+        }
+        if let Some(b) = e.severity_v3() {
+            slot[1][band4(b)] += 1;
+        }
+        if let Some(b) = exps.report.effective_v3_severity(&exps.cleaned, &e.id) {
+            slot[2][band4(b)] += 1;
+        }
+    }
+    YearlySeverity {
+        years: counts
+            .into_iter()
+            .map(|(year, views)| {
+                let mut out: [YearBands; 3] = Default::default();
+                for (v, bands) in views.iter().enumerate() {
+                    let total: usize = bands.iter().sum();
+                    let mut shares = [0.0; 4];
+                    if total > 0 {
+                        for (i, &c) in bands.iter().enumerate() {
+                            shares[i] = c as f64 / total as f64;
+                        }
+                    }
+                    out[v] = YearBands { total, shares };
+                }
+                (year, out)
+            })
+            .collect(),
+    }
+}
+
+/// Renders Fig. 3 as one row per (year, view).
+pub fn render_yearly(y: &YearlySeverity) -> String {
+    let mut rows = Vec::new();
+    for (year, views) in &y.years {
+        for (label, bands) in ["v2", "v3", "pv3"].iter().zip(views) {
+            rows.push(vec![
+                format!("'{:02}", year % 100),
+                (*label).to_owned(),
+                bands.total.to_string(),
+                render::pct(bands.shares[0]),
+                render::pct(bands.shares[1]),
+                render::pct(bands.shares[2]),
+                render::pct(bands.shares[3]),
+            ]);
+        }
+    }
+    render::table(
+        &["year", "view", "n", "Low", "Medium", "High", "Critical"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exps() -> Experiments {
+        Experiments::run_fast(0.02, 78)
+    }
+
+    #[test]
+    fn distribution_skews_upward_under_v3() {
+        let e = exps();
+        let d = severity_distribution(&e);
+        let v2_high = d.v2.get(&Severity::High).copied().unwrap_or(0.0);
+        let pv3_high_plus = d.pv3.get(&Severity::High).copied().unwrap_or(0.0)
+            + d.pv3.get(&Severity::Critical).copied().unwrap_or(0.0);
+        // Paper Table 9: 36.92% (v2 H) vs 60.08% (pv3 H+C).
+        assert!(
+            pv3_high_plus > v2_high,
+            "pv3 H+C {pv3_high_plus} vs v2 H {v2_high}"
+        );
+        // Low shrinks under v3 (8.25% → 1.62%).
+        let v2_low = d.v2.get(&Severity::Low).copied().unwrap_or(0.0);
+        let pv3_low = d.pv3.get(&Severity::Low).copied().unwrap_or(0.0);
+        assert!(pv3_low < v2_low, "pv3 L {pv3_low} vs v2 L {v2_low}");
+    }
+
+    #[test]
+    fn distribution_shares_sum_to_one() {
+        let e = exps();
+        let d = severity_distribution(&e);
+        let sum_v2: f64 = d.v2.values().sum();
+        let sum_pv3: f64 = d.pv3.values().sum();
+        assert!((sum_v2 - 1.0).abs() < 1e-9);
+        assert!((sum_pv3 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labelled_v3_is_sparse_before_2013() {
+        let e = exps();
+        let y = yearly_severity(&e);
+        for (year, views) in &y.years {
+            if *year < 2013 && *year >= 1999 {
+                assert!(
+                    views[1].total <= 3,
+                    "year {year}: labelled v3 count {}",
+                    views[1].total
+                );
+                // pv3 covers everything v2 covers.
+                assert_eq!(views[2].total, views[0].total, "year {year}");
+            }
+        }
+    }
+
+    #[test]
+    fn critical_share_declines_over_time() {
+        let e = exps();
+        let y = yearly_severity(&e);
+        let avg_crit = |from: i32, to: i32| {
+            let mut s = 0.0;
+            let mut n = 0;
+            for (year, views) in &y.years {
+                if (from..=to).contains(year) && views[2].total > 20 {
+                    s += views[2].shares[3];
+                    n += 1;
+                }
+            }
+            s / n.max(1) as f64
+        };
+        let early = avg_crit(2000, 2007);
+        let late = avg_crit(2012, 2017);
+        // Fig. 3: ~30-40% critical in the early 2000s, <20% from 2011.
+        assert!(early > late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn renderers_do_not_panic() {
+        let e = exps();
+        let _ = render_distribution(&severity_distribution(&e));
+        let _ = render_yearly(&yearly_severity(&e));
+    }
+}

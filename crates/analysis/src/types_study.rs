@@ -1,0 +1,150 @@
+//! §5.3 vulnerability-type case study: Table 10 (top types by high /
+//! critical CVEs under v2, labelled v3, and rectified v3) plus the §4.4
+//! CWE-fix statistics.
+
+use std::collections::BTreeMap;
+
+use nvd_model::cwe::{CweCatalog, CweId};
+use nvd_model::prelude::Severity;
+
+use crate::render;
+use crate::Experiments;
+
+/// Which scoring view ranks the types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreView {
+    /// The original CVSS v2 labels.
+    V2,
+    /// Only the NVD-labelled v3 subset.
+    LabelledV3,
+    /// Labelled v3 where present, predicted v3 otherwise (the paper's pv3).
+    RectifiedV3,
+}
+
+/// One ranked row of Table 10.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeCount {
+    /// The weakness type.
+    pub cwe: CweId,
+    /// Short display name from the catalog.
+    pub name: String,
+    /// CVEs of that type at the requested severity.
+    pub count: usize,
+}
+
+/// Ranks weakness types by the number of CVEs at `severity` under `view`.
+pub fn top_types(
+    exps: &Experiments,
+    view: ScoreView,
+    severity: Severity,
+    k: usize,
+) -> Vec<TypeCount> {
+    let catalog = CweCatalog::builtin();
+    let mut counts: BTreeMap<CweId, usize> = BTreeMap::new();
+    for e in exps.cleaned.iter() {
+        let band = match view {
+            ScoreView::V2 => e.severity_v2(),
+            ScoreView::LabelledV3 => e.severity_v3(),
+            ScoreView::RectifiedV3 => exps.report.effective_v3_severity(&exps.cleaned, &e.id),
+        };
+        if band != Some(severity) {
+            continue;
+        }
+        if let Some(id) = e.effective_cwe().specific() {
+            *counts.entry(id).or_insert(0) += 1;
+        }
+    }
+    let mut rows: Vec<TypeCount> = counts
+        .into_iter()
+        .map(|(cwe, count)| TypeCount {
+            cwe,
+            name: catalog
+                .short_name(cwe)
+                .unwrap_or("(uncatalogued)")
+                .to_owned(),
+            count,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.cwe.cmp(&b.cwe)));
+    rows.truncate(k);
+    rows
+}
+
+/// Renders one ranked list.
+pub fn render_top_types(title: &str, rows: &[TypeCount]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.name.clone(), r.cwe.to_string(), r.count.to_string()])
+        .collect();
+    format!("{title}\n{}", render::table(&["type", "CWE", "#"], &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exps() -> Experiments {
+        Experiments::run_fast(0.02, 79)
+    }
+
+    #[test]
+    fn memory_corruption_dominates_v2_high() {
+        let e = exps();
+        let top = top_types(&e, ScoreView::V2, Severity::High, 10);
+        assert!(!top.is_empty());
+        // Paper Table 10: Buffer Overflow (CWE-119) tops the v2-High list.
+        assert_eq!(top[0].cwe, CweId::new(119), "{top:?}");
+    }
+
+    #[test]
+    fn sql_injection_leads_rectified_critical() {
+        let e = exps();
+        let top = top_types(&e, ScoreView::RectifiedV3, Severity::Critical, 10);
+        assert!(!top.is_empty());
+        let sqli_rank = top.iter().position(|r| r.cwe == CweId::new(89));
+        // Paper: "SQL injection has the most critical CVEs".
+        assert!(
+            sqli_rank.is_some() && sqli_rank.unwrap() <= 1,
+            "SQLI rank {sqli_rank:?} in {top:?}"
+        );
+    }
+
+    #[test]
+    fn xss_absent_from_critical_but_present_overall() {
+        let e = exps();
+        let crit = top_types(&e, ScoreView::RectifiedV3, Severity::Critical, 10);
+        assert!(
+            !crit.iter().any(|r| r.cwe == CweId::new(79)),
+            "XSS should not reach top-10 critical: {crit:?}"
+        );
+        let med = top_types(&e, ScoreView::RectifiedV3, Severity::Medium, 10);
+        assert!(
+            med.iter().any(|r| r.cwe == CweId::new(79)),
+            "XSS should rank among medium: {med:?}"
+        );
+    }
+
+    #[test]
+    fn labelled_v3_sees_fewer_cves_than_rectified() {
+        let e = exps();
+        let labelled: usize = top_types(&e, ScoreView::LabelledV3, Severity::High, 50)
+            .iter()
+            .map(|r| r.count)
+            .sum();
+        let rectified: usize = top_types(&e, ScoreView::RectifiedV3, Severity::High, 50)
+            .iter()
+            .map(|r| r.count)
+            .sum();
+        assert!(
+            rectified > labelled,
+            "rectified {rectified} vs labelled {labelled}"
+        );
+    }
+
+    #[test]
+    fn renderer_includes_names() {
+        let e = exps();
+        let s = render_top_types("v2 High", &top_types(&e, ScoreView::V2, Severity::High, 5));
+        assert!(s.contains("CWE-"));
+    }
+}

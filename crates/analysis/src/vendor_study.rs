@@ -1,0 +1,394 @@
+//! §5.4 vendor/product case studies: Table 3 (inconsistency scale across
+//! databases), Table 11 (top vendors before/after correction), Table 12
+//! (mislabeled CVEs by severity), Table 16 (sampled mislabeled CVEs).
+
+use std::collections::BTreeMap;
+
+use nvd_model::prelude::{CveId, Database, Severity, VendorName};
+use nvd_synth::sidedb::SideDatabase;
+
+use crate::render;
+use crate::Experiments;
+
+/// One database row of Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameScaleRow {
+    /// Database name.
+    pub database: String,
+    /// Distinct vendor names.
+    pub vendors: usize,
+    /// Vendor names impacted by a discrepancy.
+    pub vendors_impacted: usize,
+    /// Consistent names the impacted ones consolidate onto.
+    pub vendors_consistent: usize,
+}
+
+/// Table 3: the NVD row plus the two side databases.
+pub fn name_scale(exps: &Experiments) -> Vec<NameScaleRow> {
+    let mapping = &exps.report.names.mapping;
+    let nvd = NameScaleRow {
+        database: "NVD".to_owned(),
+        vendors: exps.report.names.vendors_before,
+        vendors_impacted: exps.report.names.vendor_names_impacted(),
+        vendors_consistent: mapping.consistent_vendor_targets(),
+    };
+    let side = |db: &SideDatabase| {
+        let mapped = mapping.count_mappable(db.vendors.iter());
+        let targets: usize = db
+            .vendors
+            .iter()
+            .filter_map(|v| mapping.vendor.get(v))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        NameScaleRow {
+            database: db.name.clone(),
+            vendors: db.len(),
+            vendors_impacted: mapped,
+            vendors_consistent: targets,
+        }
+    };
+    vec![
+        nvd,
+        side(&exps.corpus.security_focus),
+        side(&exps.corpus.security_tracker),
+    ]
+}
+
+/// Renders Table 3.
+pub fn render_name_scale(rows: &[NameScaleRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.database.clone(),
+                r.vendors.to_string(),
+                r.vendors_impacted.to_string(),
+                r.vendors_consistent.to_string(),
+            ]
+        })
+        .collect();
+    render::table(&["database", "# vendors", "# impacted", "# consistent"], &body)
+}
+
+/// One Table 11 row: a vendor with its CVE (or product) count and share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VendorRankRow {
+    /// Vendor name.
+    pub vendor: VendorName,
+    /// Count of CVEs or products.
+    pub count: usize,
+    /// Share of the total.
+    pub share: f64,
+}
+
+/// Top vendors by associated CVEs.
+pub fn top_vendors_by_cves(db: &Database, k: usize) -> Vec<VendorRankRow> {
+    let by_vendor = db.cves_by_vendor();
+    let total = db.len().max(1);
+    let mut rows: Vec<VendorRankRow> = by_vendor
+        .into_iter()
+        .map(|(v, ids)| VendorRankRow {
+            vendor: v.clone(),
+            count: ids.len(),
+            share: ids.len() as f64 / total as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.vendor.cmp(&b.vendor)));
+    rows.truncate(k);
+    rows
+}
+
+/// Top vendors by distinct affected products.
+pub fn top_vendors_by_products(db: &Database, k: usize) -> Vec<VendorRankRow> {
+    let by_vendor = db.products_by_vendor();
+    let total: usize = by_vendor.values().map(|p| p.len()).sum();
+    let mut rows: Vec<VendorRankRow> = by_vendor
+        .into_iter()
+        .map(|(v, products)| VendorRankRow {
+            vendor: v.clone(),
+            count: products.len(),
+            share: products.len() as f64 / total.max(1) as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.vendor.cmp(&b.vendor)));
+    rows.truncate(k);
+    rows
+}
+
+/// Renders a Table 11 half, before vs after side by side.
+pub fn render_vendor_ranks(
+    title: &str,
+    after: &[VendorRankRow],
+    before: &[VendorRankRow],
+) -> String {
+    let before_by_name: BTreeMap<&VendorName, &VendorRankRow> =
+        before.iter().map(|r| (&r.vendor, r)).collect();
+    let body: Vec<Vec<String>> = after
+        .iter()
+        .map(|r| {
+            let b = before_by_name.get(&r.vendor);
+            vec![
+                r.vendor.as_str().to_owned(),
+                r.count.to_string(),
+                render::pct(r.share),
+                b.map(|x| x.count.to_string()).unwrap_or_else(|| "-".into()),
+                b.map(|x| render::pct(x.share)).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    format!(
+        "{title}\n{}",
+        render::table(&["vendor", "# after", "% after", "# before", "% before"], &body)
+    )
+}
+
+/// Table 12: mislabeled-name CVEs broken down by severity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MislabeledBreakdown {
+    /// Vendor-mislabeled CVEs by v2 band.
+    pub vendor_v2: BTreeMap<Severity, usize>,
+    /// Vendor-mislabeled CVEs by rectified-v3 band.
+    pub vendor_pv3: BTreeMap<Severity, usize>,
+    /// Product-mislabeled CVEs by v2 band.
+    pub product_v2: BTreeMap<Severity, usize>,
+    /// Product-mislabeled CVEs by rectified-v3 band.
+    pub product_pv3: BTreeMap<Severity, usize>,
+}
+
+/// Computes Table 12 from the pipeline's apply statistics.
+pub fn mislabeled_breakdown(exps: &Experiments) -> MislabeledBreakdown {
+    let mut out = MislabeledBreakdown::default();
+    let add = |map: &mut BTreeMap<Severity, usize>, band: Option<Severity>| {
+        if let Some(b) = band {
+            if b != Severity::None {
+                *map.entry(b).or_insert(0) += 1;
+            }
+        }
+    };
+    for id in &exps.report.names.apply_stats.cves_with_vendor_fixes {
+        let entry = exps.cleaned.get(id).expect("fixed CVE exists");
+        add(&mut out.vendor_v2, entry.severity_v2());
+        add(
+            &mut out.vendor_pv3,
+            exps.report.effective_v3_severity(&exps.cleaned, id),
+        );
+    }
+    for id in &exps.report.names.apply_stats.cves_with_product_fixes {
+        let entry = exps.cleaned.get(id).expect("fixed CVE exists");
+        add(&mut out.product_v2, entry.severity_v2());
+        add(
+            &mut out.product_pv3,
+            exps.report.effective_v3_severity(&exps.cleaned, id),
+        );
+    }
+    out
+}
+
+/// Renders Table 12.
+pub fn render_mislabeled(m: &MislabeledBreakdown) -> String {
+    let bands = [
+        Severity::Low,
+        Severity::Medium,
+        Severity::High,
+        Severity::Critical,
+    ];
+    let cell = |map: &BTreeMap<Severity, usize>, b: Severity| {
+        map.get(&b).copied().unwrap_or(0).to_string()
+    };
+    let body: Vec<Vec<String>> = bands
+        .iter()
+        .map(|&b| {
+            vec![
+                format!("{b:?}"),
+                if b == Severity::Critical {
+                    "NA".into()
+                } else {
+                    cell(&m.vendor_v2, b)
+                },
+                cell(&m.vendor_pv3, b),
+                if b == Severity::Critical {
+                    "NA".into()
+                } else {
+                    cell(&m.product_v2, b)
+                },
+                cell(&m.product_pv3, b),
+            ]
+        })
+        .collect();
+    render::table(
+        &["severity", "vendor v2", "vendor pv3", "product v2", "product pv3"],
+        &body,
+    )
+}
+
+/// One Table 16 row: a sampled mislabeled-vendor CVE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSample {
+    /// The CVE.
+    pub id: CveId,
+    /// The inconsistent vendor name it was recorded under.
+    pub recorded_vendor: VendorName,
+    /// Its v2 severity.
+    pub severity_v2: Option<Severity>,
+    /// Leading words of its description.
+    pub description: String,
+}
+
+/// Table 16: a deterministic sample of CVEs that had mislabeled vendors,
+/// preferring higher-severity ones (as the paper's sample skews High).
+pub fn case_samples(exps: &Experiments, k: usize) -> Vec<CaseSample> {
+    let alias_map: BTreeMap<VendorName, VendorName> = exps
+        .report
+        .names
+        .mapping
+        .vendor
+        .clone();
+    let mut rows: Vec<CaseSample> = Vec::new();
+    for id in &exps.report.names.apply_stats.cves_with_vendor_fixes {
+        // The ORIGINAL entry still shows the inconsistent name.
+        let original = exps.corpus.database.get(id).expect("exists");
+        let Some(recorded) = original
+            .vendors()
+            .find(|v| alias_map.contains_key(*v))
+            .cloned()
+        else {
+            continue;
+        };
+        let description = original
+            .primary_description()
+            .unwrap_or_default()
+            .split_whitespace()
+            .take(8)
+            .collect::<Vec<_>>()
+            .join(" ");
+        rows.push(CaseSample {
+            id: *id,
+            recorded_vendor: recorded,
+            severity_v2: original.severity_v2(),
+            description,
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.severity_v2
+            .cmp(&a.severity_v2)
+            .then(a.id.cmp(&b.id))
+    });
+    rows.truncate(k);
+    rows
+}
+
+/// Renders Table 16.
+pub fn render_case_samples(rows: &[CaseSample]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.recorded_vendor.as_str().to_owned(),
+                r.severity_v2
+                    .map(|s| format!("{s:?}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.description.clone(),
+            ]
+        })
+        .collect();
+    render::table(&["CVE", "vendor", "severity (v2)", "description"], &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exps() -> Experiments {
+        Experiments::run_fast(0.02, 80)
+    }
+
+    #[test]
+    fn table3_impacted_fraction_near_ten_percent() {
+        let e = exps();
+        let rows = name_scale(&e);
+        let nvd = &rows[0];
+        let frac = nvd.vendors_impacted as f64 / nvd.vendors as f64;
+        // Paper: 1,835 / 18,991 ≈ 9.7%.
+        assert!((0.02..0.25).contains(&frac), "impacted fraction {frac}");
+        assert!(nvd.vendors_consistent < nvd.vendors_impacted);
+    }
+
+    #[test]
+    fn side_databases_are_partially_mappable() {
+        let e = exps();
+        let rows = name_scale(&e);
+        let sf = &rows[1];
+        let st = &rows[2];
+        assert!(sf.vendors_impacted > 0, "SF must contain mappable names");
+        // Paper: SF carries far more inconsistent names than ST (2,094 vs
+        // 110). At reduced scale the count ordering is the stable property;
+        // the 8%-vs-3% rate gap needs the full-size vendor lists.
+        assert!(
+            st.vendors_impacted <= sf.vendors_impacted,
+            "SF {} vs ST {}",
+            sf.vendors_impacted,
+            st.vendors_impacted
+        );
+    }
+
+    #[test]
+    fn top_vendor_order_stable_but_counts_grow() {
+        let e = exps();
+        let before = top_vendors_by_cves(&e.corpus.database, 10);
+        let after = top_vendors_by_cves(&e.cleaned, 10);
+        // Correction consolidates aliases into canonical vendors: counts
+        // never shrink for the leaders.
+        let before_by: BTreeMap<&VendorName, usize> =
+            before.iter().map(|r| (&r.vendor, r.count)).collect();
+        let mut grew = 0;
+        for r in &after {
+            if let Some(&b) = before_by.get(&r.vendor) {
+                assert!(r.count >= b, "{} shrank {b} → {}", r.vendor, r.count);
+                if r.count > b {
+                    grew += 1;
+                }
+            }
+        }
+        assert!(grew >= 1, "at least one top vendor must gain CVEs");
+    }
+
+    #[test]
+    fn mislabeled_cves_include_high_severity() {
+        let e = exps();
+        let m = mislabeled_breakdown(&e);
+        let vendor_total: usize = m.vendor_v2.values().sum();
+        assert!(vendor_total > 0, "some vendor-mislabeled CVEs expected");
+        // Paper Table 12: mislabeled CVEs are not confined to Low severity.
+        let high_plus = m.vendor_v2.get(&Severity::High).copied().unwrap_or(0);
+        assert!(high_plus > 0, "{m:?}");
+    }
+
+    #[test]
+    fn case_samples_use_original_recorded_names() {
+        let e = exps();
+        let samples = case_samples(&e, 10);
+        assert!(!samples.is_empty());
+        let alias_map = e.report.names.mapping.vendor.clone();
+        for s in &samples {
+            assert!(
+                alias_map.contains_key(&s.recorded_vendor),
+                "{} not an alias",
+                s.recorded_vendor
+            );
+        }
+    }
+
+    #[test]
+    fn renderers_do_not_panic() {
+        let e = exps();
+        let _ = render_name_scale(&name_scale(&e));
+        let _ = render_vendor_ranks(
+            "CVEs",
+            &top_vendors_by_cves(&e.cleaned, 10),
+            &top_vendors_by_cves(&e.corpus.database, 10),
+        );
+        let _ = render_mislabeled(&mislabeled_breakdown(&e));
+        let _ = render_case_samples(&case_samples(&e, 10));
+    }
+}

@@ -1,0 +1,42 @@
+//! Corpus generation and archive throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_bench::bench_corpus;
+use nvd_synth::{generate, SynthConfig};
+use webarchive::CrawlerSet;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    for scale in [0.005, 0.01, 0.02] {
+        group.bench_function(format!("scale_{scale}"), |b| {
+            b.iter(|| generate(black_box(&SynthConfig::with_scale(scale, 7))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let crawlers = CrawlerSet::builtin();
+    let urls: Vec<&str> = corpus.archive.urls().take(2000).collect();
+    c.bench_function("archive_fetch_and_extract_2000_pages", |b| {
+        b.iter(|| {
+            let mut extracted = 0usize;
+            for url in &urls {
+                if let Ok(page) = corpus.archive.fetch(black_box(url)) {
+                    if crawlers.extract(page).is_some() {
+                        extracted += 1;
+                    }
+                }
+            }
+            extracted
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_crawl
+);
+criterion_main!(benches);

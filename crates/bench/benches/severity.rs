@@ -1,0 +1,59 @@
+//! §4.3 / §5.2 benches: Table 4 (ground-truth transitions), Table 5/7
+//! (model training per architecture), Table 6 (backport), Table 9 and
+//! Fig. 3 (distributions), Tables 13–15 (sanity matrices).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_analysis::severity_study;
+use nvd_bench::{bench_corpus, bench_experiments};
+use nvd_clean::severity::{backport_v3, BackportOptions, ModelKind};
+
+fn table5_model_training(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("table5_train_model");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                backport_v3(
+                    black_box(&corpus.database),
+                    &BackportOptions {
+                        kinds: match kind {
+                            ModelKind::Lr => &[ModelKind::Lr],
+                            ModelKind::Svr => &[ModelKind::Svr],
+                            ModelKind::Cnn => &[ModelKind::Cnn],
+                            ModelKind::Dnn => &[ModelKind::Dnn],
+                        },
+                        force_model: Some(kind),
+                        ..BackportOptions::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table6_backport_pipeline(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    // Tables 4, 6, 13–15 all come out of one backport run.
+    c.bench_function("table4_6_13_15_full_backport", |b| {
+        b.iter(|| backport_v3(black_box(&corpus.database), &BackportOptions::default()))
+    });
+}
+
+fn table9_fig3_distributions(c: &mut Criterion) {
+    let exps = bench_experiments();
+    c.bench_function("table9_distribution", |b| {
+        b.iter(|| severity_study::severity_distribution(black_box(&exps)))
+    });
+    c.bench_function("fig3_yearly_severity", |b| {
+        b.iter(|| severity_study::yearly_severity(black_box(&exps)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table5_model_training, table6_backport_pipeline, table9_fig3_distributions
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Each Criterion bench regenerates one of the paper's tables or figures;
+//! fixtures here keep corpus generation out of the measured sections and
+//! pin the scales/seeds so numbers are comparable across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nvd_analysis::Experiments;
+use nvd_synth::{generate, SynthConfig, SynthCorpus};
+
+/// The benchmark corpus scale: large enough for stable statistics, small
+/// enough that every bench target finishes in seconds.
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// The benchmark seed.
+pub const BENCH_SEED: u64 = 0xbe9c;
+
+/// Generates the standard benchmark corpus.
+pub fn bench_corpus() -> SynthCorpus {
+    generate(&SynthConfig::with_scale(BENCH_SCALE, BENCH_SEED))
+}
+
+/// Runs the full pipeline once (fast profile) for analysis benches.
+pub fn bench_experiments() -> Experiments {
+    Experiments::run_fast(BENCH_SCALE, BENCH_SEED)
+}

@@ -1,0 +1,231 @@
+//! CWE-field rectification (§4.4).
+//!
+//! Many NVD entries carry `NVD-CWE-Other`, `NVD-CWE-noinfo`, or no type at
+//! all, yet their free-form descriptions — particularly evaluator comments —
+//! embed the formal identifier ("CWE-835: Loop with Unreachable Exit
+//! Condition ('Infinite Loop')"). The paper extracts IDs with the regular
+//! expression `CWE-[0-9]*`, validates them against the CWE list, and adds
+//! them to the entry's type set.
+
+use std::collections::BTreeMap;
+
+use nvd_model::cwe::{CweCatalog, CweId, CweLabel};
+use nvd_model::prelude::{CveId, Database};
+
+/// Extracts every `CWE-<digits>` occurrence from free text, in order of
+/// appearance, deduplicated.
+pub fn extract_cwe_ids(text: &str) -> Vec<CweId> {
+    let bytes = text.as_bytes();
+    let mut out: Vec<CweId> = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("CWE-") {
+        let start = i + pos + 4;
+        let mut end = start;
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+        if end > start {
+            if let Ok(num) = text[start..end].parse::<u32>() {
+                let id = CweId::new(num);
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        i = end.max(start);
+    }
+    out
+}
+
+/// Statistics from one rectification pass (§4.4 "Improvement Impact").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CweFixStats {
+    /// Entries labelled `NVD-CWE-Other` before the pass.
+    pub other_count: usize,
+    /// Entries labelled `NVD-CWE-noinfo` before the pass.
+    pub noinfo_count: usize,
+    /// Entries with no label before the pass.
+    pub unassigned_count: usize,
+    /// `Other` entries that gained a concrete type.
+    pub fixed_other: usize,
+    /// `noinfo`/unassigned entries that gained a concrete type.
+    pub fixed_missing: usize,
+    /// Already-typed entries that gained an additional type.
+    pub augmented_typed: usize,
+}
+
+impl CweFixStats {
+    /// Total entries whose type set changed (the paper's 2,456).
+    pub fn total_corrected(&self) -> usize {
+        self.fixed_other + self.fixed_missing + self.augmented_typed
+    }
+
+    /// Fraction of entries with degenerate labels (paper: ≈31%).
+    pub fn degenerate_fraction(&self, db_len: usize) -> f64 {
+        if db_len == 0 {
+            return 0.0;
+        }
+        (self.other_count + self.noinfo_count + self.unassigned_count) as f64 / db_len as f64
+    }
+}
+
+/// Outcome of [`rectify_cwe`]: per-CVE additions plus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CweFixOutcome {
+    /// The concrete CWE IDs added to each corrected entry.
+    pub corrections: BTreeMap<CveId, Vec<CweId>>,
+    /// Aggregate statistics.
+    pub stats: CweFixStats,
+}
+
+/// Mines descriptions for CWE IDs and adds catalog-validated ones to each
+/// entry's type set, in place.
+///
+/// IDs not present in the catalog are discarded (the paper matches against
+/// "the CWE list from their website"). Degenerate labels are kept alongside
+/// the mined concrete types, as the paper *adds* to the CWE field.
+pub fn rectify_cwe(db: &mut Database, catalog: &CweCatalog) -> CweFixOutcome {
+    let mut outcome = CweFixOutcome::default();
+    for entry in db.iter_mut() {
+        let effective = entry.effective_cwe();
+        match effective {
+            CweLabel::Other => outcome.stats.other_count += 1,
+            CweLabel::NoInfo => outcome.stats.noinfo_count += 1,
+            CweLabel::Unassigned => outcome.stats.unassigned_count += 1,
+            CweLabel::Specific(_) => {}
+        }
+
+        let mut mined: Vec<CweId> = Vec::new();
+        for d in &entry.descriptions {
+            for id in extract_cwe_ids(&d.text) {
+                if catalog.contains(id) && !mined.contains(&id) {
+                    mined.push(id);
+                }
+            }
+        }
+        let additions: Vec<CweId> = mined
+            .into_iter()
+            .filter(|id| !entry.cwes.contains(&CweLabel::Specific(*id)))
+            .collect();
+        if additions.is_empty() {
+            continue;
+        }
+        match effective {
+            CweLabel::Other => outcome.stats.fixed_other += 1,
+            CweLabel::NoInfo | CweLabel::Unassigned => outcome.stats.fixed_missing += 1,
+            CweLabel::Specific(_) => outcome.stats.augmented_typed += 1,
+        }
+        for id in &additions {
+            entry.cwes.push(CweLabel::Specific(*id));
+        }
+        outcome.corrections.insert(entry.id, additions);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::prelude::*;
+
+    fn entry(id: u32, label: CweLabel, texts: &[&str]) -> CveEntry {
+        let mut e = CveEntry::new(
+            format!("CVE-2018-{id:04}").parse().unwrap(),
+            "2018-01-01".parse().unwrap(),
+        );
+        e.cwes = vec![label];
+        for (i, t) in texts.iter().enumerate() {
+            e.descriptions.push(if i == 0 {
+                Description::analyst(*t)
+            } else {
+                Description::evaluator(*t)
+            });
+        }
+        e
+    }
+
+    #[test]
+    fn extracts_ids_from_text() {
+        let ids = extract_cwe_ids("See CWE-835: Infinite Loop and also CWE-89.");
+        assert_eq!(ids, vec![CweId::new(835), CweId::new(89)]);
+    }
+
+    #[test]
+    fn extraction_dedupes_and_ignores_malformed() {
+        assert_eq!(
+            extract_cwe_ids("CWE-79 CWE-79 CWE- xyz CWE-"),
+            vec![CweId::new(79)]
+        );
+        assert!(extract_cwe_ids("no ids here").is_empty());
+    }
+
+    #[test]
+    fn fixes_the_papers_example() {
+        // CVE-2007-0838: labelled Other, evaluator text cites CWE-835.
+        let mut db = Database::from_entries([entry(
+            1,
+            CweLabel::Other,
+            &[
+                "Unspecified vulnerability allows a denial of service.",
+                "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')",
+            ],
+        )]);
+        let out = rectify_cwe(&mut db, &CweCatalog::builtin());
+        assert_eq!(out.stats.fixed_other, 1);
+        let e = db.iter().next().unwrap();
+        assert!(e.cwes.contains(&CweLabel::Specific(CweId::new(835))));
+        assert_eq!(e.effective_cwe(), CweLabel::Specific(CweId::new(835)));
+    }
+
+    #[test]
+    fn uncatalogued_ids_are_discarded() {
+        let mut db = Database::from_entries([entry(
+            2,
+            CweLabel::Other,
+            &["refers to CWE-99999 which is not a real weakness"],
+        )]);
+        let out = rectify_cwe(&mut db, &CweCatalog::builtin());
+        assert_eq!(out.stats.total_corrected(), 0);
+    }
+
+    #[test]
+    fn typed_entries_can_gain_additional_types() {
+        let mut db = Database::from_entries([entry(
+            3,
+            CweLabel::Specific(CweId::new(79)),
+            &["also exhibits CWE-89 behaviour"],
+        )]);
+        let out = rectify_cwe(&mut db, &CweCatalog::builtin());
+        assert_eq!(out.stats.augmented_typed, 1);
+        let e = db.iter().next().unwrap();
+        assert!(e.cwes.contains(&CweLabel::Specific(CweId::new(79))));
+        assert!(e.cwes.contains(&CweLabel::Specific(CweId::new(89))));
+    }
+
+    #[test]
+    fn already_listed_type_is_not_double_counted() {
+        let mut db = Database::from_entries([entry(
+            4,
+            CweLabel::Specific(CweId::new(89)),
+            &["classic CWE-89 SQL injection"],
+        )]);
+        let out = rectify_cwe(&mut db, &CweCatalog::builtin());
+        assert_eq!(out.stats.total_corrected(), 0);
+        assert_eq!(db.iter().next().unwrap().cwes.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_degenerate_population() {
+        let mut db = Database::from_entries([
+            entry(5, CweLabel::Other, &[]),
+            entry(6, CweLabel::NoInfo, &[]),
+            entry(7, CweLabel::Unassigned, &[]),
+            entry(8, CweLabel::Specific(CweId::new(79)), &[]),
+        ]);
+        let out = rectify_cwe(&mut db, &CweCatalog::builtin());
+        assert_eq!(out.stats.other_count, 1);
+        assert_eq!(out.stats.noinfo_count, 1);
+        assert_eq!(out.stats.unassigned_count, 1);
+        assert!((out.stats.degenerate_fraction(db.len()) - 0.75).abs() < 1e-9);
+    }
+}

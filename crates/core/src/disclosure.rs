@@ -1,0 +1,310 @@
+//! Disclosure-date estimation from reference URLs (§4.1).
+//!
+//! NVD publication dates record when an entry was *added to the database*,
+//! not when the vulnerability became public. The paper approximates the
+//! public disclosure date as "the minimum of the dates extracted from the
+//! reference URLs or the NVD publication date", using per-domain crawlers
+//! for the top reference domains.
+
+use std::collections::BTreeMap;
+
+use nvd_model::prelude::{CveEntry, CveId, Database, Date};
+use webarchive::{CrawlerSet, FetchError, WebArchive};
+
+/// How extracted reference dates are folded into one estimate.
+///
+/// The paper uses [`Minimum`](AggregationRule::Minimum); the others exist
+/// for the ablation called out in DESIGN.md (§"Design choices").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationRule {
+    /// Earliest extracted date (the paper's rule).
+    #[default]
+    Minimum,
+    /// Median extracted date — robust to one bogus early date.
+    Median,
+    /// Mean extracted date (rounded towards the epoch).
+    Mean,
+}
+
+/// The estimate for one CVE, with crawl bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisclosureEstimate {
+    /// Estimated public disclosure date (never later than the NVD
+    /// publication date under the Minimum rule).
+    pub estimated: Date,
+    /// Reference URLs attached to the entry.
+    pub references: usize,
+    /// Pages successfully fetched.
+    pub fetched: usize,
+    /// Fetches that failed (dead hosts, missing pages).
+    pub failed: usize,
+    /// Dates successfully extracted from fetched pages.
+    pub extracted: usize,
+}
+
+impl DisclosureEstimate {
+    /// Days between the estimate and the given publication date (the
+    /// paper's *lag time*); non-negative under the Minimum rule.
+    pub fn lag_days(&self, published: Date) -> i32 {
+        published.days_since(self.estimated)
+    }
+}
+
+/// The §4.1 estimator: crawls an entry's references and aggregates dates.
+#[derive(Debug, Clone)]
+pub struct DisclosureEstimator<'a> {
+    archive: &'a WebArchive,
+    crawlers: CrawlerSet,
+    rule: AggregationRule,
+}
+
+impl<'a> DisclosureEstimator<'a> {
+    /// An estimator over the given archive with the paper's setup (builtin
+    /// crawler set, minimum rule).
+    pub fn new(archive: &'a WebArchive) -> Self {
+        Self {
+            archive,
+            crawlers: CrawlerSet::builtin(),
+            rule: AggregationRule::Minimum,
+        }
+    }
+
+    /// Replaces the crawler set (e.g. `CrawlerSet::top_n(10)` for the
+    /// coverage ablation).
+    pub fn with_crawlers(mut self, crawlers: CrawlerSet) -> Self {
+        self.crawlers = crawlers;
+        self
+    }
+
+    /// Replaces the aggregation rule.
+    pub fn with_rule(mut self, rule: AggregationRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Estimates the disclosure date of one entry.
+    pub fn estimate(&self, entry: &CveEntry) -> DisclosureEstimate {
+        let mut dates: Vec<Date> = Vec::with_capacity(entry.references.len());
+        let mut fetched = 0usize;
+        let mut failed = 0usize;
+        for reference in &entry.references {
+            match self.archive.fetch(&reference.url) {
+                Ok(page) => {
+                    fetched += 1;
+                    if let Some(date) = self.crawlers.extract(page) {
+                        dates.push(date);
+                    }
+                }
+                Err(FetchError::HostUnreachable { .. }) | Err(FetchError::NotFound { .. }) => {
+                    failed += 1;
+                }
+            }
+        }
+        let extracted = dates.len();
+        let aggregated = match self.rule {
+            AggregationRule::Minimum => dates.iter().copied().min(),
+            AggregationRule::Median => {
+                dates.sort_unstable();
+                dates.get(dates.len() / 2).copied()
+            }
+            AggregationRule::Mean => {
+                if dates.is_empty() {
+                    None
+                } else {
+                    let sum: i64 = dates.iter().map(|d| i64::from(d.day_number())).sum();
+                    Some(Date::from_day_number((sum / dates.len() as i64) as i32))
+                }
+            }
+        };
+        // "We approximated its public disclosure date as the minimum of the
+        // dates extracted from the reference URLs or the NVD publication
+        // date."
+        let estimated = match aggregated {
+            Some(d) if self.rule != AggregationRule::Minimum => d,
+            Some(d) => d.min(entry.published),
+            None => entry.published,
+        };
+        DisclosureEstimate {
+            estimated,
+            references: entry.references.len(),
+            fetched,
+            failed,
+            extracted,
+        }
+    }
+
+    /// Estimates every entry of a database.
+    pub fn estimate_all(&self, db: &Database) -> BTreeMap<CveId, DisclosureEstimate> {
+        db.iter().map(|e| (e.id, self.estimate(e))).collect()
+    }
+}
+
+/// Summary statistics over a set of estimates (feeds Fig. 1 and §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagSummary {
+    /// All lag values, sorted ascending.
+    pub lags: Vec<i32>,
+    /// Fraction with zero lag (paper: ≈38%).
+    pub zero_fraction: f64,
+    /// Fraction with lag ≤ 6 days (paper: ≈70%).
+    pub within_week_fraction: f64,
+    /// Fraction with lag > 7 days (paper: ≈28%).
+    pub over_week_fraction: f64,
+}
+
+impl LagSummary {
+    /// Builds the summary from per-CVE estimates and their entries.
+    pub fn compute(db: &Database, estimates: &BTreeMap<CveId, DisclosureEstimate>) -> Self {
+        let mut lags: Vec<i32> = db
+            .iter()
+            .filter_map(|e| estimates.get(&e.id).map(|est| est.lag_days(e.published).max(0)))
+            .collect();
+        lags.sort_unstable();
+        let n = lags.len().max(1) as f64;
+        let zero = lags.iter().filter(|&&l| l == 0).count() as f64 / n;
+        let within = lags.iter().filter(|&&l| l <= 6).count() as f64 / n;
+        let over = lags.iter().filter(|&&l| l > 7).count() as f64 / n;
+        Self {
+            lags,
+            zero_fraction: zero,
+            within_week_fraction: within,
+            over_week_fraction: over,
+        }
+    }
+
+    /// The empirical CDF at the given lag value.
+    pub fn cdf(&self, lag: i32) -> f64 {
+        if self.lags.is_empty() {
+            return 0.0;
+        }
+        let idx = self.lags.partition_point(|&l| l <= lag);
+        idx as f64 / self.lags.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::prelude::Reference;
+
+    fn date(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn entry_with_refs(archive: &mut WebArchive, urls: &[(&str, &str)]) -> CveEntry {
+        let mut e = CveEntry::new("CVE-2011-0700".parse().unwrap(), date("2011-03-14"));
+        for (host, d) in urls {
+            let url = archive
+                .publish(host, "CVE-2011-0700", date(d), 10)
+                .unwrap();
+            e.references.push(Reference::new(url));
+        }
+        e
+    }
+
+    #[test]
+    fn minimum_rule_picks_earliest_reference() {
+        // The paper's running example: NVD publication 2011-03-14 but an
+        // advisory disclosed it 2011-02-07.
+        let mut archive = WebArchive::new();
+        let e = entry_with_refs(
+            &mut archive,
+            &[
+                ("www.securityfocus.com", "2011-02-07"),
+                ("seclists.org", "2011-03-01"),
+            ],
+        );
+        let est = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!(est.estimated, date("2011-02-07"));
+        assert_eq!(est.lag_days(e.published), 35);
+        assert_eq!(est.extracted, 2);
+    }
+
+    #[test]
+    fn no_references_falls_back_to_publication() {
+        let archive = WebArchive::new();
+        let e = CveEntry::new("CVE-2000-0001".parse().unwrap(), date("2000-06-01"));
+        let est = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!(est.estimated, date("2000-06-01"));
+        assert_eq!(est.lag_days(e.published), 0);
+    }
+
+    #[test]
+    fn dead_hosts_are_counted_and_skipped() {
+        let mut archive = WebArchive::new();
+        let e = entry_with_refs(
+            &mut archive,
+            &[("osvdb.org", "2009-01-05"), ("seclists.org", "2009-02-01")],
+        );
+        let mut e = e;
+        e.published = date("2009-03-01");
+        let est = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!(est.failed, 1, "osvdb is dead");
+        assert_eq!(est.estimated, date("2009-02-01"), "live ref only");
+    }
+
+    #[test]
+    fn estimate_never_exceeds_publication_under_minimum() {
+        // Reference later than publication: publication wins.
+        let mut archive = WebArchive::new();
+        let mut e = entry_with_refs(&mut archive, &[("seclists.org", "2012-09-01")]);
+        e.published = date("2012-01-01");
+        let est = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!(est.estimated, date("2012-01-01"));
+    }
+
+    #[test]
+    fn reduced_crawler_coverage_weakens_estimates() {
+        let mut archive = WebArchive::new();
+        let e = entry_with_refs(
+            &mut archive,
+            &[
+                ("kb.juniper.net", "2016-02-01"), // light-weight host
+                ("www.securityfocus.com", "2016-03-01"),
+            ],
+        );
+        let mut e = e;
+        e.published = date("2016-04-01");
+        let full = DisclosureEstimator::new(&archive).estimate(&e);
+        let narrow = DisclosureEstimator::new(&archive)
+            .with_crawlers(CrawlerSet::top_n(3))
+            .estimate(&e);
+        assert_eq!(full.estimated, date("2016-02-01"));
+        assert_eq!(narrow.estimated, date("2016-03-01"), "juniper not covered");
+    }
+
+    #[test]
+    fn median_rule_resists_outlier() {
+        let mut archive = WebArchive::new();
+        let mut e = entry_with_refs(
+            &mut archive,
+            &[
+                ("www.securityfocus.com", "2001-01-01"), // bogus early
+                ("seclists.org", "2014-05-05"),
+                ("www.debian.org", "2014-05-06"),
+            ],
+        );
+        e.published = date("2014-05-10");
+        let med = DisclosureEstimator::new(&archive)
+            .with_rule(AggregationRule::Median)
+            .estimate(&e);
+        assert_eq!(med.estimated, date("2014-05-05"));
+    }
+
+    #[test]
+    fn lag_summary_cdf_is_monotone() {
+        let mut archive = WebArchive::new();
+        let mut db = Database::new();
+        for (i, d) in ["2015-01-05", "2015-01-05", "2015-02-01"].iter().enumerate() {
+            let id: CveId = format!("CVE-2015-{:04}", i + 1).parse().unwrap();
+            let mut e = CveEntry::new(id, date("2015-03-01"));
+            let url = archive.publish("seclists.org", &id.to_string(), date(d), 0).unwrap();
+            e.references.push(Reference::new(url));
+            db.push(e);
+        }
+        let est = DisclosureEstimator::new(&archive).estimate_all(&db);
+        let summary = LagSummary::compute(&db, &est);
+        assert!(summary.cdf(0) <= summary.cdf(30));
+        assert!(summary.cdf(10_000) >= 0.999);
+    }
+}

@@ -1,0 +1,374 @@
+//! Consolidation mapping: grouping confirmed pairs and electing canonical
+//! names.
+//!
+//! §4.2: "For the names associated with a vendor, we considered the one
+//! with the most associated CVEs as the consistent name, and remapped
+//! inconsistent vendor names in the NVD using our mapping."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nvd_model::prelude::{CveId, Database, ProductName, VendorName};
+
+use super::product::ProductCandidate;
+use super::vendor::VendorCandidate;
+
+/// Union–find over interned names.
+#[derive(Debug)]
+struct DisjointSet {
+    parent: Vec<usize>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The consolidation mapping produced from confirmed candidate pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameMapping {
+    /// Inconsistent vendor name → consistent vendor name.
+    pub vendor: BTreeMap<VendorName, VendorName>,
+    /// (consistent vendor, inconsistent product) → consistent product.
+    pub product: BTreeMap<(VendorName, ProductName), ProductName>,
+}
+
+impl NameMapping {
+    /// Builds the vendor half of the mapping: confirmed pairs are grouped
+    /// transitively; each group's canonical name is the member with the
+    /// most associated CVEs (ties break to the lexicographically smaller
+    /// name for determinism).
+    pub fn build_vendor(confirmed: &[VendorCandidate], db: &Database) -> Self {
+        let cve_counts: BTreeMap<&VendorName, usize> = db
+            .cves_by_vendor()
+            .into_iter()
+            .map(|(v, ids)| (v, ids.len()))
+            .collect();
+
+        // Intern names.
+        let mut index: BTreeMap<&VendorName, usize> = BTreeMap::new();
+        let mut names: Vec<&VendorName> = Vec::new();
+        for c in confirmed {
+            for n in [&c.a, &c.b] {
+                if !index.contains_key(n) {
+                    index.insert(n, names.len());
+                    names.push(n);
+                }
+            }
+        }
+        let mut dsu = DisjointSet::new(names.len());
+        for c in confirmed {
+            dsu.union(index[&c.a], index[&c.b]);
+        }
+
+        // Group members per root.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..names.len() {
+            groups.entry(dsu.find(i)).or_default().push(i);
+        }
+
+        let mut vendor = BTreeMap::new();
+        for members in groups.values() {
+            let canonical = *members
+                .iter()
+                .max_by(|&&a, &&b| {
+                    let ca = cve_counts.get(names[a]).copied().unwrap_or(0);
+                    let cb = cve_counts.get(names[b]).copied().unwrap_or(0);
+                    ca.cmp(&cb).then(names[b].cmp(names[a]))
+                })
+                .expect("non-empty group");
+            for &m in members {
+                if m != canonical {
+                    vendor.insert(names[m].clone(), names[canonical].clone());
+                }
+            }
+        }
+        Self {
+            vendor,
+            product: BTreeMap::new(),
+        }
+    }
+
+    /// Adds the product half from confirmed product candidates; canonical
+    /// election again by CVE count under the (already consolidated) vendor.
+    pub fn extend_products(&mut self, confirmed: &[ProductCandidate], db: &Database) {
+        // CVE counts per (vendor, product) after vendor consolidation.
+        let mut counts: BTreeMap<(VendorName, ProductName), usize> = BTreeMap::new();
+        for entry in db.iter() {
+            let mut seen: BTreeSet<(VendorName, ProductName)> = BTreeSet::new();
+            for cpe in &entry.affected {
+                let vendor = self.resolve_vendor(&cpe.vendor).clone();
+                seen.insert((vendor, cpe.product.clone()));
+            }
+            for key in seen {
+                *counts.entry(key).or_insert(0) += 1;
+            }
+        }
+
+        // Group per vendor.
+        let mut by_vendor: BTreeMap<&VendorName, Vec<&ProductCandidate>> = BTreeMap::new();
+        for c in confirmed {
+            by_vendor.entry(&c.vendor).or_default().push(c);
+        }
+        for (vendor, cands) in by_vendor {
+            let mut index: BTreeMap<&ProductName, usize> = BTreeMap::new();
+            let mut names: Vec<&ProductName> = Vec::new();
+            for c in cands.iter() {
+                for n in [&c.a, &c.b] {
+                    if !index.contains_key(n) {
+                        index.insert(n, names.len());
+                        names.push(n);
+                    }
+                }
+            }
+            let mut dsu = DisjointSet::new(names.len());
+            for c in cands.iter() {
+                dsu.union(index[&c.a], index[&c.b]);
+            }
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for i in 0..names.len() {
+                groups.entry(dsu.find(i)).or_default().push(i);
+            }
+            for members in groups.values() {
+                let canonical = *members
+                    .iter()
+                    .max_by(|&&a, &&b| {
+                        let ca = counts
+                            .get(&(vendor.clone(), names[a].clone()))
+                            .copied()
+                            .unwrap_or(0);
+                        let cb = counts
+                            .get(&(vendor.clone(), names[b].clone()))
+                            .copied()
+                            .unwrap_or(0);
+                        ca.cmp(&cb).then(names[b].cmp(names[a]))
+                    })
+                    .expect("non-empty group");
+                for &m in members {
+                    if m != canonical {
+                        self.product.insert(
+                            (vendor.clone(), names[m].clone()),
+                            names[canonical].clone(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a vendor name through the mapping (identity if absent).
+    pub fn resolve_vendor<'a>(&'a self, name: &'a VendorName) -> &'a VendorName {
+        self.vendor.get(name).unwrap_or(name)
+    }
+
+    /// Resolves a product name under its (consolidated) vendor.
+    pub fn resolve_product<'a>(
+        &'a self,
+        vendor: &VendorName,
+        product: &'a ProductName,
+    ) -> &'a ProductName {
+        self.product
+            .get(&(vendor.clone(), product.clone()))
+            .unwrap_or(product)
+    }
+
+    /// Applies the mapping in place, returning per-field impact statistics.
+    pub fn apply(&self, db: &mut Database) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        for entry in db.iter_mut() {
+            let mut vendor_touched = false;
+            let mut product_touched = false;
+            for cpe in &mut entry.affected {
+                let resolved_vendor = self.resolve_vendor(&cpe.vendor).clone();
+                if resolved_vendor != cpe.vendor {
+                    cpe.vendor = resolved_vendor;
+                    vendor_touched = true;
+                }
+                let resolved_product = self.resolve_product(&cpe.vendor, &cpe.product).clone();
+                if resolved_product != cpe.product {
+                    cpe.product = resolved_product;
+                    product_touched = true;
+                }
+            }
+            if vendor_touched {
+                stats.cves_with_vendor_fixes.insert(entry.id);
+            }
+            if product_touched {
+                stats.cves_with_product_fixes.insert(entry.id);
+            }
+        }
+        db.rebuild_index();
+        stats.vendor_names_removed = self.vendor.len();
+        stats.product_names_removed = self.product.len();
+        stats
+    }
+
+    /// Counts how many of the given vendor names this mapping would change —
+    /// the paper's cross-database application to SecurityFocus and
+    /// SecurityTracker (Table 3).
+    pub fn count_mappable<'a, I: IntoIterator<Item = &'a VendorName>>(&self, names: I) -> usize {
+        names
+            .into_iter()
+            .filter(|n| self.vendor.contains_key(*n))
+            .count()
+    }
+
+    /// Distinct consistent names that inconsistent vendor names map onto
+    /// (Table 3's `#con`).
+    pub fn consistent_vendor_targets(&self) -> usize {
+        self.vendor
+            .values()
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+/// Statistics from applying a [`NameMapping`] to a database.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Distinct vendor spellings eliminated.
+    pub vendor_names_removed: usize,
+    /// Distinct product spellings eliminated.
+    pub product_names_removed: usize,
+    /// CVEs whose vendor field changed.
+    pub cves_with_vendor_fixes: BTreeSet<CveId>,
+    /// CVEs whose product field changed.
+    pub cves_with_product_fixes: BTreeSet<CveId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::product::ProductHeuristic;
+    use nvd_model::prelude::*;
+
+    fn db_with(cpes: &[(&str, &str)]) -> Database {
+        let mut db = Database::new();
+        for (i, (v, p)) in cpes.iter().enumerate() {
+            let id: CveId = format!("CVE-2016-{:04}", i + 1).parse().unwrap();
+            let mut e = CveEntry::new(id, "2016-01-01".parse().unwrap());
+            e.affected.push(CpeName::application(*v, *p));
+            db.push(e);
+        }
+        db
+    }
+
+    fn vendor_pair(a: &str, b: &str) -> VendorCandidate {
+        VendorCandidate {
+            a: VendorName::new(a),
+            b: VendorName::new(b),
+            tokens_identical: false,
+            matching_products: 0,
+            prefix: false,
+            product_as_vendor: false,
+            abbreviation: false,
+            lcs_len: 3,
+        }
+    }
+
+    #[test]
+    fn canonical_is_name_with_most_cves() {
+        // bea: 3 CVEs, bea_systems: 1 — canonical must be bea.
+        let mut db = db_with(&[
+            ("bea", "weblogic"),
+            ("bea", "weblogic"),
+            ("bea", "tuxedo"),
+            ("bea_systems", "weblogic"),
+        ]);
+        let mapping = NameMapping::build_vendor(&[vendor_pair("bea", "bea_systems")], &db);
+        assert_eq!(
+            mapping.vendor.get(&VendorName::new("bea_systems")),
+            Some(&VendorName::new("bea"))
+        );
+        let stats = mapping.apply(&mut db);
+        assert_eq!(stats.cves_with_vendor_fixes.len(), 1);
+        assert!(db.vendor_set().iter().all(|v| v.as_str() != "bea_systems"));
+    }
+
+    #[test]
+    fn transitive_groups_share_one_canonical() {
+        let db = db_with(&[
+            ("microsoft", "windows"),
+            ("microsoft", "office"),
+            ("microsft", "windows"),
+            ("windows", "media_player"),
+        ]);
+        let mapping = NameMapping::build_vendor(
+            &[
+                vendor_pair("microsft", "microsoft"),
+                vendor_pair("microsft", "windows"),
+            ],
+            &db,
+        );
+        assert_eq!(
+            mapping.resolve_vendor(&VendorName::new("windows")),
+            &VendorName::new("microsoft")
+        );
+        assert_eq!(mapping.consistent_vendor_targets(), 1);
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let mut db = db_with(&[("bea", "weblogic"), ("bea_systems", "weblogic")]);
+        let mapping = NameMapping::build_vendor(&[vendor_pair("bea", "bea_systems")], &db);
+        mapping.apply(&mut db);
+        let snapshot: Vec<_> = db.iter().cloned().collect();
+        mapping.apply(&mut db);
+        let again: Vec<_> = db.iter().cloned().collect();
+        assert_eq!(snapshot, again);
+    }
+
+    #[test]
+    fn product_mapping_resolves_under_consolidated_vendor() {
+        let mut db = db_with(&[
+            ("avg", "antivirus"),
+            ("avg", "antivirus"),
+            ("avg", "anti-virus"),
+        ]);
+        let mut mapping = NameMapping::default();
+        mapping.extend_products(
+            &[ProductCandidate {
+                vendor: VendorName::new("avg"),
+                a: ProductName::new("anti-virus"),
+                b: ProductName::new("antivirus"),
+                heuristic: ProductHeuristic::TokenEquivalent,
+            }],
+            &db,
+        );
+        let stats = mapping.apply(&mut db);
+        assert_eq!(stats.cves_with_product_fixes.len(), 1);
+        assert!(db
+            .product_set()
+            .iter()
+            .all(|p| p.as_str() != "anti-virus"));
+    }
+
+    #[test]
+    fn count_mappable_for_side_databases() {
+        let db = db_with(&[("bea", "weblogic"), ("bea_systems", "weblogic")]);
+        let mapping = NameMapping::build_vendor(&[vendor_pair("bea", "bea_systems")], &db);
+        let side = [
+            VendorName::new("bea_systems"),
+            VendorName::new("oracle"),
+            VendorName::new("bea"),
+        ];
+        assert_eq!(mapping.count_mappable(side.iter()), 1);
+    }
+}

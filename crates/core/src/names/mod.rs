@@ -1,0 +1,17 @@
+//! Vendor and product name consolidation (§4.2).
+//!
+//! The paper's pipeline: heuristics flag *candidate* name pairs that are
+//! likely the same entity ([`vendor`], [`product`]); a verification step —
+//! manual in the paper, pluggable here ([`verify`]) — confirms matching
+//! pairs; confirmed pairs are grouped and each group remapped to the name
+//! with the most associated CVEs ([`mapping`]).
+
+pub mod mapping;
+pub mod product;
+pub mod vendor;
+pub mod verify;
+
+pub use mapping::{ApplyStats, NameMapping};
+pub use product::{find_product_candidates, ProductCandidate, ProductHeuristic};
+pub use vendor::{find_vendor_candidates, PatternBreakdown, VendorCandidate};
+pub use verify::{AcceptanceRateVerifier, OracleVerifier, Verifier};

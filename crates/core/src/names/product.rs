@@ -1,0 +1,236 @@
+//! Product-name candidate detection (§4.2).
+//!
+//! After vendor consolidation, likely matching product names *under the
+//! same vendor* are flagged by: (1) identical tokenisation after splitting
+//! on white space and special characters (`internet-explorer` /
+//! `internet_explorer`), (2) abbreviation by first characters
+//! (`internet_explorer` / `ie`), and (3) small edit distance — human typos
+//! such as `tbe_banner_engine` / `the_banner_engine`. The paper notes edit
+//! distance needs verification because near-identical products can be
+//! genuinely different (`ucs-e160dp-m1_firmware` / `ucs-e140dp-m1_firmware`),
+//! which is why candidates carry their heuristic for the verifier.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nvd_model::prelude::{Database, ProductName, VendorName};
+use textkit::distance::levenshtein;
+use textkit::tokenize::{abbreviation, name_components};
+
+use super::mapping::NameMapping;
+
+/// Which heuristic proposed a product pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProductHeuristic {
+    /// Same tokens once separators are normalised.
+    TokenEquivalent,
+    /// One name abbreviates the other's token initials.
+    Abbreviation,
+    /// Levenshtein distance 1 (suspected typo).
+    EditDistance,
+}
+
+/// A flagged product-name pair under one (consolidated) vendor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductCandidate {
+    /// The owning vendor (post vendor-consolidation).
+    pub vendor: VendorName,
+    /// Lexicographically smaller product name.
+    pub a: ProductName,
+    /// Lexicographically larger product name.
+    pub b: ProductName,
+    /// The proposing heuristic.
+    pub heuristic: ProductHeuristic,
+}
+
+/// Digit-difference guard for the edit-distance heuristic: names that
+/// differ in a digit are usually genuinely different models/versions
+/// (the paper's cisco firmware example).
+fn differs_only_in_digit(a: &str, b: &str) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.bytes()
+        .zip(b.bytes())
+        .any(|(x, y)| x != y && x.is_ascii_digit() && y.is_ascii_digit())
+}
+
+/// Finds candidate product pairs under each vendor after applying the
+/// vendor mapping.
+pub fn find_product_candidates(db: &Database, mapping: &NameMapping) -> Vec<ProductCandidate> {
+    // Products per consolidated vendor.
+    let mut products: BTreeMap<VendorName, BTreeSet<ProductName>> = BTreeMap::new();
+    for entry in db.iter() {
+        for cpe in &entry.affected {
+            let vendor = mapping.resolve_vendor(&cpe.vendor).clone();
+            products.entry(vendor).or_default().insert(cpe.product.clone());
+        }
+    }
+
+    let mut out = Vec::new();
+    for (vendor, names) in &products {
+        let names: Vec<&ProductName> = names.iter().collect();
+
+        // Heuristic 1: identical token sequences.
+        let mut by_tokens: BTreeMap<Vec<String>, Vec<&ProductName>> = BTreeMap::new();
+        for p in &names {
+            by_tokens
+                .entry(name_components(p.as_str()))
+                .or_default()
+                .push(p);
+        }
+        for group in by_tokens.values() {
+            for (i, a) in group.iter().enumerate() {
+                for b in group.iter().skip(i + 1) {
+                    push_ordered(&mut out, vendor, a, b, ProductHeuristic::TokenEquivalent);
+                }
+            }
+        }
+
+        // Heuristic 2: abbreviation of token initials.
+        let name_set: BTreeSet<&str> = names.iter().map(|p| p.as_str()).collect();
+        for p in &names {
+            if let Some(abbrev) = abbreviation(p.as_str()) {
+                if abbrev.len() >= 2 && abbrev != p.as_str() && name_set.contains(abbrev.as_str())
+                {
+                    let other = names
+                        .iter()
+                        .find(|q| q.as_str() == abbrev.as_str())
+                        .expect("present in set");
+                    push_ordered(&mut out, vendor, p, other, ProductHeuristic::Abbreviation);
+                }
+            }
+        }
+
+        // Heuristic 3: edit distance 1 (typos), guarded against digit-only
+        // differences; quadratic within the vendor, which is fine because
+        // per-vendor product counts are small.
+        if names.len() <= 600 {
+            for (i, a) in names.iter().enumerate() {
+                for b in names.iter().skip(i + 1) {
+                    if a.as_str().len().abs_diff(b.as_str().len()) > 1 {
+                        continue;
+                    }
+                    if differs_only_in_digit(a.as_str(), b.as_str()) {
+                        continue;
+                    }
+                    if levenshtein(a.as_str(), b.as_str()) == 1 {
+                        push_ordered(&mut out, vendor, a, b, ProductHeuristic::EditDistance);
+                    }
+                }
+            }
+        }
+    }
+    // A pair can be proposed by several heuristics; keep the strongest
+    // (TokenEquivalent < Abbreviation < EditDistance by enum order — token
+    // equivalence is the most reliable, so sort and dedupe keeps it).
+    out.sort_by(|x, y| {
+        (&x.vendor, &x.a, &x.b, x.heuristic).cmp(&(&y.vendor, &y.a, &y.b, y.heuristic))
+    });
+    out.dedup_by(|x, y| x.vendor == y.vendor && x.a == y.a && x.b == y.b);
+    out
+}
+
+fn push_ordered(
+    out: &mut Vec<ProductCandidate>,
+    vendor: &VendorName,
+    a: &ProductName,
+    b: &ProductName,
+    heuristic: ProductHeuristic,
+) {
+    if a == b {
+        return;
+    }
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    out.push(ProductCandidate {
+        vendor: vendor.clone(),
+        a: x.clone(),
+        b: y.clone(),
+        heuristic,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::prelude::*;
+
+    fn db_with(cpes: &[(&str, &str)]) -> Database {
+        let mut db = Database::new();
+        for (i, (v, p)) in cpes.iter().enumerate() {
+            let id: CveId = format!("CVE-2017-{:04}", i + 1).parse().unwrap();
+            let mut e = CveEntry::new(id, "2017-01-01".parse().unwrap());
+            e.affected.push(CpeName::application(*v, *p));
+            db.push(e);
+        }
+        db
+    }
+
+    fn find(db: &Database) -> Vec<ProductCandidate> {
+        find_product_candidates(db, &NameMapping::default())
+    }
+
+    #[test]
+    fn finds_separator_variants() {
+        let db = db_with(&[
+            ("microsoft", "internet_explorer"),
+            ("microsoft", "internet-explorer"),
+        ]);
+        let cands = find(&db);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].heuristic, ProductHeuristic::TokenEquivalent);
+    }
+
+    #[test]
+    fn finds_abbreviation() {
+        let db = db_with(&[("microsoft", "internet_explorer"), ("microsoft", "ie")]);
+        let cands = find(&db);
+        assert!(cands
+            .iter()
+            .any(|c| c.heuristic == ProductHeuristic::Abbreviation));
+    }
+
+    #[test]
+    fn finds_typo_pair() {
+        let db = db_with(&[
+            ("nativesolutions", "tbe_banner_engine"),
+            ("nativesolutions", "the_banner_engine"),
+        ]);
+        let cands = find(&db);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].heuristic, ProductHeuristic::EditDistance);
+    }
+
+    #[test]
+    fn digit_difference_is_not_flagged() {
+        // The paper's example: different cisco firmware models at edit
+        // distance 1 must NOT be merged.
+        let db = db_with(&[
+            ("cisco", "ucs-e160dp-m1_firmware"),
+            ("cisco", "ucs-e140dp-m1_firmware"),
+        ]);
+        let cands = find(&db);
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn different_vendors_are_not_compared() {
+        let db = db_with(&[("avg", "antivirus"), ("avast", "antivirus!")]);
+        let cands = find(&db);
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn vendor_mapping_brings_products_together() {
+        // anti-virus is recorded under alias vendor "avg_technologies";
+        // after vendor consolidation both product spellings are under avg.
+        let db = db_with(&[("avg", "antivirus"), ("avg_technologies", "anti-virus")]);
+        let mut mapping = NameMapping::default();
+        mapping.vendor.insert(
+            VendorName::new("avg_technologies"),
+            VendorName::new("avg"),
+        );
+        let cands = find_product_candidates(&db, &mapping);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].vendor.as_str(), "avg");
+    }
+}

@@ -1,0 +1,392 @@
+//! Vendor-name candidate detection (§4.2, Table 2).
+//!
+//! Three heuristics flag likely matching vendor-name pairs:
+//!
+//! 1. the names **share characters in common** — identical up to special
+//!    characters, misspellings, abbreviations, or substrings;
+//! 2. **a product name is used as a vendor name**;
+//! 3. the two vendors **share a product name**.
+//!
+//! Pairs are annotated with the paper's Table 2 signals: token-identity,
+//! number of matching products (`#MP`), strict-prefix relation (`Pref`),
+//! product-as-vendor (`PaV`), and the longest-common-substring length.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nvd_model::prelude::{Database, VendorName};
+use textkit::distance::{is_strict_prefix_pair, levenshtein, longest_common_substring_len};
+use textkit::tokenize::{abbreviation, strip_specials};
+
+/// A flagged vendor-name pair with its Table 2 signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VendorCandidate {
+    /// Lexicographically smaller name.
+    pub a: VendorName,
+    /// Lexicographically larger name.
+    pub b: VendorName,
+    /// Identical after removing special characters.
+    pub tokens_identical: bool,
+    /// Number of product names the two vendors share (`#MP`).
+    pub matching_products: usize,
+    /// One name is a strict prefix of the other (`Pref`).
+    pub prefix: bool,
+    /// One name equals a product of the other (`PaV`).
+    pub product_as_vendor: bool,
+    /// One name is the initials-abbreviation of the other.
+    pub abbreviation: bool,
+    /// Longest common substring length between the names.
+    pub lcs_len: usize,
+}
+
+impl VendorCandidate {
+    /// Whether the longest-substring signal clears the paper's ≥3 bar.
+    pub fn lcs_at_least_3(&self) -> bool {
+        self.lcs_len >= 3
+    }
+}
+
+/// Finds all candidate vendor pairs in a database.
+///
+/// Blocking keeps this sub-quadratic: pairs are proposed from shared
+/// normalised forms, shared abbreviations, shared products, vendor names
+/// colliding with product names, prefix neighbourhoods in sorted order, and
+/// near-duplicate spelling (edit distance ≤ 2 within a shared-trigram
+/// block). Signals are then computed per proposed pair.
+pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
+    let vendors: Vec<&VendorName> = db.vendor_set().into_iter().collect();
+    let products_by_vendor = db.products_by_vendor();
+    let empty = BTreeSet::new();
+
+    let mut proposed: BTreeSet<(&VendorName, &VendorName)> = BTreeSet::new();
+
+    // Block 1: identical strip-specials form.
+    let mut by_norm: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
+    for v in &vendors {
+        by_norm.entry(strip_specials(v.as_str())).or_default().push(v);
+    }
+    for group in by_norm.values() {
+        pair_group(group, &mut proposed);
+    }
+
+    // Block 2: abbreviation collisions (lms ↔ lan_management_system).
+    let mut by_abbrev: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
+    for v in &vendors {
+        if let Some(a) = abbreviation(v.as_str()) {
+            if a.len() >= 2 {
+                by_abbrev.entry(a).or_default().push(v);
+            }
+        }
+    }
+    let vendor_lookup: BTreeSet<&str> = vendors.iter().map(|v| v.as_str()).collect();
+    for (abbrev, group) in &by_abbrev {
+        if vendor_lookup.contains(abbrev.as_str()) {
+            let short = vendors
+                .iter()
+                .find(|v| v.as_str() == abbrev.as_str())
+                .expect("present in lookup");
+            for long in group {
+                order_and_insert(short, long, &mut proposed);
+            }
+        }
+    }
+
+    // Block 3: shared product names.
+    let mut vendors_by_product: BTreeMap<&str, Vec<&VendorName>> = BTreeMap::new();
+    for (vendor, products) in &products_by_vendor {
+        for p in products {
+            vendors_by_product.entry(p.as_str()).or_default().push(vendor);
+        }
+    }
+    for group in vendors_by_product.values() {
+        if group.len() <= 50 {
+            pair_group(group, &mut proposed);
+        }
+    }
+
+    // Block 4: vendor name equals a product name of another vendor.
+    for v in &vendors {
+        if let Some(owners) = vendors_by_product.get(v.as_str()) {
+            for owner in owners {
+                if owner.as_str() != v.as_str() {
+                    order_and_insert(v, owner, &mut proposed);
+                }
+            }
+        }
+    }
+
+    // Block 5: prefix neighbourhoods in sorted order.
+    for (i, v) in vendors.iter().enumerate() {
+        for w in vendors.iter().skip(i + 1) {
+            if !w.as_str().starts_with(v.as_str()) {
+                break;
+            }
+            order_and_insert(v, w, &mut proposed);
+        }
+    }
+
+    // Block 6: near-duplicate spellings via shared 4-prefix blocks.
+    let mut by_prefix4: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
+    for v in &vendors {
+        let key: String = v.as_str().chars().take(4).collect();
+        by_prefix4.entry(key).or_default().push(v);
+    }
+    for group in by_prefix4.values() {
+        if group.len() > 200 {
+            continue;
+        }
+        for (i, a) in group.iter().enumerate() {
+            for b in group.iter().skip(i + 1) {
+                if levenshtein(a.as_str(), b.as_str()) <= 2 {
+                    order_and_insert(a, b, &mut proposed);
+                }
+            }
+        }
+    }
+    // Misspellings dropping an early character (microsoft/microsft share
+    // only a 1-prefix with the typo at position 1): block on last-4 too.
+    let mut by_suffix4: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
+    for v in &vendors {
+        let s = v.as_str();
+        let key: String = s.chars().rev().take(4).collect();
+        by_suffix4.entry(key).or_default().push(v);
+    }
+    for group in by_suffix4.values() {
+        if group.len() > 200 {
+            continue;
+        }
+        for (i, a) in group.iter().enumerate() {
+            for b in group.iter().skip(i + 1) {
+                if levenshtein(a.as_str(), b.as_str()) <= 2 {
+                    order_and_insert(a, b, &mut proposed);
+                }
+            }
+        }
+    }
+
+    // Annotate every proposed pair with the Table 2 signals.
+    proposed
+        .into_iter()
+        .map(|(a, b)| {
+            let pa = products_by_vendor.get(a).unwrap_or(&empty);
+            let pb = products_by_vendor.get(b).unwrap_or(&empty);
+            let matching_products = pa.intersection(pb).count();
+            let product_as_vendor = pa.iter().any(|p| p.as_str() == b.as_str())
+                || pb.iter().any(|p| p.as_str() == a.as_str());
+            let abbrev = abbreviation(a.as_str()).as_deref() == Some(b.as_str())
+                || abbreviation(b.as_str()).as_deref() == Some(a.as_str());
+            VendorCandidate {
+                a: a.clone(),
+                b: b.clone(),
+                tokens_identical: strip_specials(a.as_str()) == strip_specials(b.as_str()),
+                matching_products,
+                prefix: is_strict_prefix_pair(a.as_str(), b.as_str()),
+                product_as_vendor,
+                abbreviation: abbrev,
+                lcs_len: longest_common_substring_len(a.as_str(), b.as_str()),
+            }
+        })
+        .collect()
+}
+
+fn pair_group<'a>(
+    group: &[&'a VendorName],
+    proposed: &mut BTreeSet<(&'a VendorName, &'a VendorName)>,
+) {
+    for (i, a) in group.iter().enumerate() {
+        for b in group.iter().skip(i + 1) {
+            order_and_insert(a, b, proposed);
+        }
+    }
+}
+
+fn order_and_insert<'a>(
+    a: &'a VendorName,
+    b: &'a VendorName,
+    proposed: &mut BTreeSet<(&'a VendorName, &'a VendorName)>,
+) {
+    if a == b {
+        return;
+    }
+    let (x, y) = if a <= b { (a, b) } else { (b, a) };
+    proposed.insert((x, y));
+}
+
+/// The paper's Table 2 row structure: candidate/confirmed counts per
+/// pattern, split by the LCS ≥ 3 signal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatternBreakdown {
+    /// `(possible, confirmed)` for token-identical pairs.
+    pub tokens: (usize, usize),
+    /// Per `#MP` bucket (0, 1, >1) with LCS ≥ 3.
+    pub mp_lcs3: [(usize, usize); 3],
+    /// Prefix pairs with LCS ≥ 3.
+    pub pref_lcs3: (usize, usize),
+    /// Product-as-vendor pairs with LCS ≥ 3.
+    pub pav_lcs3: (usize, usize),
+    /// Per `#MP` bucket (0, 1, >1) with LCS < 3.
+    pub mp_lcs_short: [(usize, usize); 3],
+    /// Prefix pairs with LCS < 3.
+    pub pref_lcs_short: (usize, usize),
+    /// Product-as-vendor pairs with LCS < 3.
+    pub pav_lcs_short: (usize, usize),
+}
+
+impl PatternBreakdown {
+    /// Tabulates candidates the way Table 2 does. `confirmed` flags one
+    /// entry per candidate (same order).
+    pub fn tabulate(candidates: &[VendorCandidate], confirmed: &[bool]) -> Self {
+        assert_eq!(candidates.len(), confirmed.len(), "length mismatch");
+        let mut out = Self::default();
+        let add = |slot: &mut (usize, usize), ok: bool| {
+            slot.0 += 1;
+            if ok {
+                slot.1 += 1;
+            }
+        };
+        for (c, &ok) in candidates.iter().zip(confirmed) {
+            if c.tokens_identical {
+                add(&mut out.tokens, ok);
+                continue;
+            }
+            let mp_bucket = match c.matching_products {
+                0 => 0,
+                1 => 1,
+                _ => 2,
+            };
+            if c.lcs_at_least_3() {
+                add(&mut out.mp_lcs3[mp_bucket], ok);
+                if c.prefix {
+                    add(&mut out.pref_lcs3, ok);
+                }
+                if c.product_as_vendor {
+                    add(&mut out.pav_lcs3, ok);
+                }
+            } else {
+                add(&mut out.mp_lcs_short[mp_bucket], ok);
+                if c.prefix {
+                    add(&mut out.pref_lcs_short, ok);
+                }
+                if c.product_as_vendor {
+                    add(&mut out.pav_lcs_short, ok);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::prelude::*;
+
+    fn db_with(cpes: &[(&str, &str)]) -> Database {
+        let mut db = Database::new();
+        for (i, (v, p)) in cpes.iter().enumerate() {
+            let id: CveId = format!("CVE-2015-{:04}", i + 1).parse().unwrap();
+            let mut e = CveEntry::new(id, "2015-01-01".parse().unwrap());
+            e.affected.push(CpeName::application(*v, *p));
+            db.push(e);
+        }
+        db
+    }
+
+    fn has_pair(cands: &[VendorCandidate], a: &str, b: &str) -> bool {
+        cands
+            .iter()
+            .any(|c| (c.a.as_str() == a && c.b.as_str() == b) || (c.a.as_str() == b && c.b.as_str() == a))
+    }
+
+    #[test]
+    fn finds_special_character_variant() {
+        let db = db_with(&[("avast", "antivirus"), ("avast!", "antivirus")]);
+        let cands = find_vendor_candidates(&db);
+        assert!(has_pair(&cands, "avast", "avast!"));
+        let c = cands
+            .iter()
+            .find(|c| c.a.as_str() == "avast")
+            .unwrap();
+        assert!(c.tokens_identical);
+        assert!(c.matching_products >= 1);
+    }
+
+    #[test]
+    fn finds_misspelling() {
+        let db = db_with(&[("microsoft", "windows"), ("microsft", "office")]);
+        let cands = find_vendor_candidates(&db);
+        assert!(has_pair(&cands, "microsft", "microsoft"));
+    }
+
+    #[test]
+    fn finds_prefix_extension() {
+        let db = db_with(&[("lynx", "lynx"), ("lynx_project", "browser")]);
+        let cands = find_vendor_candidates(&db);
+        let c = cands
+            .iter()
+            .find(|c| has_pair(std::slice::from_ref(c), "lynx", "lynx_project"))
+            .expect("prefix pair found");
+        assert!(c.prefix);
+    }
+
+    #[test]
+    fn finds_abbreviation() {
+        let db = db_with(&[
+            ("lan_management_system", "lms_client"),
+            ("lms", "lms_client"),
+        ]);
+        let cands = find_vendor_candidates(&db);
+        let c = cands
+            .iter()
+            .find(|c| has_pair(std::slice::from_ref(c), "lms", "lan_management_system"))
+            .expect("abbreviation pair found");
+        assert!(c.abbreviation);
+        // lms/lan_management_system share the product too.
+        assert_eq!(c.matching_products, 1);
+    }
+
+    #[test]
+    fn finds_product_as_vendor() {
+        let db = db_with(&[("microsoft", "windows"), ("windows", "media_player")]);
+        let cands = find_vendor_candidates(&db);
+        let c = cands
+            .iter()
+            .find(|c| has_pair(std::slice::from_ref(c), "microsoft", "windows"))
+            .expect("PaV pair found");
+        assert!(c.product_as_vendor);
+    }
+
+    #[test]
+    fn finds_shared_product_pair_with_unrelated_names() {
+        let db = db_with(&[("nginx", "nginx"), ("igor_sysoev", "nginx")]);
+        let cands = find_vendor_candidates(&db);
+        let c = cands
+            .iter()
+            .find(|c| has_pair(std::slice::from_ref(c), "igor_sysoev", "nginx"))
+            .expect("shared-product pair found");
+        assert!(c.matching_products >= 1);
+    }
+
+    #[test]
+    fn unrelated_vendors_not_flagged() {
+        let db = db_with(&[("oracle", "database"), ("mozilla", "firefox")]);
+        let cands = find_vendor_candidates(&db);
+        assert!(!has_pair(&cands, "oracle", "mozilla"));
+    }
+
+    #[test]
+    fn tabulation_buckets_match_counts() {
+        let db = db_with(&[
+            ("avast", "antivirus"),
+            ("avast!", "antivirus"),
+            ("lynx", "lynx"),
+            ("lynx_project", "browser"),
+        ]);
+        let cands = find_vendor_candidates(&db);
+        let confirmed: Vec<bool> = cands.iter().map(|_| true).collect();
+        let t = PatternBreakdown::tabulate(&cands, &confirmed);
+        let total = t.tokens.0
+            + t.mp_lcs3.iter().map(|x| x.0).sum::<usize>()
+            + t.mp_lcs_short.iter().map(|x| x.0).sum::<usize>();
+        assert_eq!(total, cands.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Evaluation of severity predictions (§4.3, Tables 5, 7, 13–15).
+
+use std::collections::BTreeMap;
+
+use mlkit::metrics::{average_error, average_error_rate, ConfusionMatrix};
+use nvd_model::prelude::Severity;
+
+/// Index of a severity band in 4-column (v3) matrices.
+pub fn v3_band_index(s: Severity) -> usize {
+    match s {
+        Severity::None | Severity::Low => 0,
+        Severity::Medium => 1,
+        Severity::High => 2,
+        Severity::Critical => 3,
+    }
+}
+
+/// Index of a severity band in 3-row (v2) matrices.
+pub fn v2_band_index(s: Severity) -> usize {
+    match s {
+        Severity::None | Severity::Low => 0,
+        Severity::Medium => 1,
+        _ => 2,
+    }
+}
+
+/// Builds a v2 → v3 severity transition matrix (3 rows padded into a 4×4
+/// [`ConfusionMatrix`]; row 3 stays empty), the layout of Tables 4, 6 and
+/// 13–15.
+pub fn transition_matrix(v2: &[Severity], v3: &[Severity]) -> ConfusionMatrix {
+    assert_eq!(v2.len(), v3.len(), "length mismatch");
+    let mut m = ConfusionMatrix::new(4);
+    for (a, b) in v2.iter().zip(v3) {
+        m.record(v2_band_index(*a), v3_band_index(*b));
+    }
+    m
+}
+
+/// One model's evaluation against held-out true v3 scores.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Average absolute score error (paper's AE; CNN: 0.54).
+    pub ae: f64,
+    /// Average relative error in percent (paper's AER; CNN: 9.62).
+    pub aer_percent: f64,
+    /// Banded accuracy over the test split (paper's CNN: 86.29%).
+    pub overall_accuracy: f64,
+    /// Banded accuracy grouped by the sample's *v2* band (Table 7).
+    pub accuracy_by_v2: BTreeMap<Severity, f64>,
+    /// v2 → predicted-v3 transition matrix over the evaluated samples.
+    pub transition: ConfusionMatrix,
+}
+
+/// Evaluates predicted v3 scores against true ones.
+///
+/// `v2_bands` holds each sample's v2 severity (for the per-input-class
+/// accuracy of Table 7).
+pub fn evaluate(y_true: &[f64], y_pred: &[f64], v2_bands: &[Severity]) -> EvalReport {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    assert_eq!(y_true.len(), v2_bands.len(), "length mismatch");
+    let true_bands: Vec<Severity> = y_true.iter().map(|&s| Severity::from_v3_score(s)).collect();
+    let pred_bands: Vec<Severity> = y_pred.iter().map(|&s| Severity::from_v3_score(s)).collect();
+
+    let correct: Vec<bool> = true_bands
+        .iter()
+        .zip(&pred_bands)
+        .map(|(t, p)| t == p)
+        .collect();
+    let overall_accuracy = if correct.is_empty() {
+        0.0
+    } else {
+        correct.iter().filter(|&&c| c).count() as f64 / correct.len() as f64
+    };
+
+    let mut by_v2: BTreeMap<Severity, (usize, usize)> = BTreeMap::new();
+    for (band, ok) in v2_bands.iter().zip(&correct) {
+        let slot = by_v2.entry(*band).or_insert((0, 0));
+        slot.1 += 1;
+        if *ok {
+            slot.0 += 1;
+        }
+    }
+
+    EvalReport {
+        ae: average_error(y_true, y_pred),
+        aer_percent: 100.0 * average_error_rate(y_true, y_pred),
+        overall_accuracy,
+        accuracy_by_v2: by_v2
+            .into_iter()
+            .map(|(k, (h, n))| (k, h as f64 / n as f64))
+            .collect(),
+        transition: transition_matrix(v2_bands, &pred_bands),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_score_perfectly() {
+        let y = [9.8, 5.0, 3.0, 7.5];
+        let bands = [
+            Severity::High,
+            Severity::Medium,
+            Severity::Low,
+            Severity::High,
+        ];
+        let r = evaluate(&y, &y, &bands);
+        assert_eq!(r.ae, 0.0);
+        assert_eq!(r.aer_percent, 0.0);
+        assert_eq!(r.overall_accuracy, 1.0);
+        assert!(r.accuracy_by_v2.values().all(|&a| a == 1.0));
+    }
+
+    #[test]
+    fn banded_accuracy_tolerates_in_band_error() {
+        // 9.8 vs 9.1: both Critical → banded-correct despite score error.
+        let r = evaluate(&[9.8], &[9.1], &[Severity::High]);
+        assert_eq!(r.overall_accuracy, 1.0);
+        assert!(r.ae > 0.5);
+    }
+
+    #[test]
+    fn cross_band_error_is_punished() {
+        // 7.2 (High) predicted 9.3 (Critical).
+        let r = evaluate(&[7.2], &[9.3], &[Severity::High]);
+        assert_eq!(r.overall_accuracy, 0.0);
+    }
+
+    #[test]
+    fn transition_matrix_rows_are_v2_bands() {
+        let m = transition_matrix(
+            &[Severity::High, Severity::High, Severity::Medium],
+            &[Severity::Critical, Severity::High, Severity::Medium],
+        );
+        assert_eq!(m.count(2, 3), 1);
+        assert_eq!(m.count(2, 2), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn per_class_accuracy_groups_by_v2() {
+        let r = evaluate(
+            &[9.8, 7.2, 5.0],
+            &[9.5, 9.5, 5.0],
+            &[Severity::High, Severity::High, Severity::Medium],
+        );
+        // Both High-input samples: one correct (Critical band match), one
+        // wrong.
+        assert!((r.accuracy_by_v2[&Severity::High] - 0.5).abs() < 1e-9);
+        assert!((r.accuracy_by_v2[&Severity::Medium] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! # cvss
+//!
+//! Complete CVSS **v2** and **v3.0** scoring for the `nvd-clean` workspace:
+//! base and temporal score equations implemented from the FIRST
+//! specifications, over the vector types defined in [`nvd_model::metrics`].
+//!
+//! The paper (§4.3) backports v3 severity to v2-only CVEs; this crate is the
+//! ground-truth scoring substrate that both the synthetic corpus generator
+//! (deriving *true* v3 scores) and the evaluation (banding predicted scores)
+//! rely on.
+//!
+//! ## Example
+//!
+//! ```
+//! use cvss::{v2, v3};
+//!
+//! let old: nvd_model::metrics::CvssV2Vector = "AV:N/AC:L/Au:N/C:P/I:P/A:P".parse()?;
+//! assert_eq!(v2::base_score(&old), 7.5);
+//!
+//! let new: nvd_model::metrics::CvssV3Vector =
+//!     "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+//! assert_eq!(v3::base_score(&new), 9.8);
+//! # Ok::<(), nvd_model::metrics::ParseVectorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod v2;
+pub mod v3;
+
+pub use nvd_model::metrics::{CvssV2Vector, CvssV3Vector, ParseVectorError, Severity};
+
+/// Scores a v2 vector and returns both the base score and its severity band.
+pub fn score_v2(vector: &CvssV2Vector) -> (f64, Severity) {
+    let s = v2::base_score(vector);
+    (s, Severity::from_v2_score(s))
+}
+
+/// Scores a v3.0 vector and returns both the base score and its severity band.
+pub fn score_v3(vector: &CvssV3Vector) -> (f64, Severity) {
+    let s = v3::base_score(vector);
+    (s, Severity::from_v3_score(s))
+}
+
+/// Enumerates every possible v2 base vector (3·3·3·3·3·3 = 729 vectors),
+/// useful for exhaustive scoring checks and workload generation.
+pub fn all_v2_vectors() -> Vec<CvssV2Vector> {
+    use nvd_model::metrics::*;
+    let mut out = Vec::with_capacity(729);
+    for &av in AccessVectorV2::ALL {
+        for &ac in AccessComplexityV2::ALL {
+            for &au in AuthenticationV2::ALL {
+                for &c in ImpactV2::ALL {
+                    for &i in ImpactV2::ALL {
+                        for &a in ImpactV2::ALL {
+                            out.push(CvssV2Vector::new(av, ac, au, c, i, a));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every possible v3.0 base vector (4·2·3·2·2·3·3·3 = 2592
+/// vectors).
+pub fn all_v3_vectors() -> Vec<CvssV3Vector> {
+    use nvd_model::metrics::*;
+    let mut out = Vec::with_capacity(2592);
+    for &av in AttackVectorV3::ALL {
+        for &ac in AttackComplexityV3::ALL {
+            for &pr in PrivilegesRequiredV3::ALL {
+                for &ui in UserInteractionV3::ALL {
+                    for &s in ScopeV3::ALL {
+                        for &c in ImpactV3::ALL {
+                            for &i in ImpactV3::ALL {
+                                for &a in ImpactV3::ALL {
+                                    out.push(CvssV3Vector::new(av, ac, pr, ui, s, c, i, a));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerations_are_complete_and_unique() {
+        let v2s = all_v2_vectors();
+        assert_eq!(v2s.len(), 729);
+        let mut strings: Vec<String> = v2s.iter().map(|v| v.to_string()).collect();
+        strings.sort();
+        strings.dedup();
+        assert_eq!(strings.len(), 729);
+
+        let v3s = all_v3_vectors();
+        assert_eq!(v3s.len(), 2592);
+        let mut strings: Vec<String> = v3s.iter().map(|v| v.to_string()).collect();
+        strings.sort();
+        strings.dedup();
+        assert_eq!(strings.len(), 2592);
+    }
+
+    #[test]
+    fn exhaustive_score_ranges() {
+        for v in all_v2_vectors() {
+            let (s, _) = score_v2(&v);
+            assert!((0.0..=10.0).contains(&s), "{v} scored {s}");
+        }
+        for v in all_v3_vectors() {
+            let (s, sev) = score_v3(&v);
+            assert!((0.0..=10.0).contains(&s), "{v} scored {s}");
+            if s == 0.0 {
+                assert_eq!(sev, Severity::None);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! CVSS v2 scoring equations (base and temporal).
+//!
+//! Implements the v2 base-score equation from the CVSS v2.10 specification.
+//! Weights and rounding follow the spec exactly; conformance tests use the
+//! published scores of well-known CVEs.
+
+use nvd_model::metrics::{
+    AccessComplexityV2, AccessVectorV2, AuthenticationV2, CvssV2Vector, ImpactV2, Severity,
+};
+
+/// Numeric weight of the Access Vector metric.
+pub fn access_vector_weight(av: AccessVectorV2) -> f64 {
+    match av {
+        AccessVectorV2::Local => 0.395,
+        AccessVectorV2::AdjacentNetwork => 0.646,
+        AccessVectorV2::Network => 1.0,
+    }
+}
+
+/// Numeric weight of the Access Complexity metric.
+pub fn access_complexity_weight(ac: AccessComplexityV2) -> f64 {
+    match ac {
+        AccessComplexityV2::High => 0.35,
+        AccessComplexityV2::Medium => 0.61,
+        AccessComplexityV2::Low => 0.71,
+    }
+}
+
+/// Numeric weight of the Authentication metric.
+pub fn authentication_weight(au: AuthenticationV2) -> f64 {
+    match au {
+        AuthenticationV2::Multiple => 0.45,
+        AuthenticationV2::Single => 0.56,
+        AuthenticationV2::None => 0.704,
+    }
+}
+
+/// Numeric weight of a C/I/A impact metric.
+pub fn impact_weight(i: ImpactV2) -> f64 {
+    match i {
+        ImpactV2::None => 0.0,
+        ImpactV2::Partial => 0.275,
+        ImpactV2::Complete => 0.660,
+    }
+}
+
+/// The v2 impact sub-score: `10.41 * (1 - (1-C)(1-I)(1-A))`.
+pub fn impact_subscore(v: &CvssV2Vector) -> f64 {
+    let c = impact_weight(v.confidentiality);
+    let i = impact_weight(v.integrity);
+    let a = impact_weight(v.availability);
+    10.41 * (1.0 - (1.0 - c) * (1.0 - i) * (1.0 - a))
+}
+
+/// The v2 exploitability sub-score: `20 * AV * AC * Au`.
+pub fn exploitability_subscore(v: &CvssV2Vector) -> f64 {
+    20.0 * access_vector_weight(v.access_vector)
+        * access_complexity_weight(v.access_complexity)
+        * authentication_weight(v.authentication)
+}
+
+/// Rounds to one decimal place, the v2 spec's rounding rule.
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+/// Computes the CVSS v2 base score for a vector.
+///
+/// ```
+/// use cvss::v2::base_score;
+/// let v = "AV:N/AC:L/Au:N/C:N/I:N/A:C".parse()?; // CVE-2002-0392
+/// assert_eq!(base_score(&v), 7.8);
+/// # Ok::<(), nvd_model::metrics::ParseVectorError>(())
+/// ```
+pub fn base_score(v: &CvssV2Vector) -> f64 {
+    let impact = impact_subscore(v);
+    let exploitability = exploitability_subscore(v);
+    let f_impact = if impact == 0.0 { 0.0 } else { 1.176 };
+    round1(((0.6 * impact) + (0.4 * exploitability) - 1.5) * f_impact)
+}
+
+/// Severity band of a vector's base score (paper Table 1).
+pub fn severity(v: &CvssV2Vector) -> Severity {
+    Severity::from_v2_score(base_score(v))
+}
+
+/// v2 temporal metric: Exploitability (E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExploitabilityV2 {
+    /// No exploit code is available.
+    Unproven,
+    /// Proof-of-concept exploit code exists.
+    ProofOfConcept,
+    /// Functional exploit code is available.
+    Functional,
+    /// Exploitation is widespread or requires no exploit code.
+    High,
+    /// Metric not assigned; skipped in scoring.
+    NotDefined,
+}
+
+/// v2 temporal metric: Remediation Level (RL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemediationLevelV2 {
+    /// A complete vendor fix is available.
+    OfficialFix,
+    /// An official but temporary fix is available.
+    TemporaryFix,
+    /// Only an unofficial workaround exists.
+    Workaround,
+    /// No remediation is available.
+    Unavailable,
+    /// Metric not assigned; skipped in scoring.
+    NotDefined,
+}
+
+/// v2 temporal metric: Report Confidence (RC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportConfidenceV2 {
+    /// A single unconfirmed source.
+    Unconfirmed,
+    /// Multiple non-official sources.
+    Uncorroborated,
+    /// Acknowledged by the vendor.
+    Confirmed,
+    /// Metric not assigned; skipped in scoring.
+    NotDefined,
+}
+
+/// The three v2 temporal metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemporalV2 {
+    /// Exploit-code maturity (E).
+    pub exploitability: ExploitabilityV2,
+    /// Remediation Level (RL).
+    pub remediation_level: RemediationLevelV2,
+    /// Report Confidence (RC).
+    pub report_confidence: ReportConfidenceV2,
+}
+
+impl Default for TemporalV2 {
+    fn default() -> Self {
+        Self {
+            exploitability: ExploitabilityV2::NotDefined,
+            remediation_level: RemediationLevelV2::NotDefined,
+            report_confidence: ReportConfidenceV2::NotDefined,
+        }
+    }
+}
+
+impl TemporalV2 {
+    fn exploitability_weight(self) -> f64 {
+        match self.exploitability {
+            ExploitabilityV2::Unproven => 0.85,
+            ExploitabilityV2::ProofOfConcept => 0.90,
+            ExploitabilityV2::Functional => 0.95,
+            ExploitabilityV2::High | ExploitabilityV2::NotDefined => 1.0,
+        }
+    }
+
+    fn remediation_weight(self) -> f64 {
+        match self.remediation_level {
+            RemediationLevelV2::OfficialFix => 0.87,
+            RemediationLevelV2::TemporaryFix => 0.90,
+            RemediationLevelV2::Workaround => 0.95,
+            RemediationLevelV2::Unavailable | RemediationLevelV2::NotDefined => 1.0,
+        }
+    }
+
+    fn confidence_weight(self) -> f64 {
+        match self.report_confidence {
+            ReportConfidenceV2::Unconfirmed => 0.90,
+            ReportConfidenceV2::Uncorroborated => 0.95,
+            ReportConfidenceV2::Confirmed | ReportConfidenceV2::NotDefined => 1.0,
+        }
+    }
+}
+
+/// Computes the v2 temporal score: `round1(base * E * RL * RC)`.
+pub fn temporal_score(v: &CvssV2Vector, t: TemporalV2) -> f64 {
+    round1(
+        base_score(v)
+            * t.exploitability_weight()
+            * t.remediation_weight()
+            * t.confidence_weight(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec2(s: &str) -> CvssV2Vector {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn published_conformance_scores() {
+        // Scores published by FIRST / NVD for well-known CVEs.
+        let cases = [
+            ("AV:N/AC:L/Au:N/C:N/I:N/A:C", 7.8),  // CVE-2002-0392 Apache chunked
+            ("AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0), // worst case
+            ("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5),  // classic remote partial
+            ("AV:N/AC:M/Au:N/C:N/I:P/A:N", 4.3),  // typical XSS
+            ("AV:L/AC:H/Au:N/C:C/I:C/A:C", 6.2),  // local hard full compromise
+            ("AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0),  // no impact
+            ("AV:L/AC:L/Au:N/C:N/I:N/A:P", 2.1),  // local DoS
+            ("AV:N/AC:M/Au:S/C:P/I:P/A:P", 6.0),
+            ("AV:N/AC:L/Au:N/C:P/I:N/A:N", 5.0),
+            ("AV:A/AC:L/Au:N/C:P/I:P/A:P", 5.8),
+        ];
+        for (s, want) in cases {
+            assert_eq!(base_score(&vec2(s)), want, "{s}");
+        }
+    }
+
+    #[test]
+    fn zero_impact_zeroes_score() {
+        let v = vec2("AV:N/AC:L/Au:N/C:N/I:N/A:N");
+        assert_eq!(impact_subscore(&v), 0.0);
+        assert_eq!(base_score(&v), 0.0);
+        assert_eq!(severity(&v), Severity::Low);
+    }
+
+    #[test]
+    fn severity_bands() {
+        assert_eq!(severity(&vec2("AV:N/AC:L/Au:N/C:C/I:C/A:C")), Severity::High);
+        assert_eq!(severity(&vec2("AV:N/AC:M/Au:N/C:N/I:P/A:N")), Severity::Medium);
+        assert_eq!(severity(&vec2("AV:L/AC:L/Au:N/C:N/I:N/A:P")), Severity::Low);
+    }
+
+    #[test]
+    fn temporal_reduces_or_keeps_score() {
+        let v = vec2("AV:N/AC:L/Au:N/C:C/I:C/A:C");
+        let t = TemporalV2 {
+            exploitability: ExploitabilityV2::Unproven,
+            remediation_level: RemediationLevelV2::OfficialFix,
+            report_confidence: ReportConfidenceV2::Unconfirmed,
+        };
+        // 10.0 * 0.85 * 0.87 * 0.90 = 6.6555 -> 6.7
+        assert_eq!(temporal_score(&v, t), 6.7);
+        assert_eq!(temporal_score(&v, TemporalV2::default()), 10.0);
+    }
+
+    #[test]
+    fn exploitability_monotone_in_access_vector() {
+        let local = vec2("AV:L/AC:L/Au:N/C:P/I:P/A:P");
+        let adjacent = vec2("AV:A/AC:L/Au:N/C:P/I:P/A:P");
+        let network = vec2("AV:N/AC:L/Au:N/C:P/I:P/A:P");
+        assert!(exploitability_subscore(&local) < exploitability_subscore(&adjacent));
+        assert!(exploitability_subscore(&adjacent) < exploitability_subscore(&network));
+        assert!(base_score(&local) < base_score(&adjacent));
+        assert!(base_score(&adjacent) < base_score(&network));
+    }
+}

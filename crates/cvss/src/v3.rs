@@ -1,0 +1,298 @@
+//! CVSS v3.0 scoring equations (base and temporal).
+//!
+//! Implements the v3.0 base-score equation from the FIRST specification,
+//! including the scope-changed impact curve and the "round up to one decimal"
+//! rule. Conformance tests use scores published in the official v3.0
+//! examples document.
+
+use nvd_model::metrics::{
+    AttackComplexityV3, AttackVectorV3, CvssV3Vector, ImpactV3, PrivilegesRequiredV3, ScopeV3,
+    Severity, UserInteractionV3,
+};
+
+/// Numeric weight of the Attack Vector metric.
+pub fn attack_vector_weight(av: AttackVectorV3) -> f64 {
+    match av {
+        AttackVectorV3::Network => 0.85,
+        AttackVectorV3::Adjacent => 0.62,
+        AttackVectorV3::Local => 0.55,
+        AttackVectorV3::Physical => 0.20,
+    }
+}
+
+/// Numeric weight of the Attack Complexity metric.
+pub fn attack_complexity_weight(ac: AttackComplexityV3) -> f64 {
+    match ac {
+        AttackComplexityV3::Low => 0.77,
+        AttackComplexityV3::High => 0.44,
+    }
+}
+
+/// Numeric weight of Privileges Required; the weight of `Low`/`High` rises
+/// when the scope is changed.
+pub fn privileges_required_weight(pr: PrivilegesRequiredV3, scope: ScopeV3) -> f64 {
+    match (pr, scope) {
+        (PrivilegesRequiredV3::None, _) => 0.85,
+        (PrivilegesRequiredV3::Low, ScopeV3::Unchanged) => 0.62,
+        (PrivilegesRequiredV3::Low, ScopeV3::Changed) => 0.68,
+        (PrivilegesRequiredV3::High, ScopeV3::Unchanged) => 0.27,
+        (PrivilegesRequiredV3::High, ScopeV3::Changed) => 0.50,
+    }
+}
+
+/// Numeric weight of the User Interaction metric.
+pub fn user_interaction_weight(ui: UserInteractionV3) -> f64 {
+    match ui {
+        UserInteractionV3::None => 0.85,
+        UserInteractionV3::Required => 0.62,
+    }
+}
+
+/// Numeric weight of a C/I/A impact metric.
+pub fn impact_weight(i: ImpactV3) -> f64 {
+    match i {
+        ImpactV3::None => 0.0,
+        ImpactV3::Low => 0.22,
+        ImpactV3::High => 0.56,
+    }
+}
+
+/// The impact sub-score base `ISCbase = 1 - (1-C)(1-I)(1-A)`.
+pub fn impact_subscore_base(v: &CvssV3Vector) -> f64 {
+    let c = impact_weight(v.confidentiality);
+    let i = impact_weight(v.integrity);
+    let a = impact_weight(v.availability);
+    1.0 - (1.0 - c) * (1.0 - i) * (1.0 - a)
+}
+
+/// The scope-adjusted impact sub-score `ISC`.
+pub fn impact_subscore(v: &CvssV3Vector) -> f64 {
+    let base = impact_subscore_base(v);
+    match v.scope {
+        ScopeV3::Unchanged => 6.42 * base,
+        ScopeV3::Changed => 7.52 * (base - 0.029) - 3.25 * (base - 0.02).powi(15),
+    }
+}
+
+/// The exploitability sub-score `8.22 * AV * AC * PR * UI`.
+pub fn exploitability_subscore(v: &CvssV3Vector) -> f64 {
+    8.22 * attack_vector_weight(v.attack_vector)
+        * attack_complexity_weight(v.attack_complexity)
+        * privileges_required_weight(v.privileges_required, v.scope)
+        * user_interaction_weight(v.user_interaction)
+}
+
+/// The v3.0 `Roundup` function: smallest number with one decimal place that
+/// is `>= x` (with a small epsilon guard against binary-float artifacts).
+pub fn roundup(x: f64) -> f64 {
+    (x * 10.0 - 1e-9).ceil() / 10.0
+}
+
+/// Computes the CVSS v3.0 base score for a vector.
+///
+/// ```
+/// use cvss::v3::base_score;
+/// let v = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+/// assert_eq!(base_score(&v), 9.8);
+/// # Ok::<(), nvd_model::metrics::ParseVectorError>(())
+/// ```
+pub fn base_score(v: &CvssV3Vector) -> f64 {
+    let isc = impact_subscore(v);
+    if isc <= 0.0 {
+        return 0.0;
+    }
+    let expl = exploitability_subscore(v);
+    let raw = match v.scope {
+        ScopeV3::Unchanged => (isc + expl).min(10.0),
+        ScopeV3::Changed => (1.08 * (isc + expl)).min(10.0),
+    };
+    roundup(raw)
+}
+
+/// Severity band of a vector's base score (paper Table 1).
+pub fn severity(v: &CvssV3Vector) -> Severity {
+    Severity::from_v3_score(base_score(v))
+}
+
+/// v3 temporal metric: Exploit Code Maturity (E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExploitMaturityV3 {
+    /// No exploit code is available.
+    Unproven,
+    /// Proof-of-concept exploit code exists.
+    ProofOfConcept,
+    /// Functional exploit code is available.
+    Functional,
+    /// Exploitation is widespread or requires no exploit code.
+    High,
+    /// Metric not assigned; skipped in scoring.
+    NotDefined,
+}
+
+/// v3 temporal metric: Remediation Level (RL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemediationLevelV3 {
+    /// A complete vendor fix is available.
+    OfficialFix,
+    /// An official but temporary fix is available.
+    TemporaryFix,
+    /// Only an unofficial workaround exists.
+    Workaround,
+    /// No remediation is available.
+    Unavailable,
+    /// Metric not assigned; skipped in scoring.
+    NotDefined,
+}
+
+/// v3 temporal metric: Report Confidence (RC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportConfidenceV3 {
+    /// Reports disagree on cause or impact.
+    Unknown,
+    /// Significant details published, cause unconfirmed.
+    Reasonable,
+    /// Acknowledged by the vendor.
+    Confirmed,
+    /// Metric not assigned; skipped in scoring.
+    NotDefined,
+}
+
+/// The three v3 temporal metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemporalV3 {
+    /// Exploit-code maturity (E).
+    pub exploit_maturity: ExploitMaturityV3,
+    /// Remediation Level (RL).
+    pub remediation_level: RemediationLevelV3,
+    /// Report Confidence (RC).
+    pub report_confidence: ReportConfidenceV3,
+}
+
+impl Default for TemporalV3 {
+    fn default() -> Self {
+        Self {
+            exploit_maturity: ExploitMaturityV3::NotDefined,
+            remediation_level: RemediationLevelV3::NotDefined,
+            report_confidence: ReportConfidenceV3::NotDefined,
+        }
+    }
+}
+
+impl TemporalV3 {
+    fn maturity_weight(self) -> f64 {
+        match self.exploit_maturity {
+            ExploitMaturityV3::Unproven => 0.91,
+            ExploitMaturityV3::ProofOfConcept => 0.94,
+            ExploitMaturityV3::Functional => 0.97,
+            ExploitMaturityV3::High | ExploitMaturityV3::NotDefined => 1.0,
+        }
+    }
+
+    fn remediation_weight(self) -> f64 {
+        match self.remediation_level {
+            RemediationLevelV3::OfficialFix => 0.95,
+            RemediationLevelV3::TemporaryFix => 0.96,
+            RemediationLevelV3::Workaround => 0.97,
+            RemediationLevelV3::Unavailable | RemediationLevelV3::NotDefined => 1.0,
+        }
+    }
+
+    fn confidence_weight(self) -> f64 {
+        match self.report_confidence {
+            ReportConfidenceV3::Unknown => 0.92,
+            ReportConfidenceV3::Reasonable => 0.96,
+            ReportConfidenceV3::Confirmed | ReportConfidenceV3::NotDefined => 1.0,
+        }
+    }
+}
+
+/// Computes the v3 temporal score: `roundup(base * E * RL * RC)`.
+pub fn temporal_score(v: &CvssV3Vector, t: TemporalV3) -> f64 {
+    roundup(
+        base_score(v) * t.maturity_weight() * t.remediation_weight() * t.confidence_weight(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec3(s: &str) -> CvssV3Vector {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn published_conformance_scores() {
+        // Scores from the FIRST CVSS v3.0 examples document / NVD.
+        let cases = [
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8), // generic worst RCE
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0),
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5), // CVE-2014-0160 Heartbleed
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1), // CVE-2013-1937 XSS
+            ("CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:C/C:L/I:L/A:N", 6.4), // CVE-2013-0375
+            ("CVSS:3.0/AV:N/AC:H/PR:N/UI:R/S:C/C:L/I:N/A:N", 3.4), // CVE-2014-3566 POODLE
+            ("CVSS:3.0/AV:N/AC:L/PR:H/UI:N/S:C/C:H/I:H/A:H", 9.1), // CVE-2012-1516
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 7.5), // CVE-2015-8252
+            ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0), // no impact
+            ("CVSS:3.0/AV:L/AC:L/PR:H/UI:N/S:U/C:H/I:H/A:H", 6.7), // local admin full
+        ];
+        for (s, want) in cases {
+            assert_eq!(base_score(&vec3(s)), want, "{s}");
+        }
+    }
+
+    #[test]
+    fn roundup_behaviour() {
+        assert_eq!(roundup(4.02), 4.1);
+        assert_eq!(roundup(4.0), 4.0);
+        assert_eq!(roundup(0.0), 0.0);
+        assert_eq!(roundup(9.99), 10.0);
+        // Binary-float guard: the nearest f64 to 8.6 is slightly above it
+        // and must not round up to 8.7.
+        assert_eq!(roundup(8.6_f64), 8.6);
+        assert_eq!(roundup(0.1 + 0.2), 0.3);
+    }
+
+    #[test]
+    fn zero_impact_is_none_severity() {
+        let v = vec3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:N/I:N/A:N");
+        assert_eq!(base_score(&v), 0.0);
+        assert_eq!(severity(&v), Severity::None);
+    }
+
+    #[test]
+    fn scope_change_raises_score() {
+        let unchanged = vec3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:L/A:L");
+        let changed = vec3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:L/I:L/A:L");
+        assert!(base_score(&changed) > base_score(&unchanged));
+    }
+
+    #[test]
+    fn temporal_scores() {
+        let v = vec3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H");
+        let t = TemporalV3 {
+            exploit_maturity: ExploitMaturityV3::Unproven,
+            remediation_level: RemediationLevelV3::OfficialFix,
+            report_confidence: ReportConfidenceV3::Unknown,
+        };
+        // 9.8 * 0.91 * 0.95 * 0.92 = 7.7949-> roundup 7.8
+        assert_eq!(temporal_score(&v, t), 7.8);
+        assert_eq!(temporal_score(&v, TemporalV3::default()), 9.8);
+    }
+
+    #[test]
+    fn severity_bands() {
+        assert_eq!(
+            severity(&vec3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")),
+            Severity::Critical
+        );
+        assert_eq!(
+            severity(&vec3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H")),
+            Severity::High
+        );
+        assert_eq!(
+            severity(&vec3("CVSS:3.0/AV:N/AC:H/PR:N/UI:R/S:C/C:L/I:N/A:N")),
+            Severity::Low
+        );
+    }
+}

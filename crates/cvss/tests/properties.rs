@@ -1,0 +1,139 @@
+//! Property-based tests for the CVSS scoring equations.
+
+use cvss::{score_v2, score_v3, v2, v3};
+use nvd_model::metrics::*;
+use proptest::prelude::*;
+
+fn arb_v2() -> impl Strategy<Value = CvssV2Vector> {
+    (
+        prop::sample::select(AccessVectorV2::ALL.to_vec()),
+        prop::sample::select(AccessComplexityV2::ALL.to_vec()),
+        prop::sample::select(AuthenticationV2::ALL.to_vec()),
+        prop::sample::select(ImpactV2::ALL.to_vec()),
+        prop::sample::select(ImpactV2::ALL.to_vec()),
+        prop::sample::select(ImpactV2::ALL.to_vec()),
+    )
+        .prop_map(|(av, ac, au, c, i, a)| CvssV2Vector::new(av, ac, au, c, i, a))
+}
+
+fn arb_v3() -> impl Strategy<Value = CvssV3Vector> {
+    (
+        prop::sample::select(AttackVectorV3::ALL.to_vec()),
+        prop::sample::select(AttackComplexityV3::ALL.to_vec()),
+        prop::sample::select(PrivilegesRequiredV3::ALL.to_vec()),
+        prop::sample::select(UserInteractionV3::ALL.to_vec()),
+        prop::sample::select(ScopeV3::ALL.to_vec()),
+        prop::sample::select(ImpactV3::ALL.to_vec()),
+        prop::sample::select(ImpactV3::ALL.to_vec()),
+        prop::sample::select(ImpactV3::ALL.to_vec()),
+    )
+        .prop_map(|(av, ac, pr, ui, s, c, i, a)| CvssV3Vector::new(av, ac, pr, ui, s, c, i, a))
+}
+
+/// Raises one impact metric a notch, if possible.
+fn bump_v2(i: ImpactV2) -> Option<ImpactV2> {
+    match i {
+        ImpactV2::None => Some(ImpactV2::Partial),
+        ImpactV2::Partial => Some(ImpactV2::Complete),
+        ImpactV2::Complete => None,
+    }
+}
+
+fn bump_v3(i: ImpactV3) -> Option<ImpactV3> {
+    match i {
+        ImpactV3::None => Some(ImpactV3::Low),
+        ImpactV3::Low => Some(ImpactV3::High),
+        ImpactV3::High => None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn v2_score_in_range(v in arb_v2()) {
+        let (s, _) = score_v2(&v);
+        prop_assert!((0.0..=10.0).contains(&s));
+        // One decimal place exactly.
+        prop_assert!((s * 10.0 - (s * 10.0).round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v3_score_in_range(v in arb_v3()) {
+        let (s, _) = score_v3(&v);
+        prop_assert!((0.0..=10.0).contains(&s));
+        prop_assert!((s * 10.0 - (s * 10.0).round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v2_vector_string_roundtrip(v in arb_v2()) {
+        let parsed: CvssV2Vector = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn v3_vector_string_roundtrip(v in arb_v3()) {
+        let parsed: CvssV3Vector = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn v2_monotone_in_confidentiality(v in arb_v2()) {
+        if let Some(higher) = bump_v2(v.confidentiality) {
+            let mut w = v;
+            w.confidentiality = higher;
+            prop_assert!(v2::base_score(&w) >= v2::base_score(&v),
+                "{} -> {} decreased", v, w);
+        }
+    }
+
+    #[test]
+    fn v3_monotone_in_each_impact(v in arb_v3()) {
+        for field in 0..3 {
+            let mut w = v;
+            let bumped = match field {
+                0 => bump_v3(v.confidentiality).map(|x| { w.confidentiality = x; }),
+                1 => bump_v3(v.integrity).map(|x| { w.integrity = x; }),
+                _ => bump_v3(v.availability).map(|x| { w.availability = x; }),
+            };
+            if bumped.is_some() {
+                prop_assert!(v3::base_score(&w) >= v3::base_score(&v),
+                    "{} -> {} decreased", v, w);
+            }
+        }
+    }
+
+    #[test]
+    fn v3_zero_iff_no_impact(v in arb_v3()) {
+        let zero = v.confidentiality == ImpactV3::None
+            && v.integrity == ImpactV3::None
+            && v.availability == ImpactV3::None;
+        prop_assert_eq!(v3::base_score(&v) == 0.0, zero);
+    }
+
+    #[test]
+    fn v2_temporal_never_exceeds_base(v in arb_v2(), e in 0usize..5, r in 0usize..5, c in 0usize..4) {
+        use cvss::v2::*;
+        let t = TemporalV2 {
+            exploitability: [ExploitabilityV2::Unproven, ExploitabilityV2::ProofOfConcept,
+                ExploitabilityV2::Functional, ExploitabilityV2::High, ExploitabilityV2::NotDefined][e],
+            remediation_level: [RemediationLevelV2::OfficialFix, RemediationLevelV2::TemporaryFix,
+                RemediationLevelV2::Workaround, RemediationLevelV2::Unavailable, RemediationLevelV2::NotDefined][r],
+            report_confidence: [ReportConfidenceV2::Unconfirmed, ReportConfidenceV2::Uncorroborated,
+                ReportConfidenceV2::Confirmed, ReportConfidenceV2::NotDefined][c],
+        };
+        prop_assert!(temporal_score(&v, t) <= base_score(&v));
+    }
+
+    #[test]
+    fn v3_temporal_never_exceeds_base(v in arb_v3(), e in 0usize..5, r in 0usize..5, c in 0usize..4) {
+        use cvss::v3::*;
+        let t = TemporalV3 {
+            exploit_maturity: [ExploitMaturityV3::Unproven, ExploitMaturityV3::ProofOfConcept,
+                ExploitMaturityV3::Functional, ExploitMaturityV3::High, ExploitMaturityV3::NotDefined][e],
+            remediation_level: [RemediationLevelV3::OfficialFix, RemediationLevelV3::TemporaryFix,
+                RemediationLevelV3::Workaround, RemediationLevelV3::Unavailable, RemediationLevelV3::NotDefined][r],
+            report_confidence: [ReportConfidenceV3::Unknown, ReportConfidenceV3::Reasonable,
+                ReportConfidenceV3::Confirmed, ReportConfidenceV3::NotDefined][c],
+        };
+        prop_assert!(temporal_score(&v, t) <= base_score(&v));
+    }
+}

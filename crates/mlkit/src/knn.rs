@@ -1,0 +1,154 @@
+//! Brute-force k-nearest-neighbour classification.
+//!
+//! §4.4 of the paper classifies 512-d description embeddings into CWE types
+//! and finds "k-NN (k = 1) provides the best results, predicting 151
+//! different types with 65.60% accuracy".
+
+use crate::matrix::{squared_distance, Matrix};
+
+/// A k-NN classifier over dense feature rows with `usize` class labels.
+///
+/// Prediction is majority vote among the k nearest training samples by
+/// Euclidean distance; ties break towards the nearer neighbour (and then the
+/// smaller label, for full determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnClassifier {
+    k: usize,
+    x: Matrix,
+    labels: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, the dataset is empty, or lengths mismatch.
+    pub fn fit(x: Matrix, labels: Vec<usize>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(x.rows() > 0, "empty training set");
+        assert_eq!(x.rows(), labels.len(), "feature/label length mismatch");
+        Self { k, x, labels }
+    }
+
+    /// The `k` this classifier votes with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored training samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the training set is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Indices and squared distances of the k nearest training samples,
+    /// ordered by increasing distance (then index).
+    pub fn kneighbors(&self, row: &[f64]) -> Vec<(usize, f64)> {
+        let mut dists: Vec<(usize, f64)> = (0..self.x.rows())
+            .map(|i| (i, squared_distance(self.x.row(i), row)))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        dists.truncate(k);
+        dists
+    }
+
+    /// Predicts the class of a single sample.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        let neigh = self.kneighbors(row);
+        // Majority vote; first (nearest) occurrence wins ties.
+        let mut votes: Vec<(usize, usize, usize)> = Vec::new(); // (label, count, first_rank)
+        for (rank, (idx, _)) in neigh.iter().enumerate() {
+            let label = self.labels[*idx];
+            match votes.iter_mut().find(|(l, _, _)| *l == label) {
+                Some((_, c, _)) => *c += 1,
+                None => votes.push((label, 1, rank)),
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(b.0.cmp(&a.0)))
+            .map(|(l, _, _)| l)
+            .expect("non-empty neighbours")
+    }
+
+    /// Predicts every row of a matrix.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters() -> (Matrix, Vec<usize>) {
+        // Two clusters around (0,0) and (10,10).
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.1],
+            &[0.2, -0.1],
+            &[-0.1, 0.0],
+            &[10.0, 10.1],
+            &[9.9, 9.8],
+            &[10.2, 10.0],
+        ]);
+        (x, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn one_nn_returns_nearest_label() {
+        let (x, labels) = clusters();
+        let knn = KnnClassifier::fit(x, labels, 1);
+        assert_eq!(knn.predict_row(&[0.05, 0.05]), 0);
+        assert_eq!(knn.predict_row(&[9.0, 9.0]), 1);
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let (x, labels) = clusters();
+        let knn = KnnClassifier::fit(x, labels, 3);
+        assert_eq!(knn.predict_row(&[1.0, 1.0]), 0);
+        assert_eq!(knn.predict_row(&[8.0, 8.0]), 1);
+    }
+
+    #[test]
+    fn tie_breaks_towards_nearest() {
+        // k=2 with one vote each: nearest neighbour should win.
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let knn = KnnClassifier::fit(x, vec![7, 3], 2);
+        assert_eq!(knn.predict_row(&[0.1]), 7);
+        assert_eq!(knn.predict_row(&[0.9]), 3);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let knn = KnnClassifier::fit(x, vec![0, 1], 10);
+        assert_eq!(knn.kneighbors(&[0.4]).len(), 2);
+    }
+
+    #[test]
+    fn kneighbors_sorted_by_distance() {
+        let (x, labels) = clusters();
+        let knn = KnnClassifier::fit(x, labels, 6);
+        let n = knn.kneighbors(&[0.0, 0.0]);
+        for w in n.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn exact_training_point_is_own_neighbour() {
+        let (x, labels) = clusters();
+        let probe = x.row(3).to_vec();
+        let knn = KnnClassifier::fit(x, labels, 1);
+        let n = knn.kneighbors(&probe);
+        assert_eq!(n[0].0, 3);
+        assert_eq!(n[0].1, 0.0);
+    }
+}

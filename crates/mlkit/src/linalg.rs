@@ -1,0 +1,266 @@
+//! Numerical linear algebra: Cholesky solves (ridge regression) and the
+//! cyclic Jacobi eigendecomposition of symmetric matrices (PCA).
+
+use crate::matrix::Matrix;
+
+/// Error returned when a decomposition's preconditions fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinalgError {
+    msg: String,
+}
+
+impl LinalgError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "linear algebra error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError`] if `a` is not square or not positive definite.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::new("cholesky needs a square matrix"));
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::new(format!(
+                        "matrix not positive definite at pivot {i} (sum {sum})"
+                    )));
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Returns [`LinalgError`] if the factorisation fails or `b` has the wrong
+/// length.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::new("rhs length mismatch"));
+    }
+    let l = cholesky(a)?;
+    let n = a.rows();
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvectors are the *columns* of the returned matrix (orthonormal).
+///
+/// # Errors
+///
+/// Returns [`LinalgError`] if `a` is not square or not (numerically)
+/// symmetric.
+pub fn symmetric_eigen(a: &Matrix) -> Result<(Vec<f64>, Matrix), LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::new("eigen needs a square matrix"));
+    }
+    let n = a.rows();
+    for i in 0..n {
+        for j in 0..i {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * (1.0 + a[(i, j)].abs()) {
+                return Err(LinalgError::new(format!(
+                    "matrix not symmetric at ({i},{j})"
+                )));
+            }
+        }
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius mass; stop when numerically diagonal.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in 0..i {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p,q,θ) on both sides: M ← GᵀMG.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigenvalues: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| eigenvalues[j].partial_cmp(&eigenvalues[i]).expect("finite"));
+    let sorted_values: Vec<f64> = order.iter().map(|&i| eigenvalues[i]).collect();
+    let mut sorted_vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            sorted_vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok((sorted_values, sorted_vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known_factor() {
+        // Classic example: [[4,12,-16],[12,37,-43],[-16,-43,98]].
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ]);
+        let l = cholesky(&a).unwrap();
+        let want = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[6.0, 1.0, 0.0], &[-8.0, 5.0, 3.0]]);
+        assert!((&l - &want).frobenius_norm() < 1e-10);
+        // Reconstruction.
+        assert!((&l.matmul(&l.transpose()) - &a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+        let ns = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        assert!(cholesky(&ns).is_err());
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let x_true = [1.0, 2.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!(solve_spd(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn eigen_diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]);
+        let (vals, _) = symmetric_eigen(&a).unwrap();
+        assert!((vals[0] - 7.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (vals, vecs) = symmetric_eigen(&a).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is ±(1,1)/√2.
+        let v0 = [vecs[(0, 0)], vecs[(1, 0)]];
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 1.0, 2.0, 0.5],
+            &[1.0, 4.0, 0.0, 1.5],
+            &[2.0, 0.0, 6.0, 1.0],
+            &[0.5, 1.5, 1.0, 3.0],
+        ]);
+        let (vals, q) = symmetric_eigen(&a).unwrap();
+        // A = Q·Λ·Qᵀ.
+        let mut lambda = Matrix::zeros(4, 4);
+        for (i, &v) in vals.iter().enumerate() {
+            lambda[(i, i)] = v;
+        }
+        let recon = q.matmul(&lambda).matmul(&q.transpose());
+        assert!((&recon - &a).frobenius_norm() < 1e-8);
+        // Q is orthonormal.
+        let qtq = q.transpose().matmul(&q);
+        assert!((&qtq - &Matrix::identity(4)).frobenius_norm() < 1e-8);
+        // Trace is preserved.
+        let trace: f64 = vals.iter().sum();
+        assert!((trace - 18.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(symmetric_eigen(&a).is_err());
+    }
+}

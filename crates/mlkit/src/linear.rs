@@ -1,0 +1,139 @@
+//! Ridge-regularised linear regression via the normal equations.
+//!
+//! The paper's baseline model (§4.3, Table 5 "LR") "finds the linear
+//! relationship between a target and one or more features". A small ridge
+//! term keeps the normal equations positive-definite on the one-hot-heavy
+//! feature matrices the severity backport produces.
+
+use crate::linalg::{solve_spd, LinalgError};
+use crate::matrix::{dot, Matrix};
+
+/// A fitted linear model `y ≈ w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Fits the model by solving `(XᵀX + λI) w = Xᵀy` on mean-centred data;
+    /// the intercept is recovered from the column means. `lambda >= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the regularised Gram matrix is not positive
+    /// definite (e.g. `lambda == 0` with perfectly collinear features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != y.len()` or the matrix is empty.
+    pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Result<Self, LinalgError> {
+        assert_eq!(x.rows(), y.len(), "feature/target length mismatch");
+        assert!(x.rows() > 0 && x.cols() > 0, "empty design matrix");
+        let n = x.rows();
+        let d = x.cols();
+
+        let x_means = x.column_means();
+        let y_mean: f64 = y.iter().sum::<f64>() / n as f64;
+
+        // Gram matrix of the centred design, plus ridge.
+        let mut gram = Matrix::zeros(d, d);
+        let mut xty = vec![0.0; d];
+        for r in 0..n {
+            let row = x.row(r);
+            let yc = y[r] - y_mean;
+            for i in 0..d {
+                let xi = row[i] - x_means[i];
+                xty[i] += xi * yc;
+                for j in i..d {
+                    let xj = row[j] - x_means[j];
+                    gram[(i, j)] += xi * xj;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                gram[(i, j)] = gram[(j, i)];
+            }
+            gram[(i, i)] += lambda;
+        }
+
+        let weights = solve_spd(&gram, &xty)?;
+        let intercept = y_mean - dot(&weights, &x_means);
+        Ok(Self { weights, intercept })
+    }
+
+    /// The fitted coefficient vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts a single sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted data.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
+        dot(&self.weights, row) + self.intercept
+    }
+
+    /// Predicts every row of a matrix.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let m = RidgeRegression::fit(&x, &y, 1e-10).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((m.intercept() - 1.0).abs() < 1e-6);
+        assert!((m.predict_row(&[10.0]) - 21.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        // y = 3a - 2b + 0.5
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        let m = RidgeRegression::fit(&x, &y, 1e-9).unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((m.intercept() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_collinear_weights() {
+        // Two identical columns: ridge splits the weight between them.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0], &[4.0, 4.0]]);
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let m = RidgeRegression::fit(&x, &y, 1e-6).unwrap();
+        assert!((m.weights()[0] - m.weights()[1]).abs() < 1e-4);
+        assert!((m.predict_row(&[5.0, 5.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_target_yields_zero_weights() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = [4.0, 4.0, 4.0];
+        let m = RidgeRegression::fit(&x, &y, 1e-6).unwrap();
+        assert!(m.weights()[0].abs() < 1e-9);
+        assert!((m.intercept() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! Evaluation metrics: AE, AER, accuracy and confusion matrices.
+//!
+//! §4.3 of the paper defines the **average error**
+//! `AE = Σ |y(xᵢ) − f(xᵢ)| / N` and the **average error rate**
+//! `AER = Σ |y(xᵢ) − f(xᵢ)| / y(xᵢ) / N` (Table 5), and reports overall and
+//! per-input-class banded accuracy (Table 7) plus v2→v3 transition matrices
+//! (Tables 4, 6, 13–15), all of which are computed here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Mean absolute error between targets and predictions (paper's AE).
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn average_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum();
+    sum / y_true.len() as f64
+}
+
+/// Mean relative absolute error (paper's AER), as a fraction (multiply by
+/// 100 for the percentage the paper prints).
+///
+/// Samples whose true value is zero are skipped, mirroring the paper's
+/// formula which divides by `y(xᵢ)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn average_error_rate(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        if t.abs() > 1e-12 {
+            sum += (t - p).abs() / t.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Fraction of positions where the two label sequences agree.
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy<T: PartialEq>(truth: &[T], predicted: &[T]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Accuracy within caller-defined groups: for each group key, the fraction of
+/// its members flagged correct.
+///
+/// The paper's Table 7 reports "accuracy by input (v2) class" — group test
+/// samples by their v2 severity band and measure banded-v3 accuracy inside
+/// each group.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn grouped_accuracy<K: Ord + Copy>(groups: &[K], correct: &[bool]) -> BTreeMap<K, f64> {
+    assert_eq!(groups.len(), correct.len(), "length mismatch");
+    let mut hit: BTreeMap<K, (usize, usize)> = BTreeMap::new();
+    for (&g, &c) in groups.iter().zip(correct) {
+        let e = hit.entry(g).or_insert((0, 0));
+        e.1 += 1;
+        if c {
+            e.0 += 1;
+        }
+    }
+    hit.into_iter()
+        .map(|(k, (h, n))| (k, h as f64 / n as f64))
+        .collect()
+}
+
+/// A dense confusion / transition matrix over `n` classes.
+///
+/// Rows are the *from* (true or v2) class, columns the *to* (predicted or v3)
+/// class — exactly the layout of the paper's Tables 4, 6 and 13–15.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Builds a matrix from parallel from/to label sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any label is `>= n`.
+    pub fn from_labels(n: usize, from: &[usize], to: &[usize]) -> Self {
+        assert_eq!(from.len(), to.len(), "length mismatch");
+        let mut m = Self::new(n);
+        for (&f, &t) in from.iter().zip(to) {
+            m.record(f, t);
+        }
+        m
+    }
+
+    /// Number of classes per side.
+    pub fn classes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, from: usize, to: usize) {
+        assert!(from < self.n && to < self.n, "label out of range");
+        self.counts[from * self.n + to] += 1;
+    }
+
+    /// The raw count in cell `(from, to)`.
+    pub fn count(&self, from: usize, to: usize) -> u64 {
+        self.counts[from * self.n + to]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Row total: observations whose *from* label is `from`.
+    pub fn row_total(&self, from: usize) -> u64 {
+        (0..self.n).map(|t| self.count(from, t)).sum()
+    }
+
+    /// Cell share of its row, as a percentage (the `%` columns of Tables 4
+    /// and 6). Zero for empty rows.
+    pub fn row_percent(&self, from: usize, to: usize) -> f64 {
+        let total = self.row_total(from);
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.count(from, to) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of observations on the diagonal.
+    pub fn diagonal_accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.n).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n, other.n, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for from in 0..self.n {
+            for to in 0..self.n {
+                if to > 0 {
+                    write!(f, "\t")?;
+                }
+                write!(
+                    f,
+                    "{} ({:.2}%)",
+                    self.count(from, to),
+                    self.row_percent(from, to)
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ae_and_aer_match_hand_computation() {
+        let t = [2.0, 4.0, 5.0];
+        let p = [1.0, 4.0, 7.0];
+        assert!((average_error(&t, &p) - 1.0).abs() < 1e-12);
+        // (0.5 + 0 + 0.4) / 3
+        assert!((average_error_rate(&t, &p) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aer_skips_zero_targets() {
+        let t = [0.0, 2.0];
+        let p = [5.0, 1.0];
+        assert!((average_error_rate(&t, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        assert_eq!(average_error(&[], &[]), 0.0);
+        assert_eq!(average_error_rate(&[], &[]), 0.0);
+        assert_eq!(accuracy::<u8>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[1, 2, 3, 4], &[1, 2, 0, 4]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_accuracy_partitions() {
+        let groups = [0, 0, 1, 1, 1];
+        let correct = [true, false, true, true, false];
+        let acc = grouped_accuracy(&groups, &correct);
+        assert!((acc[&0] - 0.5).abs() < 1e-12);
+        assert!((acc[&1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_percentages_and_diagonal() {
+        let m = ConfusionMatrix::from_labels(3, &[0, 0, 1, 2, 2, 2], &[0, 1, 1, 2, 2, 0]);
+        assert_eq!(m.total(), 6);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.row_total(2), 3);
+        assert!((m.row_percent(2, 2) - 66.666_666).abs() < 1e-3);
+        assert!((m.diagonal_accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_merge_adds_counts() {
+        let mut a = ConfusionMatrix::from_labels(2, &[0, 1], &[0, 1]);
+        let b = ConfusionMatrix::from_labels(2, &[0], &[1]);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(0, 1), 1);
+    }
+
+    #[test]
+    fn empty_row_percent_is_zero() {
+        let m = ConfusionMatrix::new(2);
+        assert_eq!(m.row_percent(0, 1), 0.0);
+        assert_eq!(m.diagonal_accuracy(), 0.0);
+    }
+}

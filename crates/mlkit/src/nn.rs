@@ -1,0 +1,681 @@
+//! Sequential neural networks: Dense / Conv1D layers, Adam, MSE.
+//!
+//! §4.3 of the paper trains two deep models to backport CVSS v3 scores:
+//!
+//! * a **CNN** of "four consecutive convolutional layers. The first two
+//!   layers consist of 64 filters and the remaining layers consist of 128
+//!   filters with a filter size of 3×3", followed by flattening, a
+//!   512-neuron fully connected layer, and a single sigmoid output;
+//! * a **DNN** of "four fully connected layers with size of 128, 128, 256,
+//!   and 256", followed by a single sigmoid output.
+//!
+//! Both are "trained … over 100 epochs using mean squared error loss … and
+//! Adam optimizer with a learning rate of 0.001". The feature vector is
+//! one-dimensional, so the 3×3 convolution degenerates to a kernel-3 Conv1D.
+//! This module implements exactly those ingredients with per-sample
+//! backpropagation, deterministic under a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + e^-x)` — the paper's output activation.
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value.
+    fn derivative_from_output(self, out: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if out > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => out * (1.0 - out),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LayerKind {
+    Dense { units: usize },
+    Conv1d { filters: usize, kernel: usize },
+}
+
+/// One layer: parameters plus fixed input/output shapes `(channels, len)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Layer {
+    kind: LayerKind,
+    activation: Activation,
+    in_shape: (usize, usize),
+    out_shape: (usize, usize),
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+}
+
+impl Layer {
+    fn dense(in_shape: (usize, usize), units: usize, activation: Activation) -> Self {
+        let fan_in = in_shape.0 * in_shape.1;
+        Self {
+            kind: LayerKind::Dense { units },
+            activation,
+            in_shape,
+            out_shape: (1, units),
+            weights: vec![0.0; units * fan_in],
+            biases: vec![0.0; units],
+        }
+    }
+
+    fn conv1d(in_shape: (usize, usize), filters: usize, kernel: usize, activation: Activation) -> Self {
+        let (c, l) = in_shape;
+        assert!(
+            l >= kernel,
+            "conv1d kernel {kernel} longer than input length {l}"
+        );
+        Self {
+            kind: LayerKind::Conv1d { filters, kernel },
+            activation,
+            in_shape,
+            out_shape: (filters, l - kernel + 1),
+            weights: vec![0.0; filters * c * kernel],
+            biases: vec![0.0; filters],
+        }
+    }
+
+    fn init(&mut self, rng: &mut StdRng) {
+        let (fan_in, fan_out) = match self.kind {
+            LayerKind::Dense { units } => (self.in_shape.0 * self.in_shape.1, units),
+            LayerKind::Conv1d { filters, kernel } => {
+                (self.in_shape.0 * kernel, filters * kernel)
+            }
+        };
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        for w in &mut self.weights {
+            *w = rng.gen_range(-limit..limit);
+        }
+        // Biases start at zero.
+    }
+
+    fn out_size(&self) -> usize {
+        self.out_shape.0 * self.out_shape.1
+    }
+
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        output.clear();
+        match self.kind {
+            LayerKind::Dense { units } => {
+                let fan_in = self.in_shape.0 * self.in_shape.1;
+                debug_assert_eq!(input.len(), fan_in);
+                for u in 0..units {
+                    let w = &self.weights[u * fan_in..(u + 1) * fan_in];
+                    let mut acc = self.biases[u];
+                    for (wi, xi) in w.iter().zip(input) {
+                        acc += wi * xi;
+                    }
+                    output.push(self.activation.apply(acc));
+                }
+            }
+            LayerKind::Conv1d { filters, kernel } => {
+                let (c_in, l_in) = self.in_shape;
+                let l_out = self.out_shape.1;
+                debug_assert_eq!(input.len(), c_in * l_in);
+                for f in 0..filters {
+                    for p in 0..l_out {
+                        let mut acc = self.biases[f];
+                        for c in 0..c_in {
+                            let w = &self.weights[(f * c_in + c) * kernel..][..kernel];
+                            let x = &input[c * l_in + p..][..kernel];
+                            for (wi, xi) in w.iter().zip(x) {
+                                acc += wi * xi;
+                            }
+                        }
+                        output.push(self.activation.apply(acc));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backpropagates `grad_out` (∂L/∂activated-output) through the layer.
+    ///
+    /// Accumulates parameter gradients into `grad_w`/`grad_b` and writes
+    /// ∂L/∂input into `grad_in`.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        input: &[f64],
+        output: &[f64],
+        grad_out: &[f64],
+        grad_w: &mut [f64],
+        grad_b: &mut [f64],
+        grad_in: &mut Vec<f64>,
+    ) {
+        grad_in.clear();
+        grad_in.resize(input.len(), 0.0);
+        match self.kind {
+            LayerKind::Dense { units } => {
+                let fan_in = input.len();
+                for u in 0..units {
+                    let d = grad_out[u] * self.activation.derivative_from_output(output[u]);
+                    if d == 0.0 {
+                        continue;
+                    }
+                    grad_b[u] += d;
+                    let w = &self.weights[u * fan_in..(u + 1) * fan_in];
+                    let gw = &mut grad_w[u * fan_in..(u + 1) * fan_in];
+                    for i in 0..fan_in {
+                        gw[i] += d * input[i];
+                        grad_in[i] += d * w[i];
+                    }
+                }
+            }
+            LayerKind::Conv1d { filters, kernel } => {
+                let (c_in, l_in) = self.in_shape;
+                let l_out = self.out_shape.1;
+                for f in 0..filters {
+                    for p in 0..l_out {
+                        let o_idx = f * l_out + p;
+                        let d = grad_out[o_idx]
+                            * self.activation.derivative_from_output(output[o_idx]);
+                        if d == 0.0 {
+                            continue;
+                        }
+                        grad_b[f] += d;
+                        for c in 0..c_in {
+                            let base_w = (f * c_in + c) * kernel;
+                            let base_x = c * l_in + p;
+                            for j in 0..kernel {
+                                grad_w[base_w + j] += d * input[base_x + j];
+                                grad_in[base_x + j] += d * self.weights[base_w + j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builder for [`Network`]; shapes are checked as layers are appended.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input: (usize, usize),
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network over a 1-D input of the given length (one channel).
+    pub fn input_1d(len: usize) -> Self {
+        assert!(len > 0, "input length must be positive");
+        Self {
+            input: (1, len),
+            layers: Vec::new(),
+        }
+    }
+
+    fn current_shape(&self) -> (usize, usize) {
+        self.layers
+            .last()
+            .map(|l| l.out_shape)
+            .unwrap_or(self.input)
+    }
+
+    /// Appends a 1-D convolution (`filters` output channels, width `kernel`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is longer than the current feature length.
+    pub fn conv1d(mut self, filters: usize, kernel: usize, activation: Activation) -> Self {
+        let shape = self.current_shape();
+        self.layers
+            .push(Layer::conv1d(shape, filters, kernel, activation));
+        self
+    }
+
+    /// Appends a fully connected layer (flattens its input implicitly).
+    pub fn dense(mut self, units: usize, activation: Activation) -> Self {
+        let shape = self.current_shape();
+        self.layers.push(Layer::dense(shape, units, activation));
+        self
+    }
+
+    /// Initialises all weights (Glorot uniform) and returns the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layers were added.
+    pub fn build(self, seed: u64) -> Network {
+        assert!(!self.layers.is_empty(), "network has no layers");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = self.layers;
+        for l in &mut layers {
+            l.init(&mut rng);
+        }
+        Network {
+            input: self.input,
+            layers,
+        }
+    }
+}
+
+/// Training hyper-parameters (paper: Adam, lr 0.001, MSE, 100 epochs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// Adam first-moment decay.
+    pub beta1: f64,
+    /// Adam second-moment decay.
+    pub beta2: f64,
+    /// Adam numerical-stability constant.
+    pub epsilon: f64,
+    /// Seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 32,
+            learning_rate: 0.001,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            seed: 0xadab,
+        }
+    }
+}
+
+/// Adam state for one parameter vector.
+#[derive(Debug, Clone, Default)]
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl AdamState {
+    fn sized(n: usize) -> Self {
+        Self {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+
+    fn update(&mut self, params: &mut [f64], grads: &[f64], cfg: &TrainConfig, t: f64) {
+        let bc1 = 1.0 - cfg.beta1.powf(t);
+        let bc2 = 1.0 - cfg.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = cfg.beta1 * self.m[i] + (1.0 - cfg.beta1) * g;
+            self.v[i] = cfg.beta2 * self.v[i] + (1.0 - cfg.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= cfg.learning_rate * m_hat / (v_hat.sqrt() + cfg.epsilon);
+        }
+    }
+}
+
+/// A feed-forward network of [`NetworkBuilder`]-assembled layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    input: (usize, usize),
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Expected input feature count.
+    pub fn input_len(&self) -> usize {
+        self.input.0 * self.input.1
+    }
+
+    /// Output dimension of the final layer.
+    pub fn output_len(&self) -> usize {
+        self.layers.last().map(Layer::out_size).unwrap_or(0)
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.biases.len())
+            .sum()
+    }
+
+    /// Runs a forward pass, returning the output activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length is wrong.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_len(), "input length mismatch");
+        let mut cur = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Predicts the scalar output for one sample (first output unit).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.forward(row)[0]
+    }
+
+    /// Predicts the scalar output for every row of a matrix.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Trains with minibatch Adam on the MSE loss; returns per-epoch mean
+    /// training loss.
+    ///
+    /// Targets are rows of `y` (use a 1-column matrix for scalar
+    /// regression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the network or the dataset is empty.
+    pub fn fit(&mut self, x: &Matrix, y: &Matrix, cfg: &TrainConfig) -> Vec<f64> {
+        assert_eq!(x.rows(), y.rows(), "sample count mismatch");
+        assert!(x.rows() > 0, "empty dataset");
+        assert_eq!(x.cols(), self.input_len(), "input width mismatch");
+        assert_eq!(y.cols(), self.output_len(), "output width mismatch");
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = x.rows();
+        let n_layers = self.layers.len();
+
+        let mut adam_w: Vec<AdamState> = self
+            .layers
+            .iter()
+            .map(|l| AdamState::sized(l.weights.len()))
+            .collect();
+        let mut adam_b: Vec<AdamState> = self
+            .layers
+            .iter()
+            .map(|l| AdamState::sized(l.biases.len()))
+            .collect();
+
+        let mut grad_w: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
+        let mut grad_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+
+        // Per-layer activation caches for one sample.
+        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+        let mut grad_cur = Vec::new();
+        let mut grad_next = Vec::new();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut step = 0.0f64;
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+        for _ in 0..cfg.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(cfg.batch_size.max(1)) {
+                for g in &mut grad_w {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                for g in &mut grad_b {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                let scale = 1.0 / batch.len() as f64;
+                for &s in batch {
+                    // Forward with caches.
+                    acts[0].clear();
+                    acts[0].extend_from_slice(x.row(s));
+                    for (li, layer) in self.layers.iter().enumerate() {
+                        let (head, tail) = acts.split_at_mut(li + 1);
+                        layer.forward(&head[li], &mut tail[0]);
+                    }
+                    // MSE gradient at the output.
+                    let out = &acts[n_layers];
+                    let target = y.row(s);
+                    grad_cur.clear();
+                    for (o, t) in out.iter().zip(target) {
+                        let e = o - t;
+                        epoch_loss += e * e * scale;
+                        grad_cur.push(2.0 * e * scale);
+                    }
+                    // Backward.
+                    for li in (0..n_layers).rev() {
+                        self.layers[li].backward(
+                            &acts[li],
+                            &acts[li + 1],
+                            &grad_cur,
+                            &mut grad_w[li],
+                            &mut grad_b[li],
+                            &mut grad_next,
+                        );
+                        std::mem::swap(&mut grad_cur, &mut grad_next);
+                    }
+                }
+                step += 1.0;
+                for (li, layer) in self.layers.iter_mut().enumerate() {
+                    adam_w[li].update(&mut layer.weights, &grad_w[li], cfg, step);
+                    adam_b[li].update(&mut layer.biases, &grad_b[li], cfg, step);
+                }
+            }
+            epoch_losses.push(epoch_loss / (n as f64 / cfg.batch_size.max(1) as f64).max(1.0));
+        }
+        epoch_losses
+    }
+
+    /// Convenience wrapper for scalar targets.
+    pub fn fit_scalar(&mut self, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> Vec<f64> {
+        let y_mat = Matrix::from_vec(y.len(), 1, y.to_vec());
+        self.fit(x, &y_mat, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_propagate_through_builder() {
+        let net = NetworkBuilder::input_1d(13)
+            .conv1d(4, 3, Activation::Relu)
+            .conv1d(8, 3, Activation::Relu)
+            .dense(16, Activation::Relu)
+            .dense(1, Activation::Sigmoid)
+            .build(1);
+        assert_eq!(net.input_len(), 13);
+        assert_eq!(net.output_len(), 1);
+        // conv1: 4*(1*3)+4; conv2: 8*(4*3)+8; dense: 16*(8*9)+16; out: 1*16+1
+        assert_eq!(net.num_parameters(), 16 + 104 + 1168 + 17);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = NetworkBuilder::input_1d(5)
+            .dense(8, Activation::Relu)
+            .dense(1, Activation::Sigmoid)
+            .build(42);
+        let a = net.forward(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let b = net.forward(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(a, b);
+        assert!(a[0] > 0.0 && a[0] < 1.0, "sigmoid output in (0,1)");
+    }
+
+    #[test]
+    fn learns_xor_with_dense_net() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = [0.0, 1.0, 1.0, 0.0];
+        let mut net = NetworkBuilder::input_1d(2)
+            .dense(8, Activation::Relu)
+            .dense(1, Activation::Sigmoid)
+            .build(3);
+        net.fit_scalar(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 800,
+                batch_size: 4,
+                learning_rate: 0.01,
+                ..TrainConfig::default()
+            },
+        );
+        for (i, &target) in y.iter().enumerate() {
+            let p = net.predict_row(x.row(i));
+            assert!(
+                (p - target).abs() < 0.25,
+                "sample {i}: predicted {p}, want {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_net_learns_simple_function() {
+        // Target: mean of the 6 inputs (a linear function a conv can express).
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..64 {
+            let row: Vec<f64> = (0..6).map(|j| ((i * 7 + j * 13) % 10) as f64 / 10.0).collect();
+            y.push(row.iter().sum::<f64>() / 6.0);
+            rows.push(row);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut net = NetworkBuilder::input_1d(6)
+            .conv1d(4, 3, Activation::Relu)
+            .dense(8, Activation::Relu)
+            .dense(1, Activation::Linear)
+            .build(9);
+        net.fit_scalar(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 300,
+                batch_size: 16,
+                learning_rate: 0.01,
+                ..TrainConfig::default()
+            },
+        );
+        let pred = net.predict(&x);
+        let ae = crate::metrics::average_error(&y, &pred);
+        assert!(ae < 0.05, "average error {ae}");
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.25], &[0.5], &[0.75], &[1.0]]);
+        let y = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let mut net = NetworkBuilder::input_1d(1)
+            .dense(4, Activation::Relu)
+            .dense(1, Activation::Linear)
+            .build(5);
+        let losses = net.fit_scalar(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 200,
+                batch_size: 5,
+                learning_rate: 0.01,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(losses.last().unwrap() < &(losses[0] * 0.5));
+    }
+
+    /// Numerical gradient check on a tiny conv+dense network.
+    #[test]
+    fn analytic_gradients_match_numerical() {
+        let x = Matrix::from_rows(&[&[0.3, -0.2, 0.8, 0.1]]);
+        let y = Matrix::from_vec(1, 1, vec![0.7]);
+        let build = || {
+            NetworkBuilder::input_1d(4)
+                .conv1d(2, 3, Activation::Sigmoid)
+                .dense(3, Activation::Sigmoid)
+                .dense(1, Activation::Linear)
+                .build(17)
+        };
+
+        // Analytic gradients: replicate one backward pass by hand via fit
+        // machinery — instead run a single Adam-free finite-difference probe.
+        let loss_of = |net: &Network| {
+            let o = net.forward(x.row(0));
+            (o[0] - y.row(0)[0]).powi(2)
+        };
+
+        let net = build();
+        // Collect analytic grads with a manual forward/backward.
+        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); net.layers.len() + 1];
+        acts[0] = x.row(0).to_vec();
+        for (li, layer) in net.layers.iter().enumerate() {
+            let (head, tail) = acts.split_at_mut(li + 1);
+            layer.forward(&head[li], &mut tail[0]);
+        }
+        let mut grad_w: Vec<Vec<f64>> =
+            net.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
+        let mut grad_b: Vec<Vec<f64>> =
+            net.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        let mut grad_cur = vec![2.0 * (acts[net.layers.len()][0] - y.row(0)[0])];
+        let mut grad_next = Vec::new();
+        for li in (0..net.layers.len()).rev() {
+            net.layers[li].backward(
+                &acts[li],
+                &acts[li + 1],
+                &grad_cur,
+                &mut grad_w[li],
+                &mut grad_b[li],
+                &mut grad_next,
+            );
+            std::mem::swap(&mut grad_cur, &mut grad_next);
+        }
+
+        // Compare against central differences for a sample of weights.
+        let eps = 1e-6;
+        for li in 0..net.layers.len() {
+            for wi in (0..net.layers[li].weights.len()).step_by(3) {
+                let mut plus = net.clone();
+                plus.layers[li].weights[wi] += eps;
+                let mut minus = net.clone();
+                minus.layers[li].weights[wi] -= eps;
+                let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+                let ana = grad_w[li][wi];
+                assert!(
+                    (num - ana).abs() < 1e-5 * (1.0 + num.abs().max(ana.abs())),
+                    "layer {li} w{wi}: numerical {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_panics() {
+        let net = NetworkBuilder::input_1d(3)
+            .dense(1, Activation::Linear)
+            .build(0);
+        net.forward(&[1.0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Principal component analysis via Jacobi eigendecomposition.
+//!
+//! The paper's Appendix A.1 (Fig. 5) applies PCA to reduce the
+//! "13-dimensional feature vector to a three-dimension space" to visualise
+//! how v2 severity classes transform under v3.
+
+use crate::linalg::{symmetric_eigen, LinalgError};
+use crate::matrix::{dot, Matrix};
+
+/// A fitted PCA transform keeping the top `k` components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// `k × d` row-wise principal axes, ordered by decreasing variance.
+    components: Matrix,
+    /// Variance captured by each kept component.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on the rows of `x`, keeping `k` components.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the eigendecomposition fails to converge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the feature count, or `x` is empty.
+    pub fn fit(x: &Matrix, k: usize) -> Result<Self, LinalgError> {
+        assert!(x.rows() > 0 && x.cols() > 0, "empty data");
+        assert!(k >= 1 && k <= x.cols(), "k out of range");
+        let n = x.rows();
+        let d = x.cols();
+        let means = x.column_means();
+
+        // Covariance matrix of centred data.
+        let mut cov = Matrix::zeros(d, d);
+        for r in 0..n {
+            let row = x.row(r);
+            for i in 0..d {
+                let xi = row[i] - means[i];
+                for j in i..d {
+                    cov[(i, j)] += xi * (row[j] - means[j]);
+                }
+            }
+        }
+        let denom = (n.max(2) - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                cov[(i, j)] /= denom;
+                cov[(j, i)] = cov[(i, j)];
+            }
+        }
+
+        let (eigenvalues, eigenvectors) = symmetric_eigen(&cov)?;
+        // Sort eigenpairs by decreasing eigenvalue.
+        let mut idx: Vec<usize> = (0..d).collect();
+        idx.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).unwrap());
+
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        for (row, &e) in idx.iter().take(k).enumerate() {
+            explained.push(eigenvalues[e].max(0.0));
+            for c in 0..d {
+                // Eigenvectors are columns of the Jacobi rotation product.
+                components[(row, c)] = eigenvectors[(c, e)];
+            }
+            // Deterministic sign: make the largest-magnitude entry positive.
+            let (mut best, mut best_abs) = (0, 0.0);
+            for c in 0..d {
+                let a = components[(row, c)].abs();
+                if a > best_abs {
+                    best_abs = a;
+                    best = c;
+                }
+            }
+            if components[(row, best)] < 0.0 {
+                for c in 0..d {
+                    components[(row, c)] = -components[(row, c)];
+                }
+            }
+        }
+        Ok(Self {
+            means,
+            components,
+            explained_variance: explained,
+        })
+    }
+
+    /// Number of retained components.
+    pub fn k(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Variance captured by each retained component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Projects one sample into the component space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted data.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "feature count mismatch");
+        let centred: Vec<f64> = row.iter().zip(&self.means).map(|(v, m)| v - m).collect();
+        (0..self.k())
+            .map(|c| dot(self.components.row(c), &centred))
+            .collect()
+    }
+
+    /// Projects every row of a matrix; output is `n × k`.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut data = Vec::with_capacity(x.rows() * self.k());
+        for r in 0..x.rows() {
+            data.extend(self.transform_row(x.row(r)));
+        }
+        Matrix::from_vec(x.rows(), self.k(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along the (1, 1) diagonal: PC1 must align with it.
+    #[test]
+    fn first_component_finds_dominant_direction() {
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            let t = (i as f64 - 25.0) / 5.0;
+            let noise = ((i * 31) % 7) as f64 / 70.0 - 0.05;
+            rows.push(vec![t + noise, t - noise]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let pca = Pca::fit(&x, 2).unwrap();
+        let c0 = pca.components.row(0);
+        // Normalised direction close to (1/√2, 1/√2).
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((c0[0].abs() - inv_sqrt2).abs() < 0.05, "{c0:?}");
+        assert!((c0[1].abs() - inv_sqrt2).abs() < 0.05, "{c0:?}");
+        assert!(pca.explained_variance()[0] > pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn transform_centres_data() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let pca = Pca::fit(&x, 2).unwrap();
+        let t = pca.transform(&x);
+        let means = t.column_means();
+        for m in means {
+            assert!(m.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_distance_when_k_equals_d() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 2.0]]);
+        let pca = Pca::fit(&x, 2).unwrap();
+        let t = pca.transform(&x);
+        let d_orig = crate::matrix::squared_distance(x.row(0), x.row(1));
+        let d_proj = crate::matrix::squared_distance(t.row(0), t.row(1));
+        assert!((d_orig - d_proj).abs() < 1e-9);
+        let d_orig = crate::matrix::squared_distance(x.row(1), x.row(2));
+        let d_proj = crate::matrix::squared_distance(t.row(1), t.row(2));
+        assert!((d_orig - d_proj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_sign_convention() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 3.0], &[2.0, 5.0], &[3.0, 7.0]]);
+        let a = Pca::fit(&x, 1).unwrap();
+        let b = Pca::fit(&x, 1).unwrap();
+        assert_eq!(a, b);
+        // Largest-magnitude loading is positive.
+        let c0 = a.components.row(0);
+        let max = c0.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 0.0);
+    }
+
+    #[test]
+    fn constant_data_projects_to_zero() {
+        let x = Matrix::from_rows(&[&[2.0, 2.0], &[2.0, 2.0], &[2.0, 2.0]]);
+        let pca = Pca::fit(&x, 1).unwrap();
+        let t = pca.transform(&x);
+        for r in 0..t.rows() {
+            assert!(t.row(r)[0].abs() < 1e-12);
+        }
+    }
+}

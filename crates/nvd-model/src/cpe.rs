@@ -1,0 +1,348 @@
+//! CPE (Common Platform Enumeration) names: vendors, products, and URIs.
+//!
+//! The paper's §4.2 studies inconsistencies in the free-form vendor and
+//! product strings attached to CVEs. [`VendorName`] and [`ProductName`] are
+//! case-folded newtypes so that name comparisons throughout the cleaning
+//! pipeline are well-typed, and [`CpeUri`] provides the 2.2/2.3 URI bindings
+//! the discussion section mentions for analyst tooling.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when parsing a CPE URI fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCpeError {
+    msg: String,
+}
+
+impl ParseCpeError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseCpeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CPE: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseCpeError {}
+
+macro_rules! name_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates a name, folding to the NVD's lowercase convention and
+            /// replacing interior whitespace with underscores.
+            pub fn new(raw: &str) -> Self {
+                let mut s = String::with_capacity(raw.len());
+                for ch in raw.trim().chars() {
+                    if ch.is_whitespace() {
+                        s.push('_');
+                    } else {
+                        s.extend(ch.to_lowercase());
+                    }
+                }
+                Self(s)
+            }
+
+            /// The normalised name string.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Whether the name is empty after normalisation.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(raw: &str) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(raw: String) -> Self {
+                Self::new(&raw)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+name_newtype! {
+    /// A vendor name as recorded in NVD CPE data, e.g. `bea_systems`.
+    ///
+    /// ```
+    /// use nvd_model::cpe::VendorName;
+    /// assert_eq!(VendorName::new("BEA Systems").as_str(), "bea_systems");
+    /// ```
+    VendorName
+}
+
+name_newtype! {
+    /// A product name as recorded in NVD CPE data, e.g. `internet_explorer`.
+    ProductName
+}
+
+/// The CPE "part" component: application, operating system, or hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CpePart {
+    Application,
+    OperatingSystem,
+    Hardware,
+}
+
+impl CpePart {
+    /// The single-letter code used in URIs (`a`, `o`, `h`).
+    pub fn code(self) -> char {
+        match self {
+            CpePart::Application => 'a',
+            CpePart::OperatingSystem => 'o',
+            CpePart::Hardware => 'h',
+        }
+    }
+
+    /// Parses the single-letter code.
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'a' => Some(CpePart::Application),
+            'o' => Some(CpePart::OperatingSystem),
+            'h' => Some(CpePart::Hardware),
+            _ => None,
+        }
+    }
+}
+
+/// A vendor/product pair affected by a CVE, optionally with a version —
+/// the unit the paper's name-consolidation operates on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpeName {
+    pub part: CpePart,
+    pub vendor: VendorName,
+    pub product: ProductName,
+    /// Affected version, `None` meaning "any" (`*` in URIs). Version-range
+    /// inconsistencies were studied by Dong et al. and are out of the paper's
+    /// scope, so versions here are carried opaquely.
+    pub version: Option<String>,
+}
+
+impl CpeName {
+    /// Creates an application CPE name (the overwhelmingly common case).
+    pub fn application(vendor: impl Into<VendorName>, product: impl Into<ProductName>) -> Self {
+        Self {
+            part: CpePart::Application,
+            vendor: vendor.into(),
+            product: product.into(),
+            version: None,
+        }
+    }
+
+    /// Sets the version component.
+    pub fn with_version(mut self, version: impl Into<String>) -> Self {
+        self.version = Some(version.into());
+        self
+    }
+
+    /// Formats as a CPE 2.3 formatted string,
+    /// e.g. `cpe:2.3:a:microsoft:internet_explorer:8.0:*:*:*:*:*:*:*`.
+    pub fn to_uri_2_3(&self) -> String {
+        format!(
+            "cpe:2.3:{}:{}:{}:{}:*:*:*:*:*:*:*",
+            self.part.code(),
+            self.vendor,
+            self.product,
+            self.version.as_deref().unwrap_or("*"),
+        )
+    }
+
+    /// Formats as a legacy CPE 2.2 URI, e.g. `cpe:/a:microsoft:internet_explorer:8.0`.
+    pub fn to_uri_2_2(&self) -> String {
+        let mut s = format!("cpe:/{}:{}:{}", self.part.code(), self.vendor, self.product);
+        if let Some(v) = &self.version {
+            s.push(':');
+            s.push_str(v);
+        }
+        s
+    }
+}
+
+/// A parsed CPE URI in either the 2.2 or 2.3 binding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpeUri {
+    /// Which binding the URI used.
+    pub binding: CpeBinding,
+    /// The decoded name.
+    pub name: CpeName,
+}
+
+/// The CPE URI binding version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpeBinding {
+    V2_2,
+    V2_3,
+}
+
+impl FromStr for CpeUri {
+    type Err = ParseCpeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix("cpe:2.3:") {
+            let fields: Vec<&str> = rest.split(':').collect();
+            if fields.len() != 11 {
+                return Err(ParseCpeError::new(format!(
+                    "cpe 2.3 needs 11 components, got {}",
+                    fields.len()
+                )));
+            }
+            let part = parse_part(fields[0])?;
+            let version = match fields[3] {
+                "*" | "-" => None,
+                v => Some(v.to_owned()),
+            };
+            Ok(CpeUri {
+                binding: CpeBinding::V2_3,
+                name: CpeName {
+                    part,
+                    vendor: VendorName::new(fields[1]),
+                    product: ProductName::new(fields[2]),
+                    version,
+                },
+            })
+        } else if let Some(rest) = s.strip_prefix("cpe:/") {
+            let fields: Vec<&str> = rest.split(':').collect();
+            if fields.len() < 3 || fields.len() > 7 {
+                return Err(ParseCpeError::new(format!(
+                    "cpe 2.2 needs 3-7 components, got {}",
+                    fields.len()
+                )));
+            }
+            let part = parse_part(fields[0])?;
+            Ok(CpeUri {
+                binding: CpeBinding::V2_2,
+                name: CpeName {
+                    part,
+                    vendor: VendorName::new(fields[1]),
+                    product: ProductName::new(fields[2]),
+                    version: fields.get(3).filter(|v| !v.is_empty()).map(|v| (*v).to_owned()),
+                },
+            })
+        } else {
+            Err(ParseCpeError::new("missing cpe:/ or cpe:2.3: prefix"))
+        }
+    }
+}
+
+fn parse_part(s: &str) -> Result<CpePart, ParseCpeError> {
+    let mut chars = s.chars();
+    let (Some(c), None) = (chars.next(), chars.next()) else {
+        return Err(ParseCpeError::new(format!("part {s:?}")));
+    };
+    CpePart::from_code(c).ok_or_else(|| ParseCpeError::new(format!("part {s:?}")))
+}
+
+impl fmt::Display for CpeUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.binding {
+            CpeBinding::V2_2 => f.write_str(&self.name.to_uri_2_2()),
+            CpeBinding::V2_3 => f.write_str(&self.name.to_uri_2_3()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_fold_case_and_whitespace() {
+        assert_eq!(VendorName::new("BEA Systems").as_str(), "bea_systems");
+        assert_eq!(VendorName::new("avast!").as_str(), "avast!");
+        assert_eq!(ProductName::new("Internet Explorer").as_str(), "internet_explorer");
+        assert_eq!(ProductName::new("  AntiVirus ").as_str(), "antivirus");
+        assert!(VendorName::new("  ").is_empty());
+    }
+
+    #[test]
+    fn cpe_2_3_roundtrip() {
+        let name = CpeName::application("microsoft", "internet explorer").with_version("8.0");
+        let uri = name.to_uri_2_3();
+        assert_eq!(uri, "cpe:2.3:a:microsoft:internet_explorer:8.0:*:*:*:*:*:*:*");
+        let parsed: CpeUri = uri.parse().unwrap();
+        assert_eq!(parsed.binding, CpeBinding::V2_3);
+        assert_eq!(parsed.name, name);
+    }
+
+    #[test]
+    fn cpe_2_2_roundtrip() {
+        let name = CpeName {
+            part: CpePart::OperatingSystem,
+            vendor: VendorName::new("linux"),
+            product: ProductName::new("linux_kernel"),
+            version: Some("2.6.32".into()),
+        };
+        let uri = name.to_uri_2_2();
+        assert_eq!(uri, "cpe:/o:linux:linux_kernel:2.6.32");
+        let parsed: CpeUri = uri.parse().unwrap();
+        assert_eq!(parsed.binding, CpeBinding::V2_2);
+        assert_eq!(parsed.name, name);
+    }
+
+    #[test]
+    fn cpe_version_wildcards() {
+        let uri: CpeUri = "cpe:2.3:a:cisco:ucs-e160dp-m1_firmware:*:*:*:*:*:*:*:*"
+            .parse()
+            .unwrap();
+        assert_eq!(uri.name.version, None);
+        assert_eq!(uri.name.product.as_str(), "ucs-e160dp-m1_firmware");
+    }
+
+    #[test]
+    fn cpe_rejects_malformed() {
+        for bad in [
+            "cpe:2.3:a:v:p", // too few
+            "cpe:2.3:x:v:p:*:*:*:*:*:*:*:*",
+            "cpe:/x:v:p",
+            "cpe:/a",
+            "not-a-cpe",
+            "",
+        ] {
+            assert!(bad.parse::<CpeUri>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn part_codes() {
+        for part in [CpePart::Application, CpePart::OperatingSystem, CpePart::Hardware] {
+            assert_eq!(CpePart::from_code(part.code()), Some(part));
+        }
+        assert_eq!(CpePart::from_code('z'), None);
+    }
+}

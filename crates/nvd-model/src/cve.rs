@@ -1,0 +1,157 @@
+//! CVE identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Error returned when a CVE identifier string is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCveIdError {
+    input: String,
+}
+
+impl fmt::Display for ParseCveIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVE identifier: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseCveIdError {}
+
+/// A Common Vulnerabilities and Exposures identifier, e.g. `CVE-2011-0700`.
+///
+/// The identifier is stored as its two numeric components, so the type is
+/// `Copy`, orders chronologically by assignment year then sequence number, and
+/// formats back to the canonical `CVE-YYYY-NNNN` form (sequence numbers are
+/// zero-padded to at least four digits, matching MITRE's convention).
+///
+/// ```
+/// use nvd_model::cve::CveId;
+/// let id: CveId = "CVE-2011-0700".parse()?;
+/// assert_eq!(id.year(), 2011);
+/// assert_eq!(id.sequence(), 700);
+/// assert_eq!(id.to_string(), "CVE-2011-0700");
+/// # Ok::<(), nvd_model::cve::ParseCveIdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CveId {
+    year: u16,
+    sequence: u32,
+}
+
+impl CveId {
+    /// Creates an identifier from its year and sequence number.
+    pub fn new(year: u16, sequence: u32) -> Self {
+        Self { year, sequence }
+    }
+
+    /// The CVE assignment year (the `YYYY` in `CVE-YYYY-NNNN`).
+    ///
+    /// Note the paper's Figure 3 buckets CVEs by this year, which can precede
+    /// the NVD publication year (IDs are assigned when reported).
+    pub fn year(self) -> u16 {
+        self.year
+    }
+
+    /// The per-year sequence number.
+    pub fn sequence(self) -> u32 {
+        self.sequence
+    }
+}
+
+impl fmt::Display for CveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CVE-{}-{:04}", self.year, self.sequence)
+    }
+}
+
+impl FromStr for CveId {
+    type Err = ParseCveIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCveIdError {
+            input: s.to_owned(),
+        };
+        let rest = s.strip_prefix("CVE-").ok_or_else(err)?;
+        let (year_str, seq_str) = rest.split_once('-').ok_or_else(err)?;
+        if year_str.len() != 4 || seq_str.len() < 4 || seq_str.len() > 7 {
+            return Err(err());
+        }
+        if !seq_str.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err());
+        }
+        let year = year_str.parse::<u16>().map_err(|_| err())?;
+        let sequence = seq_str.parse::<u32>().map_err(|_| err())?;
+        if !(1900..=2999).contains(&year) {
+            return Err(err());
+        }
+        Ok(Self { year, sequence })
+    }
+}
+
+impl Serialize for CveId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for CveId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_canonical() {
+        let id: CveId = "CVE-2011-0700".parse().unwrap();
+        assert_eq!(id, CveId::new(2011, 700));
+        assert_eq!(id.to_string(), "CVE-2011-0700");
+    }
+
+    #[test]
+    fn parse_long_sequence() {
+        // Post-2014 CVE IDs may have more than four digits.
+        let id: CveId = "CVE-2017-1000001".parse().unwrap();
+        assert_eq!(id.sequence(), 1_000_001);
+        assert_eq!(id.to_string(), "CVE-2017-1000001");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "CVE-11-0700",
+            "CVE-2011-07",
+            "cve-2011-0700",
+            "CVE-2011-07x0",
+            "CVE20110700",
+            "CVE-1899-0001",
+            "CVE-2011-12345678",
+            "",
+        ] {
+            assert!(bad.parse::<CveId>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a: CveId = "CVE-2004-0113".parse().unwrap();
+        let b: CveId = "CVE-2004-0999".parse().unwrap();
+        let c: CveId = "CVE-2011-0997".parse().unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn serde_uses_canonical_string() {
+        let id = CveId::new(2008, 166);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "\"CVE-2008-0166\"");
+        assert_eq!(serde_json::from_str::<CveId>(&json).unwrap(), id);
+    }
+}

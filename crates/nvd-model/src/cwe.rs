@@ -1,0 +1,458 @@
+//! CWE (Common Weakness Enumeration) identifiers, labels and catalog.
+//!
+//! The NVD assigns each CVE a vulnerability type from the CWE classification.
+//! The paper (§4.4) observes three degenerate labels alongside real IDs:
+//! `NVD-CWE-Other`, `NVD-CWE-noinfo`, and missing values; [`CweLabel`] models
+//! all four states. [`CweCatalog`] carries a curated subset of the real CWE
+//! list (the IDs that dominate NVD assignments, including every type in the
+//! paper's Table 10) and is what description-mined IDs are validated against.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Error returned when a CWE identifier string is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCweError {
+    input: String,
+}
+
+impl fmt::Display for ParseCweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CWE identifier: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseCweError {}
+
+/// A CWE identifier such as `CWE-89`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CweId(u32);
+
+impl CweId {
+    /// Creates an identifier from its numeric part.
+    pub fn new(num: u32) -> Self {
+        Self(num)
+    }
+
+    /// The numeric part of the identifier (the `89` in `CWE-89`).
+    pub fn number(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CweId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CWE-{}", self.0)
+    }
+}
+
+impl FromStr for CweId {
+    type Err = ParseCweError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseCweError {
+            input: s.to_owned(),
+        };
+        let num = s.strip_prefix("CWE-").ok_or_else(err)?;
+        if num.is_empty() || num.len() > 5 || !num.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err());
+        }
+        Ok(Self(num.parse().map_err(|_| err())?))
+    }
+}
+
+impl Serialize for CweId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for CweId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(D::Error::custom)
+    }
+}
+
+/// The vulnerability-type label attached to an NVD entry.
+///
+/// Mirrors the four states the paper quantifies: a concrete CWE ID, the two
+/// placeholder labels, and a missing assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CweLabel {
+    /// A concrete CWE identifier.
+    Specific(CweId),
+    /// `NVD-CWE-Other`: categorised, but not with a specific CWE.
+    Other,
+    /// `NVD-CWE-noinfo`: insufficient information to categorise.
+    NoInfo,
+    /// No label assigned at all.
+    Unassigned,
+}
+
+impl CweLabel {
+    /// Returns the concrete ID if this label names one.
+    pub fn specific(self) -> Option<CweId> {
+        match self {
+            CweLabel::Specific(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Whether the label fails to name a concrete weakness (the ≈31% of NVD
+    /// entries the paper reports as Other/noinfo/unassigned).
+    pub fn is_degenerate(self) -> bool {
+        !matches!(self, CweLabel::Specific(_))
+    }
+
+    /// The string NVD uses for this label in its feeds.
+    pub fn feed_str(self) -> String {
+        match self {
+            CweLabel::Specific(id) => id.to_string(),
+            CweLabel::Other => "NVD-CWE-Other".to_owned(),
+            CweLabel::NoInfo => "NVD-CWE-noinfo".to_owned(),
+            CweLabel::Unassigned => String::new(),
+        }
+    }
+
+    /// Parses the NVD feed representation (empty string = unassigned).
+    pub fn from_feed_str(s: &str) -> Result<Self, ParseCweError> {
+        match s {
+            "" => Ok(CweLabel::Unassigned),
+            "NVD-CWE-Other" => Ok(CweLabel::Other),
+            "NVD-CWE-noinfo" => Ok(CweLabel::NoInfo),
+            other => other.parse().map(CweLabel::Specific),
+        }
+    }
+}
+
+impl fmt::Display for CweLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CweLabel::Unassigned => f.write_str("(unassigned)"),
+            other => f.write_str(&other.feed_str()),
+        }
+    }
+}
+
+/// One catalog record: a CWE ID, its official name, and the short label the
+/// paper's Table 10 uses for it (if any).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CweRecord {
+    pub id: CweId,
+    /// Official CWE name, e.g. "Improper Neutralization of Special Elements
+    /// used in an SQL Command ('SQL Injection')".
+    pub name: String,
+    /// Short analyst-facing label, e.g. "SQL Injection".
+    pub short_name: String,
+}
+
+/// Curated CWE catalog used for validating mined IDs and naming types.
+///
+/// ```
+/// use nvd_model::cwe::{CweCatalog, CweId};
+/// let catalog = CweCatalog::builtin();
+/// assert!(catalog.contains(CweId::new(89)));
+/// assert_eq!(catalog.short_name(CweId::new(119)).unwrap(), "Buffer Overflow");
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CweCatalog {
+    records: BTreeMap<CweId, CweRecord>,
+}
+
+impl CweCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in catalog: the CWE IDs that dominate NVD assignments,
+    /// including every type referenced by the paper.
+    pub fn builtin() -> Self {
+        let mut catalog = Self::new();
+        for &(num, name, short) in BUILTIN_CWES {
+            catalog.insert(CweRecord {
+                id: CweId::new(num),
+                name: name.to_owned(),
+                short_name: short.to_owned(),
+            });
+        }
+        catalog
+    }
+
+    /// Inserts or replaces a record.
+    pub fn insert(&mut self, record: CweRecord) {
+        self.records.insert(record.id, record);
+    }
+
+    /// Whether `id` is in the catalog.
+    pub fn contains(&self, id: CweId) -> bool {
+        self.records.contains_key(&id)
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, id: CweId) -> Option<&CweRecord> {
+        self.records.get(&id)
+    }
+
+    /// The short, analyst-facing name for `id`.
+    pub fn short_name(&self, id: CweId) -> Option<&str> {
+        self.records.get(&id).map(|r| r.short_name.as_str())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &CweRecord> {
+        self.records.values()
+    }
+
+    /// All IDs in the catalog, in order.
+    pub fn ids(&self) -> impl Iterator<Item = CweId> + '_ {
+        self.records.keys().copied()
+    }
+}
+
+/// (number, official name, short name). Sourced from the public CWE list;
+/// short names follow the paper's Table 10 footnotes where it names a type.
+const BUILTIN_CWES: &[(u32, &str, &str)] = &[
+    (16, "Configuration", "Configuration"),
+    (17, "DEPRECATED: Code", "Code Issue"),
+    (19, "Data Processing Errors", "Data Processing"),
+    (20, "Improper Input Validation", "Input Validation"),
+    (21, "DEPRECATED: Pathname Traversal and Equivalence Errors", "Pathname Errors"),
+    (22, "Improper Limitation of a Pathname to a Restricted Directory ('Path Traversal')", "Path Traversal"),
+    (59, "Improper Link Resolution Before File Access ('Link Following')", "Link Following"),
+    (74, "Improper Neutralization of Special Elements in Output Used by a Downstream Component ('Injection')", "Injection"),
+    (77, "Improper Neutralization of Special Elements used in a Command ('Command Injection')", "Command"),
+    (78, "Improper Neutralization of Special Elements used in an OS Command ('OS Command Injection')", "OS Command Injection"),
+    (79, "Improper Neutralization of Input During Web Page Generation ('Cross-site Scripting')", "Cross-Site Scripting"),
+    (88, "Improper Neutralization of Argument Delimiters in a Command ('Argument Injection')", "Argument Injection"),
+    (89, "Improper Neutralization of Special Elements used in an SQL Command ('SQL Injection')", "SQL Injection"),
+    (90, "Improper Neutralization of Special Elements used in an LDAP Query ('LDAP Injection')", "LDAP Injection"),
+    (91, "XML Injection (aka Blind XPath Injection)", "XML Injection"),
+    (93, "Improper Neutralization of CRLF Sequences ('CRLF Injection')", "CRLF Injection"),
+    (94, "Improper Control of Generation of Code ('Code Injection')", "Code Injection"),
+    (98, "Improper Control of Filename for Include/Require Statement in PHP Program ('PHP Remote File Inclusion')", "File Inclusion"),
+    (113, "Improper Neutralization of CRLF Sequences in HTTP Headers ('HTTP Response Splitting')", "Response Splitting"),
+    (116, "Improper Encoding or Escaping of Output", "Output Encoding"),
+    (119, "Improper Restriction of Operations within the Bounds of a Memory Buffer", "Buffer Overflow"),
+    (120, "Buffer Copy without Checking Size of Input ('Classic Buffer Overflow')", "Classic Overflow"),
+    (125, "Out-of-bounds Read", "Buffer Over Read"),
+    (129, "Improper Validation of Array Index", "Array Index"),
+    (131, "Incorrect Calculation of Buffer Size", "Buffer Size Calc"),
+    (134, "Use of Externally-Controlled Format String", "Format String"),
+    (184, "Incomplete List of Disallowed Inputs", "Incomplete Denylist"),
+    (189, "Numeric Errors", "Numerical Error"),
+    (190, "Integer Overflow or Wraparound", "Integer Overflow"),
+    (191, "Integer Underflow (Wrap or Wraparound)", "Integer Underflow"),
+    (193, "Off-by-one Error", "Off-by-one"),
+    (199, "Information Management Errors", "Information Management"),
+    (200, "Exposure of Sensitive Information to an Unauthorized Actor", "Information Exposure"),
+    (201, "Insertion of Sensitive Information Into Sent Data", "Data Insertion"),
+    (203, "Observable Discrepancy", "Observable Discrepancy"),
+    (209, "Generation of Error Message Containing Sensitive Information", "Error Message Leak"),
+    (254, "7PK - Security Features", "Security Features"),
+    (255, "Credentials Management Errors", "Credentials"),
+    (259, "Use of Hard-coded Password", "Hard-coded Password"),
+    (264, "Permissions, Privileges, and Access Controls", "Permission Management"),
+    (269, "Improper Privilege Management", "Privilege Management"),
+    (273, "Improper Check for Dropped Privileges", "Dropped Privileges"),
+    (275, "Permission Issues", "Permission Issues"),
+    (276, "Incorrect Default Permissions", "Default Permissions"),
+    (281, "Improper Preservation of Permissions", "Permission Preservation"),
+    (284, "Improper Access Control", "Access Control"),
+    (285, "Improper Authorization", "Improper Authorization"),
+    (287, "Improper Authentication", "Improper Authentication"),
+    (290, "Authentication Bypass by Spoofing", "Auth Bypass Spoofing"),
+    (294, "Authentication Bypass by Capture-replay", "Capture Replay"),
+    (295, "Improper Certificate Validation", "Certificate Validation"),
+    (297, "Improper Validation of Certificate with Host Mismatch", "Cert Host Mismatch"),
+    (306, "Missing Authentication for Critical Function", "Missing Authentication"),
+    (307, "Improper Restriction of Excessive Authentication Attempts", "Brute Force"),
+    (310, "Cryptographic Issues", "Cryptographic Issues"),
+    (311, "Missing Encryption of Sensitive Data", "Missing Encryption"),
+    (312, "Cleartext Storage of Sensitive Information", "Cleartext Storage"),
+    (319, "Cleartext Transmission of Sensitive Information", "Cleartext Transmission"),
+    (320, "Key Management Errors", "Key Management"),
+    (326, "Inadequate Encryption Strength", "Weak Encryption"),
+    (327, "Use of a Broken or Risky Cryptographic Algorithm", "Broken Crypto"),
+    (330, "Use of Insufficiently Random Values", "Insufficient Randomness"),
+    (331, "Insufficient Entropy", "Insufficient Entropy"),
+    (338, "Use of Cryptographically Weak Pseudo-Random Number Generator (PRNG)", "Weak PRNG"),
+    (345, "Insufficient Verification of Data Authenticity", "Data Authenticity"),
+    (346, "Origin Validation Error", "Origin Validation"),
+    (352, "Cross-Site Request Forgery (CSRF)", "Cross-Site Request Forgery"),
+    (354, "Improper Validation of Integrity Check Value", "Integrity Check"),
+    (358, "Improperly Implemented Security Check for Standard", "Security Check"),
+    (362, "Concurrent Execution using Shared Resource with Improper Synchronization ('Race Condition')", "Race Condition"),
+    (367, "Time-of-check Time-of-use (TOCTOU) Race Condition", "TOCTOU"),
+    (369, "Divide By Zero", "Divide By Zero"),
+    (384, "Session Fixation", "Session Fixation"),
+    (388, "7PK - Errors", "Error Handling"),
+    (399, "Resource Management Errors", "Resource Management"),
+    (400, "Uncontrolled Resource Consumption", "Resource Consumption"),
+    (401, "Missing Release of Memory after Effective Lifetime", "Memory Leak"),
+    (404, "Improper Resource Shutdown or Release", "Resource Shutdown"),
+    (415, "Double Free", "Double Free"),
+    (416, "Use After Free", "Use-after-Free"),
+    (426, "Untrusted Search Path", "Untrusted Search Path"),
+    (427, "Uncontrolled Search Path Element", "Search Path Element"),
+    (428, "Unquoted Search Path or Element", "Unquoted Path"),
+    (434, "Unrestricted Upload of File with Dangerous Type", "File Upload"),
+    (436, "Interpretation Conflict", "Interpretation Conflict"),
+    (441, "Unintended Proxy or Intermediary ('Confused Deputy')", "Confused Deputy"),
+    (444, "Inconsistent Interpretation of HTTP Requests ('HTTP Request Smuggling')", "Request Smuggling"),
+    (459, "Incomplete Cleanup", "Incomplete Cleanup"),
+    (476, "NULL Pointer Dereference", "NULL Dereference"),
+    (494, "Download of Code Without Integrity Check", "Unverified Download"),
+    (502, "Deserialization of Untrusted Data", "Unsafe Deserialization"),
+    (521, "Weak Password Requirements", "Weak Password"),
+    (522, "Insufficiently Protected Credentials", "Unprotected Credentials"),
+    (532, "Insertion of Sensitive Information into Log File", "Log Information Leak"),
+    (538, "Insertion of Sensitive Information into Externally-Accessible File or Directory", "File Information Leak"),
+    (552, "Files or Directories Accessible to External Parties", "Exposed Files"),
+    (601, "URL Redirection to Untrusted Site ('Open Redirect')", "Open Redirect"),
+    (610, "Externally Controlled Reference to a Resource in Another Sphere", "External Reference"),
+    (611, "Improper Restriction of XML External Entity Reference", "XXE"),
+    (613, "Insufficient Session Expiration", "Session Expiration"),
+    (617, "Reachable Assertion", "Reachable Assertion"),
+    (640, "Weak Password Recovery Mechanism for Forgotten Password", "Password Recovery"),
+    (662, "Improper Synchronization", "Synchronization"),
+    (665, "Improper Initialization", "Initialization"),
+    (668, "Exposure of Resource to Wrong Sphere", "Resource Exposure"),
+    (669, "Incorrect Resource Transfer Between Spheres", "Resource Transfer"),
+    (670, "Always-Incorrect Control Flow Implementation", "Control Flow"),
+    (672, "Operation on a Resource after Expiration or Release", "Expired Resource"),
+    (674, "Uncontrolled Recursion", "Uncontrolled Recursion"),
+    (682, "Incorrect Calculation", "Incorrect Calculation"),
+    (693, "Protection Mechanism Failure", "Protection Failure"),
+    (704, "Incorrect Type Conversion or Cast", "Type Confusion"),
+    (706, "Use of Incorrectly-Resolved Name or Reference", "Name Resolution"),
+    (732, "Incorrect Permission Assignment for Critical Resource", "Permission Assignment"),
+    (749, "Exposed Dangerous Method or Function", "Exposed Method"),
+    (754, "Improper Check for Unusual or Exceptional Conditions", "Exceptional Conditions"),
+    (755, "Improper Handling of Exceptional Conditions", "Exception Handling"),
+    (769, "DEPRECATED: Uncontrolled File Descriptor Consumption", "FD Consumption"),
+    (772, "Missing Release of Resource after Effective Lifetime", "Resource Release"),
+    (776, "Improper Restriction of Recursive Entity References in DTDs ('XML Entity Expansion')", "Entity Expansion"),
+    (787, "Out-of-bounds Write", "Out-of-bounds Write"),
+    (798, "Use of Hard-coded Credentials", "Hard-coded Credentials"),
+    (822, "Untrusted Pointer Dereference", "Untrusted Pointer"),
+    (824, "Access of Uninitialized Pointer", "Uninitialized Pointer"),
+    (829, "Inclusion of Functionality from Untrusted Control Sphere", "Untrusted Inclusion"),
+    (834, "Excessive Iteration", "Excessive Iteration"),
+    (835, "Loop with Unreachable Exit Condition ('Infinite Loop')", "Infinite Loop"),
+    (843, "Access of Resource Using Incompatible Type ('Type Confusion')", "Incompatible Type"),
+    (862, "Missing Authorization", "Missing Authorization"),
+    (863, "Incorrect Authorization", "Incorrect Authorization"),
+    (908, "Use of Uninitialized Resource", "Uninitialized Resource"),
+    (909, "Missing Initialization of Resource", "Missing Initialization"),
+    (916, "Use of Password Hash With Insufficient Computational Effort", "Weak Hash"),
+    (918, "Server-Side Request Forgery (SSRF)", "SSRF"),
+    (920, "Improper Restriction of Power Consumption", "Power Consumption"),
+    (922, "Insecure Storage of Sensitive Information", "Insecure Storage"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cwe_id_parse_display_roundtrip() {
+        let id: CweId = "CWE-89".parse().unwrap();
+        assert_eq!(id, CweId::new(89));
+        assert_eq!(id.to_string(), "CWE-89");
+    }
+
+    #[test]
+    fn cwe_id_rejects_malformed() {
+        for bad in ["CWE89", "cwe-89", "CWE-", "CWE-12x", "CWE-123456", ""] {
+            assert!(bad.parse::<CweId>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn label_feed_roundtrip() {
+        let labels = [
+            CweLabel::Specific(CweId::new(835)),
+            CweLabel::Other,
+            CweLabel::NoInfo,
+            CweLabel::Unassigned,
+        ];
+        for label in labels {
+            let s = label.feed_str();
+            assert_eq!(CweLabel::from_feed_str(&s).unwrap(), label);
+        }
+    }
+
+    #[test]
+    fn label_degeneracy() {
+        assert!(!CweLabel::Specific(CweId::new(79)).is_degenerate());
+        assert!(CweLabel::Other.is_degenerate());
+        assert!(CweLabel::NoInfo.is_degenerate());
+        assert!(CweLabel::Unassigned.is_degenerate());
+    }
+
+    #[test]
+    fn builtin_catalog_has_paper_types() {
+        let catalog = CweCatalog::builtin();
+        // Every type in the paper's Table 10 footnotes.
+        let expected = [
+            (119, "Buffer Overflow"),
+            (89, "SQL Injection"),
+            (264, "Permission Management"),
+            (20, "Input Validation"),
+            (94, "Code Injection"),
+            (399, "Resource Management"),
+            (416, "Use-after-Free"),
+            (189, "Numerical Error"),
+            (22, "Path Traversal"),
+            (285, "Improper Authorization"),
+            (284, "Access Control"),
+            (255, "Credentials"),
+            (77, "Command"),
+            (200, "Information Exposure"),
+            (190, "Integer Overflow"),
+            (352, "Cross-Site Request Forgery"),
+            (125, "Buffer Over Read"),
+            (310, "Cryptographic Issues"),
+            (835, "Infinite Loop"),
+        ];
+        for (num, short) in expected {
+            assert_eq!(
+                catalog.short_name(CweId::new(num)),
+                Some(short),
+                "CWE-{num}"
+            );
+        }
+        assert!(catalog.len() >= 120);
+    }
+
+    #[test]
+    fn catalog_lookup_and_insert() {
+        let mut catalog = CweCatalog::new();
+        assert!(catalog.is_empty());
+        assert!(!catalog.contains(CweId::new(1)));
+        catalog.insert(CweRecord {
+            id: CweId::new(1),
+            name: "Test".into(),
+            short_name: "T".into(),
+        });
+        assert!(catalog.contains(CweId::new(1)));
+        assert_eq!(catalog.get(CweId::new(1)).unwrap().short_name, "T");
+        assert_eq!(catalog.ids().count(), 1);
+    }
+}

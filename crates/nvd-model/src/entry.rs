@@ -1,0 +1,309 @@
+//! The CVE entry record: the unit of NVD data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::CpeName;
+use crate::cve::CveId;
+use crate::cwe::CweLabel;
+use crate::date::Date;
+use crate::metrics::{CvssV2Vector, CvssV3Vector, Severity};
+
+/// Who authored a free-form description.
+///
+/// NVD entries typically carry the reporter's description of the flaw and may
+/// carry an *evaluator* comment; §4.4 of the paper mines CWE IDs specifically
+/// out of evaluator text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DescriptionSource {
+    /// The primary vulnerability description.
+    Analyst,
+    /// A comment added by the CVE entry evaluator.
+    Evaluator,
+}
+
+/// A free-form description attached to a CVE entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Description {
+    pub source: DescriptionSource,
+    /// BCP-47-ish language tag; NVD descriptions are `en`.
+    pub lang: String,
+    pub text: String,
+}
+
+impl Description {
+    /// Creates an English analyst description.
+    pub fn analyst(text: impl Into<String>) -> Self {
+        Self {
+            source: DescriptionSource::Analyst,
+            lang: "en".to_owned(),
+            text: text.into(),
+        }
+    }
+
+    /// Creates an English evaluator comment.
+    pub fn evaluator(text: impl Into<String>) -> Self {
+        Self {
+            source: DescriptionSource::Evaluator,
+            lang: "en".to_owned(),
+            text: text.into(),
+        }
+    }
+}
+
+/// A reference URL attached to a CVE entry (advisory, bug report, …).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reference {
+    pub url: String,
+    /// NVD reference tags such as `Vendor Advisory` or `Patch`.
+    pub tags: Vec<String>,
+}
+
+impl Reference {
+    /// Creates an untagged reference.
+    pub fn new(url: impl Into<String>) -> Self {
+        Self {
+            url: url.into(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// The registrable domain of the URL, used to dispatch per-domain
+    /// crawlers (everything between `://` and the first `/`).
+    pub fn domain(&self) -> Option<&str> {
+        let rest = self.url.split_once("://")?.1;
+        let host = rest.split(['/', '?', '#']).next()?;
+        let host = host.split('@').next_back()?; // strip userinfo if any
+        let host = host.split(':').next()?; // strip port
+        if host.is_empty() {
+            None
+        } else {
+            Some(host)
+        }
+    }
+}
+
+/// A CVSS v2 assessment as recorded in an entry: the vector plus the score
+/// NVD published for it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvssV2Record {
+    pub vector: CvssV2Vector,
+    pub base_score: f64,
+}
+
+impl CvssV2Record {
+    /// Severity band of the recorded score (paper Table 1).
+    pub fn severity(&self) -> Severity {
+        Severity::from_v2_score(self.base_score)
+    }
+}
+
+/// A CVSS v3.0 assessment as recorded in an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvssV3Record {
+    pub vector: CvssV3Vector,
+    pub base_score: f64,
+}
+
+impl CvssV3Record {
+    /// Severity band of the recorded score (paper Table 1).
+    pub fn severity(&self) -> Severity {
+        Severity::from_v3_score(self.base_score)
+    }
+}
+
+/// A single NVD vulnerability entry.
+///
+/// Field inventory follows §3 of the paper: CVE ID, publication date, CWE
+/// type, CVSS severity (v2 always, v3 for recent entries), affected CPE
+/// names, free-form descriptions, and optional reference URLs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CveEntry {
+    pub id: CveId,
+    /// Date the entry was added to the NVD — *not* necessarily the public
+    /// disclosure date, which is the gap §4.1 measures.
+    pub published: Date,
+    /// Date of the last modification to the entry.
+    pub last_modified: Date,
+    /// Vulnerability type labels. NVD predominantly assigns one label; the
+    /// paper's rectification may add more mined from descriptions.
+    pub cwes: Vec<CweLabel>,
+    pub cvss_v2: Option<CvssV2Record>,
+    pub cvss_v3: Option<CvssV3Record>,
+    /// Affected vendor/product pairs.
+    pub affected: Vec<CpeName>,
+    pub descriptions: Vec<Description>,
+    pub references: Vec<Reference>,
+}
+
+impl CveEntry {
+    /// Creates a minimal entry with the given ID and publication date.
+    pub fn new(id: CveId, published: Date) -> Self {
+        Self {
+            id,
+            published,
+            last_modified: published,
+            cwes: vec![CweLabel::Unassigned],
+            cvss_v2: None,
+            cvss_v3: None,
+            affected: Vec::new(),
+            descriptions: Vec::new(),
+            references: Vec::new(),
+        }
+    }
+
+    /// The primary (analyst) description text, if present.
+    pub fn primary_description(&self) -> Option<&str> {
+        self.descriptions
+            .iter()
+            .find(|d| d.source == DescriptionSource::Analyst)
+            .map(|d| d.text.as_str())
+    }
+
+    /// The evaluator comment text, if present.
+    pub fn evaluator_comment(&self) -> Option<&str> {
+        self.descriptions
+            .iter()
+            .find(|d| d.source == DescriptionSource::Evaluator)
+            .map(|d| d.text.as_str())
+    }
+
+    /// Whether the entry has a v3 score (≈35% of the paper's snapshot).
+    pub fn has_v3(&self) -> bool {
+        self.cvss_v3.is_some()
+    }
+
+    /// The effective CWE label: the first specific ID if any, else the first
+    /// degenerate label, else `Unassigned`.
+    pub fn effective_cwe(&self) -> CweLabel {
+        self.cwes
+            .iter()
+            .copied()
+            .find(|c| !c.is_degenerate())
+            .or_else(|| self.cwes.first().copied())
+            .unwrap_or(CweLabel::Unassigned)
+    }
+
+    /// v2 severity band, if a v2 score is recorded.
+    pub fn severity_v2(&self) -> Option<Severity> {
+        self.cvss_v2.as_ref().map(CvssV2Record::severity)
+    }
+
+    /// v3 severity band, if a v3 score is recorded.
+    pub fn severity_v3(&self) -> Option<Severity> {
+        self.cvss_v3.as_ref().map(CvssV3Record::severity)
+    }
+
+    /// Distinct vendors affected by this entry, in first-seen order.
+    pub fn vendors(&self) -> impl Iterator<Item = &crate::cpe::VendorName> + '_ {
+        let mut seen: Vec<&crate::cpe::VendorName> = Vec::new();
+        self.affected.iter().filter_map(move |cpe| {
+            if seen.contains(&&cpe.vendor) {
+                None
+            } else {
+                seen.push(&cpe.vendor);
+                Some(&cpe.vendor)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{
+        AccessComplexityV2, AccessVectorV2, AuthenticationV2, ImpactV2,
+    };
+
+    fn sample_entry() -> CveEntry {
+        let mut e = CveEntry::new(
+            "CVE-2011-0700".parse().unwrap(),
+            "2011-03-14".parse().unwrap(),
+        );
+        e.descriptions.push(Description::analyst(
+            "Cross-site scripting (XSS) vulnerability in WordPress before 3.0.5 allows remote attackers to inject arbitrary web script.",
+        ));
+        e.descriptions.push(Description::evaluator(
+            "Per: CWE-79: Improper Neutralization of Input During Web Page Generation",
+        ));
+        e.references.push(Reference::new(
+            "https://www.securityfocus.com/bid/46249",
+        ));
+        e.cvss_v2 = Some(CvssV2Record {
+            vector: CvssV2Vector::new(
+                AccessVectorV2::Network,
+                AccessComplexityV2::Medium,
+                AuthenticationV2::Single,
+                ImpactV2::None,
+                ImpactV2::Partial,
+                ImpactV2::None,
+            ),
+            base_score: 3.5,
+        });
+        e
+    }
+
+    #[test]
+    fn descriptions_by_source() {
+        let e = sample_entry();
+        assert!(e.primary_description().unwrap().contains("WordPress"));
+        assert!(e.evaluator_comment().unwrap().contains("CWE-79"));
+    }
+
+    #[test]
+    fn severity_accessors() {
+        let e = sample_entry();
+        assert_eq!(e.severity_v2(), Some(Severity::Low));
+        assert_eq!(e.severity_v3(), None);
+        assert!(!e.has_v3());
+    }
+
+    #[test]
+    fn reference_domain_extraction() {
+        let cases = [
+            ("https://www.securityfocus.com/bid/46249", Some("www.securityfocus.com")),
+            ("http://jvn.jp/en/jp/JVN12345/index.html", Some("jvn.jp")),
+            ("https://example.com:8443/x?y#z", Some("example.com")),
+            ("https://user@example.org/path", Some("example.org")),
+            ("ftp://archives.neohapsis.com/archives/", Some("archives.neohapsis.com")),
+            ("no-scheme.com/path", None),
+            ("https:///nohost", None),
+        ];
+        for (url, want) in cases {
+            assert_eq!(Reference::new(url).domain(), want, "{url}");
+        }
+    }
+
+    #[test]
+    fn effective_cwe_prefers_specific() {
+        let mut e = sample_entry();
+        e.cwes = vec![CweLabel::Other, CweLabel::Specific(crate::cwe::CweId::new(79))];
+        assert_eq!(
+            e.effective_cwe(),
+            CweLabel::Specific(crate::cwe::CweId::new(79))
+        );
+        e.cwes = vec![CweLabel::NoInfo];
+        assert_eq!(e.effective_cwe(), CweLabel::NoInfo);
+        e.cwes.clear();
+        assert_eq!(e.effective_cwe(), CweLabel::Unassigned);
+    }
+
+    #[test]
+    fn vendors_deduplicated() {
+        let mut e = sample_entry();
+        e.affected = vec![
+            CpeName::application("wordpress", "wordpress"),
+            CpeName::application("wordpress", "wordpress_mu"),
+            CpeName::application("microsoft", "iis"),
+        ];
+        let vendors: Vec<_> = e.vendors().map(|v| v.as_str().to_owned()).collect();
+        assert_eq!(vendors, vec!["wordpress", "microsoft"]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let e = sample_entry();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: CveEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

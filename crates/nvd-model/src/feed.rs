@@ -1,0 +1,487 @@
+//! (De)serialization of the NVD JSON data-feed format.
+//!
+//! Implements the subset of the NVD "JSON 1.0" feed schema that carries the
+//! fields the paper studies, so a [`Database`] can be exported to — and
+//! re-imported from — a feed document that is structurally compatible with
+//! what `nvd.nist.gov` publishes. Field names intentionally match the NVD
+//! schema (`CVE_Items`, `publishedDate`, `baseMetricV2`, …).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::CpeUri;
+use crate::cve::CveId;
+use crate::cwe::CweLabel;
+use crate::database::Database;
+use crate::date::Date;
+use crate::entry::{
+    CveEntry, CvssV2Record, CvssV3Record, Description, DescriptionSource, Reference,
+};
+use crate::metrics::{CvssV2Vector, CvssV3Vector};
+
+/// Error produced when converting a feed document into a [`Database`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedError {
+    /// The CVE item the error occurred in, if known.
+    pub cve_id: Option<String>,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.cve_id {
+            Some(id) => write!(f, "feed item {id}: {}", self.msg),
+            None => write!(f, "feed: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// Top-level feed document, mirroring `nvdcve-1.0-*.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedDocument {
+    #[serde(rename = "CVE_data_type")]
+    pub data_type: String,
+    #[serde(rename = "CVE_data_format")]
+    pub data_format: String,
+    #[serde(rename = "CVE_data_version")]
+    pub data_version: String,
+    #[serde(rename = "CVE_data_numberOfCVEs")]
+    pub number_of_cves: String,
+    #[serde(rename = "CVE_data_timestamp")]
+    pub timestamp: String,
+    #[serde(rename = "CVE_Items")]
+    pub items: Vec<FeedItem>,
+}
+
+/// One `CVE_Items` element.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedItem {
+    pub cve: FeedCve,
+    #[serde(default)]
+    pub configurations: FeedConfigurations,
+    #[serde(default)]
+    pub impact: FeedImpact,
+    #[serde(rename = "publishedDate")]
+    pub published_date: String,
+    #[serde(rename = "lastModifiedDate")]
+    pub last_modified_date: String,
+}
+
+/// The `cve` object of a feed item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedCve {
+    #[serde(rename = "CVE_data_meta")]
+    pub meta: FeedMeta,
+    pub problemtype: FeedProblemType,
+    pub references: FeedReferences,
+    pub description: FeedDescriptions,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedMeta {
+    #[serde(rename = "ID")]
+    pub id: String,
+    #[serde(rename = "ASSIGNER", default)]
+    pub assigner: String,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedProblemType {
+    #[serde(rename = "problemtype_data", default)]
+    pub data: Vec<FeedProblemTypeData>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedProblemTypeData {
+    #[serde(default)]
+    pub description: Vec<FeedLangString>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedReferences {
+    #[serde(rename = "reference_data", default)]
+    pub data: Vec<FeedReference>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedReference {
+    pub url: String,
+    #[serde(default)]
+    pub tags: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedDescriptions {
+    #[serde(rename = "description_data", default)]
+    pub data: Vec<FeedLangString>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedLangString {
+    pub lang: String,
+    pub value: String,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedConfigurations {
+    #[serde(rename = "CVE_data_version", default)]
+    pub data_version: String,
+    #[serde(default)]
+    pub nodes: Vec<FeedNode>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedNode {
+    #[serde(default)]
+    pub operator: String,
+    #[serde(rename = "cpe_match", default)]
+    pub cpe_match: Vec<FeedCpeMatch>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedCpeMatch {
+    pub vulnerable: bool,
+    #[serde(rename = "cpe23Uri")]
+    pub cpe23_uri: String,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeedImpact {
+    #[serde(rename = "baseMetricV2", skip_serializing_if = "Option::is_none")]
+    pub base_metric_v2: Option<FeedBaseMetricV2>,
+    #[serde(rename = "baseMetricV3", skip_serializing_if = "Option::is_none")]
+    pub base_metric_v3: Option<FeedBaseMetricV3>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedBaseMetricV2 {
+    #[serde(rename = "cvssV2")]
+    pub cvss_v2: FeedCvssV2,
+    pub severity: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedCvssV2 {
+    #[serde(rename = "vectorString")]
+    pub vector_string: String,
+    #[serde(rename = "baseScore")]
+    pub base_score: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedBaseMetricV3 {
+    #[serde(rename = "cvssV3")]
+    pub cvss_v3: FeedCvssV3,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeedCvssV3 {
+    #[serde(rename = "vectorString")]
+    pub vector_string: String,
+    #[serde(rename = "baseScore")]
+    pub base_score: f64,
+    #[serde(rename = "baseSeverity")]
+    pub base_severity: String,
+}
+
+/// Serializes a database to a feed document.
+pub fn to_feed(db: &Database, timestamp: &str) -> FeedDocument {
+    let items = db.iter().map(entry_to_item).collect::<Vec<_>>();
+    FeedDocument {
+        data_type: "CVE".to_owned(),
+        data_format: "MITRE".to_owned(),
+        data_version: "4.0".to_owned(),
+        number_of_cves: items.len().to_string(),
+        timestamp: timestamp.to_owned(),
+        items,
+    }
+}
+
+/// Parses a feed document into a database.
+///
+/// # Errors
+///
+/// Returns the first [`FeedError`] encountered: malformed CVE id, date,
+/// vector string, or CPE URI.
+pub fn from_feed(doc: &FeedDocument) -> Result<Database, FeedError> {
+    let mut db = Database::new();
+    for item in &doc.items {
+        db.push(item_to_entry(item)?);
+    }
+    Ok(db)
+}
+
+fn entry_to_item(e: &CveEntry) -> FeedItem {
+    FeedItem {
+        cve: FeedCve {
+            meta: FeedMeta {
+                id: e.id.to_string(),
+                assigner: "cve@mitre.org".to_owned(),
+            },
+            problemtype: FeedProblemType {
+                data: vec![FeedProblemTypeData {
+                    description: e
+                        .cwes
+                        .iter()
+                        .filter(|c| !matches!(c, CweLabel::Unassigned))
+                        .map(|c| FeedLangString {
+                            lang: "en".to_owned(),
+                            value: c.feed_str(),
+                        })
+                        .collect(),
+                }],
+            },
+            references: FeedReferences {
+                data: e
+                    .references
+                    .iter()
+                    .map(|r| FeedReference {
+                        url: r.url.clone(),
+                        tags: r.tags.clone(),
+                    })
+                    .collect(),
+            },
+            description: FeedDescriptions {
+                data: e
+                    .descriptions
+                    .iter()
+                    .map(|d| FeedLangString {
+                        lang: d.lang.clone(),
+                        value: match d.source {
+                            DescriptionSource::Analyst => d.text.clone(),
+                            // NVD marks evaluator text by a conventional prefix.
+                            DescriptionSource::Evaluator => format!("** EVALUATOR: {}", d.text),
+                        },
+                    })
+                    .collect(),
+            },
+        },
+        configurations: FeedConfigurations {
+            data_version: "4.0".to_owned(),
+            nodes: vec![FeedNode {
+                operator: "OR".to_owned(),
+                cpe_match: e
+                    .affected
+                    .iter()
+                    .map(|c| FeedCpeMatch {
+                        vulnerable: true,
+                        cpe23_uri: c.to_uri_2_3(),
+                    })
+                    .collect(),
+            }],
+        },
+        impact: FeedImpact {
+            base_metric_v2: e.cvss_v2.as_ref().map(|r| FeedBaseMetricV2 {
+                cvss_v2: FeedCvssV2 {
+                    vector_string: r.vector.to_string(),
+                    base_score: r.base_score,
+                },
+                severity: r.severity().to_string().to_uppercase(),
+            }),
+            base_metric_v3: e.cvss_v3.as_ref().map(|r| FeedBaseMetricV3 {
+                cvss_v3: FeedCvssV3 {
+                    vector_string: r.vector.to_string(),
+                    base_score: r.base_score,
+                    base_severity: r.severity().to_string().to_uppercase(),
+                },
+            }),
+        },
+        published_date: e.published.to_string(),
+        last_modified_date: e.last_modified.to_string(),
+    }
+}
+
+fn item_to_entry(item: &FeedItem) -> Result<CveEntry, FeedError> {
+    let err = |msg: String| FeedError {
+        cve_id: Some(item.cve.meta.id.clone()),
+        msg,
+    };
+    let id: CveId = item
+        .cve
+        .meta
+        .id
+        .parse()
+        .map_err(|e| err(format!("{e}")))?;
+    // Feed dates may carry a time suffix like `2011-03-14T21:55Z`.
+    let date_part = |s: &str| s.split('T').next().unwrap_or(s).to_owned();
+    let published: Date = date_part(&item.published_date)
+        .parse()
+        .map_err(|e| err(format!("publishedDate: {e}")))?;
+    let last_modified: Date = date_part(&item.last_modified_date)
+        .parse()
+        .map_err(|e| err(format!("lastModifiedDate: {e}")))?;
+
+    let mut entry = CveEntry::new(id, published);
+    entry.last_modified = last_modified;
+
+    entry.cwes = item
+        .cve
+        .problemtype
+        .data
+        .iter()
+        .flat_map(|d| &d.description)
+        .map(|ls| CweLabel::from_feed_str(&ls.value))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| err(format!("{e}")))?;
+    if entry.cwes.is_empty() {
+        entry.cwes.push(CweLabel::Unassigned);
+    }
+
+    entry.references = item
+        .cve
+        .references
+        .data
+        .iter()
+        .map(|r| Reference {
+            url: r.url.clone(),
+            tags: r.tags.clone(),
+        })
+        .collect();
+
+    entry.descriptions = item
+        .cve
+        .description
+        .data
+        .iter()
+        .map(|ls| match ls.value.strip_prefix("** EVALUATOR: ") {
+            Some(rest) => Description {
+                source: DescriptionSource::Evaluator,
+                lang: ls.lang.clone(),
+                text: rest.to_owned(),
+            },
+            None => Description {
+                source: DescriptionSource::Analyst,
+                lang: ls.lang.clone(),
+                text: ls.value.clone(),
+            },
+        })
+        .collect();
+
+    for node in &item.configurations.nodes {
+        for m in &node.cpe_match {
+            let uri: CpeUri = m
+                .cpe23_uri
+                .parse()
+                .map_err(|e| err(format!("cpe23Uri: {e}")))?;
+            entry.affected.push(uri.name);
+        }
+    }
+
+    if let Some(v2) = &item.impact.base_metric_v2 {
+        let vector: CvssV2Vector = v2
+            .cvss_v2
+            .vector_string
+            .parse()
+            .map_err(|e| err(format!("v2 vector: {e}")))?;
+        entry.cvss_v2 = Some(CvssV2Record {
+            vector,
+            base_score: v2.cvss_v2.base_score,
+        });
+    }
+    if let Some(v3) = &item.impact.base_metric_v3 {
+        let vector: CvssV3Vector = v3
+            .cvss_v3
+            .vector_string
+            .parse()
+            .map_err(|e| err(format!("v3 vector: {e}")))?;
+        entry.cvss_v3 = Some(CvssV3Record {
+            vector,
+            base_score: v3.cvss_v3.base_score,
+        });
+    }
+    Ok(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpe::CpeName;
+    use crate::cwe::CweId;
+    use crate::metrics::*;
+
+    fn sample_db() -> Database {
+        let mut e = CveEntry::new(
+            "CVE-2007-0838".parse().unwrap(),
+            "2007-02-08".parse().unwrap(),
+        );
+        e.cwes = vec![CweLabel::Other];
+        e.descriptions.push(Description::analyst(
+            "Adobe Acrobat Reader allows remote attackers to cause a denial of service via a crafted PDF.",
+        ));
+        e.descriptions.push(Description::evaluator(
+            "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')",
+        ));
+        e.references.push(Reference::new("https://www.securitytracker.com/id/1017597"));
+        e.affected.push(CpeName::application("adobe", "acrobat_reader").with_version("8.0"));
+        e.cvss_v2 = Some(CvssV2Record {
+            vector: "AV:N/AC:M/Au:N/C:N/I:N/A:P".parse().unwrap(),
+            base_score: 4.3,
+        });
+        e.cvss_v3 = Some(CvssV3Record {
+            vector: "CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:U/C:N/I:N/A:H".parse().unwrap(),
+            base_score: 6.5,
+        });
+        Database::from_entries([e])
+    }
+
+    #[test]
+    fn feed_roundtrip_preserves_entries() {
+        let db = sample_db();
+        let feed = to_feed(&db, "2018-05-21T00:00Z");
+        assert_eq!(feed.number_of_cves, "1");
+        let json = serde_json::to_string_pretty(&feed).unwrap();
+        assert!(json.contains("\"CVE_Items\""));
+        assert!(json.contains("\"cpe23Uri\""));
+        let parsed: FeedDocument = serde_json::from_str(&json).unwrap();
+        let back = from_feed(&parsed).unwrap();
+        assert_eq!(back.len(), 1);
+        let e = back.get(&"CVE-2007-0838".parse().unwrap()).unwrap();
+        assert_eq!(e.cwes, vec![CweLabel::Other]);
+        assert_eq!(e.evaluator_comment().unwrap(), "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')");
+        assert_eq!(e.affected[0].vendor.as_str(), "adobe");
+        assert_eq!(e.cvss_v2.unwrap().base_score, 4.3);
+        assert_eq!(e.cvss_v3.unwrap().severity(), Severity::Medium);
+    }
+
+    #[test]
+    fn feed_dates_accept_time_suffix() {
+        let db = sample_db();
+        let mut feed = to_feed(&db, "t");
+        feed.items[0].published_date = "2007-02-08T19:28Z".to_owned();
+        let back = from_feed(&feed).unwrap();
+        assert_eq!(
+            back.iter().next().unwrap().published.to_string(),
+            "2007-02-08"
+        );
+    }
+
+    #[test]
+    fn feed_rejects_bad_items() {
+        let db = sample_db();
+        let mut feed = to_feed(&db, "t");
+        feed.items[0].cve.meta.id = "NOT-A-CVE".to_owned();
+        let e = from_feed(&feed).unwrap_err();
+        assert!(e.to_string().contains("NOT-A-CVE"));
+
+        let mut feed2 = to_feed(&db, "t");
+        feed2.items[0].impact.base_metric_v2.as_mut().unwrap().cvss_v2.vector_string =
+            "garbage".to_owned();
+        assert!(from_feed(&feed2).is_err());
+    }
+
+    #[test]
+    fn cwe_specific_labels_roundtrip() {
+        let mut db = sample_db();
+        db.get_mut(&"CVE-2007-0838".parse().unwrap()).unwrap().cwes =
+            vec![CweLabel::Specific(CweId::new(835)), CweLabel::NoInfo];
+        let feed = to_feed(&db, "t");
+        let back = from_feed(&feed).unwrap();
+        let e = back.get(&"CVE-2007-0838".parse().unwrap()).unwrap();
+        assert_eq!(
+            e.cwes,
+            vec![CweLabel::Specific(CweId::new(835)), CweLabel::NoInfo]
+        );
+    }
+}

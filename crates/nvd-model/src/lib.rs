@@ -1,0 +1,54 @@
+//! # nvd-model
+//!
+//! Data model for National Vulnerability Database (NVD) entries, shared by
+//! every crate in the `nvd-clean` workspace — the Rust reproduction of
+//! *"Cleaning the NVD: Comprehensive Quality Assessment, Improvements, and
+//! Analyses"* (Anwar et al., DSN 2021).
+//!
+//! The model covers the entry fields the paper's §3 inventories:
+//!
+//! * [`cve::CveId`] — the unique CVE identifier;
+//! * [`date::Date`] — civil-date arithmetic for publication/disclosure dates;
+//! * [`cwe`] — CWE vulnerability-type labels and a curated catalog;
+//! * [`metrics`] — CVSS v2/v3 base-metric vectors and severity bands (Table 1);
+//! * [`cpe`] — affected vendor/product names and CPE URIs;
+//! * [`entry::CveEntry`] — the full record, with descriptions and references;
+//! * [`database::Database`] — an indexed collection with aggregate statistics;
+//! * [`feed`] — (de)serialization of the NVD JSON feed format.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvd_model::prelude::*;
+//!
+//! let mut entry = CveEntry::new("CVE-2011-0700".parse()?, "2011-03-14".parse()?);
+//! entry.references.push(Reference::new("https://www.securityfocus.com/bid/46249"));
+//! let db = Database::from_entries([entry]);
+//! assert_eq!(db.stats().cve_count, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpe;
+pub mod cve;
+pub mod cwe;
+pub mod database;
+pub mod date;
+pub mod entry;
+pub mod feed;
+pub mod metrics;
+
+/// Convenient glob import of the commonly used types.
+pub mod prelude {
+    pub use crate::cpe::{CpeName, CpePart, CpeUri, ProductName, VendorName};
+    pub use crate::cve::CveId;
+    pub use crate::cwe::{CweCatalog, CweId, CweLabel};
+    pub use crate::database::{Database, DatabaseStats};
+    pub use crate::date::{Date, Weekday};
+    pub use crate::entry::{
+        CveEntry, CvssV2Record, CvssV3Record, Description, DescriptionSource, Reference,
+    };
+    pub use crate::metrics::{CvssV2Vector, CvssV3Vector, Severity};
+}

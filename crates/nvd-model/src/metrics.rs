@@ -1,0 +1,647 @@
+//! CVSS v2 / v3.0 metric enumerations, vector strings, and severity levels.
+//!
+//! This module holds the *data model* for CVSS: the base-metric enums, the
+//! vector types that group them, the canonical vector-string syntax, and the
+//! severity bands of the paper's Table 1. The scoring *equations* live in the
+//! `cvss` crate, which builds on these types.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a CVSS vector string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVectorError {
+    msg: String,
+}
+
+impl ParseVectorError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseVectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CVSS vector: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseVectorError {}
+
+macro_rules! metric_enum {
+    (
+        $(#[$meta:meta])*
+        $name:ident { $( $(#[$vmeta:meta])* $variant:ident => $abbr:literal ),+ $(,)? }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub enum $name {
+            $( $(#[$vmeta])* $variant, )+
+        }
+
+        impl $name {
+            /// All variants, in specification order.
+            pub const ALL: &'static [$name] = &[ $( $name::$variant, )+ ];
+
+            /// The single- or double-letter abbreviation used in vector strings.
+            pub fn abbrev(self) -> &'static str {
+                match self {
+                    $( $name::$variant => $abbr, )+
+                }
+            }
+
+            /// Parses the vector-string abbreviation.
+            pub fn from_abbrev(s: &str) -> Option<Self> {
+                match s {
+                    $( $abbr => Some($name::$variant), )+
+                    _ => None,
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.abbrev())
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// CVSS v2 base metrics
+// ---------------------------------------------------------------------------
+
+metric_enum! {
+    /// CVSS v2 Access Vector (AV).
+    AccessVectorV2 {
+        /// Requires local access.
+        Local => "L",
+        /// Requires access to the adjacent network.
+        AdjacentNetwork => "A",
+        /// Remotely exploitable.
+        Network => "N",
+    }
+}
+
+metric_enum! {
+    /// CVSS v2 Access Complexity (AC).
+    AccessComplexityV2 {
+        /// Specialised access conditions exist.
+        High => "H",
+        /// Somewhat specialised conditions.
+        Medium => "M",
+        /// No specialised conditions.
+        Low => "L",
+    }
+}
+
+metric_enum! {
+    /// CVSS v2 Authentication (Au).
+    AuthenticationV2 {
+        /// Two or more instances of authentication required.
+        Multiple => "M",
+        /// One instance of authentication required.
+        Single => "S",
+        /// No authentication required.
+        None => "N",
+    }
+}
+
+metric_enum! {
+    /// CVSS v2 impact metric, used for Confidentiality, Integrity and
+    /// Availability (C/I/A).
+    ImpactV2 {
+        /// No impact.
+        None => "N",
+        /// Partial impact.
+        Partial => "P",
+        /// Complete impact.
+        Complete => "C",
+    }
+}
+
+/// A complete CVSS v2 base vector, e.g. `AV:N/AC:L/Au:N/C:P/I:P/A:P`.
+///
+/// ```
+/// use nvd_model::metrics::CvssV2Vector;
+/// let v: CvssV2Vector = "AV:N/AC:L/Au:N/C:P/I:P/A:P".parse()?;
+/// assert_eq!(v.to_string(), "AV:N/AC:L/Au:N/C:P/I:P/A:P");
+/// # Ok::<(), nvd_model::metrics::ParseVectorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CvssV2Vector {
+    pub access_vector: AccessVectorV2,
+    pub access_complexity: AccessComplexityV2,
+    pub authentication: AuthenticationV2,
+    pub confidentiality: ImpactV2,
+    pub integrity: ImpactV2,
+    pub availability: ImpactV2,
+}
+
+impl CvssV2Vector {
+    /// Constructs a vector from its six base metrics in specification order.
+    pub fn new(
+        access_vector: AccessVectorV2,
+        access_complexity: AccessComplexityV2,
+        authentication: AuthenticationV2,
+        confidentiality: ImpactV2,
+        integrity: ImpactV2,
+        availability: ImpactV2,
+    ) -> Self {
+        Self {
+            access_vector,
+            access_complexity,
+            authentication,
+            confidentiality,
+            integrity,
+            availability,
+        }
+    }
+
+    /// Iterates over the three C/I/A impact metrics.
+    pub fn impacts(&self) -> [ImpactV2; 3] {
+        [self.confidentiality, self.integrity, self.availability]
+    }
+}
+
+impl fmt::Display for CvssV2Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AV:{}/AC:{}/Au:{}/C:{}/I:{}/A:{}",
+            self.access_vector,
+            self.access_complexity,
+            self.authentication,
+            self.confidentiality,
+            self.integrity,
+            self.availability
+        )
+    }
+}
+
+impl FromStr for CvssV2Vector {
+    type Err = ParseVectorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut av = None;
+        let mut ac = None;
+        let mut au = None;
+        let mut c = None;
+        let mut i = None;
+        let mut a = None;
+        for part in s.split('/') {
+            let (key, val) = part
+                .split_once(':')
+                .ok_or_else(|| ParseVectorError::new(format!("component {part:?}")))?;
+            let dup = |k: &str| ParseVectorError::new(format!("duplicate metric {k}"));
+            match key {
+                "AV" => {
+                    if av
+                        .replace(AccessVectorV2::from_abbrev(val).ok_or_else(|| {
+                            ParseVectorError::new(format!("AV value {val:?}"))
+                        })?)
+                        .is_some()
+                    {
+                        return Err(dup("AV"));
+                    }
+                }
+                "AC" => {
+                    if ac
+                        .replace(AccessComplexityV2::from_abbrev(val).ok_or_else(|| {
+                            ParseVectorError::new(format!("AC value {val:?}"))
+                        })?)
+                        .is_some()
+                    {
+                        return Err(dup("AC"));
+                    }
+                }
+                "Au" => {
+                    if au
+                        .replace(AuthenticationV2::from_abbrev(val).ok_or_else(|| {
+                            ParseVectorError::new(format!("Au value {val:?}"))
+                        })?)
+                        .is_some()
+                    {
+                        return Err(dup("Au"));
+                    }
+                }
+                "C" | "I" | "A" => {
+                    let imp = ImpactV2::from_abbrev(val)
+                        .ok_or_else(|| ParseVectorError::new(format!("{key} value {val:?}")))?;
+                    let slot = match key {
+                        "C" => &mut c,
+                        "I" => &mut i,
+                        _ => &mut a,
+                    };
+                    if slot.replace(imp).is_some() {
+                        return Err(dup(key));
+                    }
+                }
+                _ => return Err(ParseVectorError::new(format!("unknown metric {key:?}"))),
+            }
+        }
+        Ok(Self {
+            access_vector: av.ok_or_else(|| ParseVectorError::new("missing AV"))?,
+            access_complexity: ac.ok_or_else(|| ParseVectorError::new("missing AC"))?,
+            authentication: au.ok_or_else(|| ParseVectorError::new("missing Au"))?,
+            confidentiality: c.ok_or_else(|| ParseVectorError::new("missing C"))?,
+            integrity: i.ok_or_else(|| ParseVectorError::new("missing I"))?,
+            availability: a.ok_or_else(|| ParseVectorError::new("missing A"))?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CVSS v3.0 base metrics
+// ---------------------------------------------------------------------------
+
+metric_enum! {
+    /// CVSS v3.0 Attack Vector (AV). v3 splits v2's `Local` into `Local` and
+    /// `Physical`, the refinement the paper highlights in §4.3.
+    AttackVectorV3 {
+        /// Physically present attacker.
+        Physical => "P",
+        /// Local shell / logged-in attacker.
+        Local => "L",
+        /// Adjacent network (same broadcast/collision domain).
+        Adjacent => "A",
+        /// Remotely exploitable across the network.
+        Network => "N",
+    }
+}
+
+metric_enum! {
+    /// CVSS v3.0 Attack Complexity (AC).
+    AttackComplexityV3 {
+        /// Specialised conditions must exist.
+        High => "H",
+        /// No specialised conditions.
+        Low => "L",
+    }
+}
+
+metric_enum! {
+    /// CVSS v3.0 Privileges Required (PR).
+    PrivilegesRequiredV3 {
+        /// Administrative privileges required.
+        High => "H",
+        /// Basic user privileges required.
+        Low => "L",
+        /// No privileges required.
+        None => "N",
+    }
+}
+
+metric_enum! {
+    /// CVSS v3.0 User Interaction (UI) — split out of v2's access complexity.
+    UserInteractionV3 {
+        /// A user must take some action.
+        Required => "R",
+        /// Exploitable without user participation.
+        None => "N",
+    }
+}
+
+metric_enum! {
+    /// CVSS v3.0 Scope (S) — new in v3; `Changed` means the vulnerability
+    /// impacts resources beyond the exploitable component, which the paper
+    /// credits for much of v3's skew towards higher severities.
+    ScopeV3 {
+        /// Impact confined to the vulnerable component.
+        Unchanged => "U",
+        /// Impact reaches other components.
+        Changed => "C",
+    }
+}
+
+metric_enum! {
+    /// CVSS v3.0 impact metric for Confidentiality, Integrity, Availability.
+    ImpactV3 {
+        /// No impact.
+        None => "N",
+        /// Limited impact.
+        Low => "L",
+        /// Total impact.
+        High => "H",
+    }
+}
+
+/// A complete CVSS v3.0 base vector,
+/// e.g. `CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H`.
+///
+/// ```
+/// use nvd_model::metrics::CvssV3Vector;
+/// let v: CvssV3Vector = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse()?;
+/// assert_eq!(v.scope, nvd_model::metrics::ScopeV3::Unchanged);
+/// # Ok::<(), nvd_model::metrics::ParseVectorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CvssV3Vector {
+    pub attack_vector: AttackVectorV3,
+    pub attack_complexity: AttackComplexityV3,
+    pub privileges_required: PrivilegesRequiredV3,
+    pub user_interaction: UserInteractionV3,
+    pub scope: ScopeV3,
+    pub confidentiality: ImpactV3,
+    pub integrity: ImpactV3,
+    pub availability: ImpactV3,
+}
+
+impl CvssV3Vector {
+    /// Constructs a vector from its eight base metrics in specification order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        attack_vector: AttackVectorV3,
+        attack_complexity: AttackComplexityV3,
+        privileges_required: PrivilegesRequiredV3,
+        user_interaction: UserInteractionV3,
+        scope: ScopeV3,
+        confidentiality: ImpactV3,
+        integrity: ImpactV3,
+        availability: ImpactV3,
+    ) -> Self {
+        Self {
+            attack_vector,
+            attack_complexity,
+            privileges_required,
+            user_interaction,
+            scope,
+            confidentiality,
+            integrity,
+            availability,
+        }
+    }
+
+    /// Iterates over the three C/I/A impact metrics.
+    pub fn impacts(&self) -> [ImpactV3; 3] {
+        [self.confidentiality, self.integrity, self.availability]
+    }
+}
+
+impl fmt::Display for CvssV3Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CVSS:3.0/AV:{}/AC:{}/PR:{}/UI:{}/S:{}/C:{}/I:{}/A:{}",
+            self.attack_vector,
+            self.attack_complexity,
+            self.privileges_required,
+            self.user_interaction,
+            self.scope,
+            self.confidentiality,
+            self.integrity,
+            self.availability
+        )
+    }
+}
+
+impl FromStr for CvssV3Vector {
+    type Err = ParseVectorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix("CVSS:3.0/")
+            .or_else(|| s.strip_prefix("CVSS:3.1/"))
+            .ok_or_else(|| ParseVectorError::new("missing CVSS:3.x prefix"))?;
+        let mut fields: [Option<&str>; 8] = [None; 8];
+        const KEYS: [&str; 8] = ["AV", "AC", "PR", "UI", "S", "C", "I", "A"];
+        for part in body.split('/') {
+            let (key, val) = part
+                .split_once(':')
+                .ok_or_else(|| ParseVectorError::new(format!("component {part:?}")))?;
+            let idx = KEYS
+                .iter()
+                .position(|k| *k == key)
+                .ok_or_else(|| ParseVectorError::new(format!("unknown metric {key:?}")))?;
+            if fields[idx].replace(val).is_some() {
+                return Err(ParseVectorError::new(format!("duplicate metric {key}")));
+            }
+        }
+        let take = |idx: usize| -> Result<&str, ParseVectorError> {
+            fields[idx].ok_or_else(|| ParseVectorError::new(format!("missing {}", KEYS[idx])))
+        };
+        let bad = |key: &str, val: &str| ParseVectorError::new(format!("{key} value {val:?}"));
+        Ok(Self {
+            attack_vector: AttackVectorV3::from_abbrev(take(0)?)
+                .ok_or_else(|| bad("AV", fields[0].unwrap_or("")))?,
+            attack_complexity: AttackComplexityV3::from_abbrev(take(1)?)
+                .ok_or_else(|| bad("AC", fields[1].unwrap_or("")))?,
+            privileges_required: PrivilegesRequiredV3::from_abbrev(take(2)?)
+                .ok_or_else(|| bad("PR", fields[2].unwrap_or("")))?,
+            user_interaction: UserInteractionV3::from_abbrev(take(3)?)
+                .ok_or_else(|| bad("UI", fields[3].unwrap_or("")))?,
+            scope: ScopeV3::from_abbrev(take(4)?)
+                .ok_or_else(|| bad("S", fields[4].unwrap_or("")))?,
+            confidentiality: ImpactV3::from_abbrev(take(5)?)
+                .ok_or_else(|| bad("C", fields[5].unwrap_or("")))?,
+            integrity: ImpactV3::from_abbrev(take(6)?)
+                .ok_or_else(|| bad("I", fields[6].unwrap_or("")))?,
+            availability: ImpactV3::from_abbrev(take(7)?)
+                .ok_or_else(|| bad("A", fields[7].unwrap_or("")))?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Severity bands (paper Table 1)
+// ---------------------------------------------------------------------------
+
+/// Qualitative severity level.
+///
+/// v2 defines Low/Medium/High; v3.0 adds `None` (score 0.0) and `Critical`
+/// (9.0–10.0). The paper's Table 1 gives the thresholds implemented by
+/// [`Severity::from_v2_score`] and [`Severity::from_v3_score`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// v3 only: score exactly 0.0.
+    None,
+    Low,
+    Medium,
+    High,
+    /// v3 only: score in 9.0–10.0.
+    Critical,
+}
+
+impl Severity {
+    /// The four levels a v2 score can take (no `None`, no `Critical`).
+    pub const V2_LEVELS: [Severity; 3] = [Severity::Low, Severity::Medium, Severity::High];
+    /// The four non-`None` levels of v3, as used throughout the paper's tables.
+    pub const V3_LEVELS: [Severity; 4] = [
+        Severity::Low,
+        Severity::Medium,
+        Severity::High,
+        Severity::Critical,
+    ];
+
+    /// Banding for CVSS v2 scores: L 0.0–3.9, M 4.0–6.9, H 7.0–10.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is not within `0.0..=10.0` (scores are produced by
+    /// the scoring equations, which guarantee the range).
+    pub fn from_v2_score(score: f64) -> Self {
+        assert!(
+            (0.0..=10.0).contains(&score),
+            "v2 score {score} out of range"
+        );
+        if score < 4.0 {
+            Severity::Low
+        } else if score < 7.0 {
+            Severity::Medium
+        } else {
+            Severity::High
+        }
+    }
+
+    /// Banding for CVSS v3 scores: None 0.0, L 0.1–3.9, M 4.0–6.9, H 7.0–8.9,
+    /// C 9.0–10.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is not within `0.0..=10.0`.
+    pub fn from_v3_score(score: f64) -> Self {
+        assert!(
+            (0.0..=10.0).contains(&score),
+            "v3 score {score} out of range"
+        );
+        if score == 0.0 {
+            Severity::None
+        } else if score < 4.0 {
+            Severity::Low
+        } else if score < 7.0 {
+            Severity::Medium
+        } else if score < 9.0 {
+            Severity::High
+        } else {
+            Severity::Critical
+        }
+    }
+
+    /// One-letter label used in the paper's tables (`L`/`M`/`H`/`C`; `-` for none).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Severity::None => "-",
+            Severity::Low => "L",
+            Severity::Medium => "M",
+            Severity::High => "H",
+            Severity::Critical => "C",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Severity::None => "None",
+            Severity::Low => "Low",
+            Severity::Medium => "Medium",
+            Severity::High => "High",
+            Severity::Critical => "Critical",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v2_vector_roundtrip() {
+        let s = "AV:N/AC:L/Au:N/C:P/I:P/A:P";
+        let v: CvssV2Vector = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        assert_eq!(v.access_vector, AccessVectorV2::Network);
+        assert_eq!(v.impacts(), [ImpactV2::Partial; 3]);
+    }
+
+    #[test]
+    fn v2_vector_rejects_malformed() {
+        for bad in [
+            "AV:N/AC:L/Au:N/C:P/I:P",          // missing A
+            "AV:X/AC:L/Au:N/C:P/I:P/A:P",      // bad value
+            "AV:N/AC:L/Au:N/C:P/I:P/A:P/Z:1",  // unknown metric
+            "AV:N/AV:N/AC:L/Au:N/C:P/I:P/A:P", // duplicate
+            "AVN/AC:L/Au:N/C:P/I:P/A:P",       // no colon
+            "",
+        ] {
+            assert!(bad.parse::<CvssV2Vector>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn v3_vector_roundtrip() {
+        let s = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H";
+        let v: CvssV3Vector = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        assert_eq!(v.scope, ScopeV3::Changed);
+    }
+
+    #[test]
+    fn v3_accepts_31_prefix() {
+        let v: CvssV3Vector = "CVSS:3.1/AV:L/AC:H/PR:H/UI:R/S:U/C:N/I:N/A:L"
+            .parse()
+            .unwrap();
+        assert_eq!(v.attack_vector, AttackVectorV3::Local);
+    }
+
+    #[test]
+    fn v3_vector_rejects_malformed() {
+        for bad in [
+            "AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // missing prefix
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:Z",
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/A:H",
+        ] {
+            assert!(bad.parse::<CvssV3Vector>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn severity_bands_match_table1() {
+        // v2: L 0.0-3.9, M 4.0-6.9, H 7.0-10.0
+        assert_eq!(Severity::from_v2_score(0.0), Severity::Low);
+        assert_eq!(Severity::from_v2_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_v2_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_v2_score(6.9), Severity::Medium);
+        assert_eq!(Severity::from_v2_score(7.0), Severity::High);
+        assert_eq!(Severity::from_v2_score(10.0), Severity::High);
+        // v3: None 0.0, L 0.1-3.9, M 4.0-6.9, H 7.0-8.9, C 9.0-10.0
+        assert_eq!(Severity::from_v3_score(0.0), Severity::None);
+        assert_eq!(Severity::from_v3_score(0.1), Severity::Low);
+        assert_eq!(Severity::from_v3_score(3.9), Severity::Low);
+        assert_eq!(Severity::from_v3_score(4.0), Severity::Medium);
+        assert_eq!(Severity::from_v3_score(6.9), Severity::Medium);
+        assert_eq!(Severity::from_v3_score(7.0), Severity::High);
+        assert_eq!(Severity::from_v3_score(8.9), Severity::High);
+        assert_eq!(Severity::from_v3_score(9.0), Severity::Critical);
+        assert_eq!(Severity::from_v3_score(10.0), Severity::Critical);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn severity_rejects_out_of_range() {
+        let _ = Severity::from_v3_score(10.1);
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Low < Severity::Medium);
+        assert!(Severity::Medium < Severity::High);
+        assert!(Severity::High < Severity::Critical);
+        assert_eq!(Severity::Critical.abbrev(), "C");
+    }
+
+    #[test]
+    fn metric_enums_roundtrip_abbrevs() {
+        for av in AccessVectorV2::ALL {
+            assert_eq!(AccessVectorV2::from_abbrev(av.abbrev()), Some(*av));
+        }
+        for s in ScopeV3::ALL {
+            assert_eq!(ScopeV3::from_abbrev(s.abbrev()), Some(*s));
+        }
+        assert_eq!(ImpactV3::from_abbrev("X"), None);
+    }
+}

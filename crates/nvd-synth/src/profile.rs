@@ -1,0 +1,176 @@
+//! CWE behavioural profiles: popularity, era drift, and severity tendencies.
+//!
+//! The corpus generator needs a joint distribution over (CWE type, CVSS v2
+//! vector, true CVSS v3 vector) whose marginals match the paper's: v2
+//! severity split 8.25/54.83/36.92 (Table 9), the v2→v3 transition shape of
+//! Table 4, SQL injection dominating critical CVEs (Table 10), and a
+//! declining share of critical CVEs over the years (Fig. 3). Profiles give
+//! each weakness class the coarse exploitability/impact tendencies that
+//! produce those marginals.
+
+use nvd_model::cwe::CweId;
+
+/// Coarse behavioural class of a weakness type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CweClass {
+    /// Memory corruption: buffer overflows, OOB access, use-after-free.
+    Memory,
+    /// Server-side injection: SQL, command, code, LDAP, …
+    Injection,
+    /// Client/web issues needing user interaction: XSS, CSRF, redirects.
+    Web,
+    /// Information exposure and leaks.
+    InfoLeak,
+    /// Cryptographic weaknesses.
+    Crypto,
+    /// Authentication / authorization / permission problems.
+    AuthPriv,
+    /// Path traversal and file-handling issues.
+    PathFile,
+    /// Resource management and denial of service.
+    Resource,
+    /// Race conditions and concurrency.
+    Race,
+    /// Input-validation and everything else.
+    General,
+}
+
+/// Classifies a CWE ID into its behavioural class.
+pub fn classify(id: CweId) -> CweClass {
+    match id.number() {
+        119 | 120 | 125 | 129 | 131 | 134 | 189 | 190 | 191 | 193 | 415 | 416 | 476 | 787
+        | 822 | 824 | 908 | 909 | 369 | 682 | 843 => CweClass::Memory,
+        74 | 77 | 78 | 88 | 89 | 90 | 91 | 93 | 94 | 98 | 113 | 502 | 611 | 829 | 917 | 918
+        | 444 | 776 => CweClass::Injection,
+        79 | 352 | 601 | 640 | 916 | 920 | 922 | 346 | 441 => CweClass::Web,
+        199 | 200 | 201 | 203 | 209 | 532 | 538 | 552 | 668 => CweClass::InfoLeak,
+        310 | 311 | 312 | 319 | 320 | 326 | 327 | 330 | 331 | 338 | 295 | 297 | 345 | 354
+        | 693 => CweClass::Crypto,
+        254 | 255 | 259 | 264 | 269 | 273 | 275 | 276 | 281 | 284 | 285 | 287 | 290 | 294
+        | 306 | 307 | 521 | 522 | 613 | 798 | 862 | 863 | 732 | 749 | 384 | 426 | 427 | 428
+        | 436 | 662 => CweClass::AuthPriv,
+        21 | 22 | 59 | 434 | 706 | 610 => CweClass::PathFile,
+        399 | 400 | 401 | 404 | 459 | 674 | 769 | 772 | 834 | 835 | 617 => CweClass::Resource,
+        362 | 367 => CweClass::Race,
+        _ => CweClass::General,
+    }
+}
+
+/// Popularity boost for the head types of the paper's Table 10 (short-name
+/// footnotes: Buffer Overflow, SQL Injection, Permission Management, Input
+/// Validation, Code Injection, Resource Management, Use-after-Free,
+/// Numerical Error, Path Traversal, Improper Authorization, …).
+pub fn popularity_boost(id: CweId) -> f64 {
+    match id.number() {
+        119 => 11.0, // Buffer Overflow
+        79 => 9.5,   // XSS — frequent but rarely critical
+        89 => 8.0,   // SQL Injection
+        264 => 6.0,  // Permission Management
+        20 => 6.0,   // Input Validation
+        200 => 5.0,  // Information Exposure
+        94 => 3.6,   // Code Injection
+        399 => 3.4,  // Resource Management
+        22 => 2.8,   // Path Traversal
+        352 => 2.6,  // CSRF
+        189 => 2.2,  // Numerical Error
+        416 => 2.0,  // Use-after-Free
+        287 => 1.9,  // Improper Authentication
+        190 => 1.8,  // Integer Overflow
+        310 => 1.6,  // Cryptographic Issues
+        284 => 1.6,  // Access Control
+        285 => 1.5,  // Improper Authorization
+        125 => 1.5,  // Buffer Over Read
+        255 => 1.2,  // Credentials
+        77 => 1.0,   // Command Injection
+        _ => 0.0,
+    }
+}
+
+/// Era drift: relative weight multiplier per class for early (≤ 2008) vs
+/// late (≥ 2012) corpora, linearly interpolated in between. Shifting the
+/// mix away from memory corruption and towards web/leak classes is what
+/// produces Fig. 3's declining critical share.
+pub fn era_multiplier(class: CweClass, year: i32) -> f64 {
+    let (early, late) = match class {
+        CweClass::Memory => (2.2, 0.60),
+        CweClass::Injection => (1.6, 0.70),
+        CweClass::Web => (0.35, 1.90),
+        CweClass::InfoLeak => (0.35, 1.80),
+        CweClass::Crypto => (0.50, 1.40),
+        CweClass::AuthPriv => (0.70, 1.30),
+        CweClass::PathFile => (1.10, 0.90),
+        CweClass::Resource => (0.90, 1.10),
+        CweClass::Race => (1.0, 1.0),
+        CweClass::General => (1.0, 1.0),
+    };
+    let t = ((year - 2004) as f64 / 8.0).clamp(0.0, 1.0);
+    early + (late - early) * t
+}
+
+/// Per-class v2 severity-band distribution `(low, medium, high)`.
+///
+/// Mixing these with the class popularity approximates the paper's overall
+/// v2 marginals (8.25% L / 54.83% M / 36.92% H, Table 9).
+pub fn v2_band_weights(class: CweClass) -> (f64, f64, f64) {
+    match class {
+        CweClass::Memory => (0.02, 0.33, 0.65),
+        CweClass::Injection => (0.02, 0.38, 0.60),
+        CweClass::Web => (0.06, 0.88, 0.06),
+        CweClass::InfoLeak => (0.28, 0.62, 0.10),
+        CweClass::Crypto => (0.18, 0.67, 0.15),
+        CweClass::AuthPriv => (0.08, 0.62, 0.30),
+        CweClass::PathFile => (0.08, 0.62, 0.30),
+        CweClass::Resource => (0.10, 0.62, 0.28),
+        CweClass::Race => (0.20, 0.60, 0.20),
+        CweClass::General => (0.08, 0.57, 0.35),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvd_model::cwe::CweCatalog;
+
+    #[test]
+    fn classifies_head_types() {
+        assert_eq!(classify(CweId::new(119)), CweClass::Memory);
+        assert_eq!(classify(CweId::new(89)), CweClass::Injection);
+        assert_eq!(classify(CweId::new(79)), CweClass::Web);
+        assert_eq!(classify(CweId::new(200)), CweClass::InfoLeak);
+        assert_eq!(classify(CweId::new(310)), CweClass::Crypto);
+        assert_eq!(classify(CweId::new(264)), CweClass::AuthPriv);
+        assert_eq!(classify(CweId::new(22)), CweClass::PathFile);
+        assert_eq!(classify(CweId::new(399)), CweClass::Resource);
+        assert_eq!(classify(CweId::new(362)), CweClass::Race);
+        assert_eq!(classify(CweId::new(16)), CweClass::General);
+    }
+
+    #[test]
+    fn every_builtin_cwe_classifies() {
+        // No panic, and every class weight tuple sums to ≈1.
+        for rec in CweCatalog::builtin().iter() {
+            let class = classify(rec.id);
+            let (l, m, h) = v2_band_weights(class);
+            assert!((l + m + h - 1.0).abs() < 1e-9, "{:?}", rec.id);
+        }
+    }
+
+    #[test]
+    fn era_shifts_memory_down_web_up() {
+        assert!(era_multiplier(CweClass::Memory, 2000) > era_multiplier(CweClass::Memory, 2016));
+        assert!(era_multiplier(CweClass::Web, 2000) < era_multiplier(CweClass::Web, 2016));
+        // Interpolation is monotone in between.
+        let m2009 = era_multiplier(CweClass::Web, 2009);
+        let m2011 = era_multiplier(CweClass::Web, 2011);
+        assert!(m2009 < m2011);
+    }
+
+    #[test]
+    fn boosted_types_exist_in_catalog() {
+        let catalog = CweCatalog::builtin();
+        for rec in catalog.iter() {
+            let _ = popularity_boost(rec.id);
+        }
+        assert!(popularity_boost(CweId::new(119)) > popularity_boost(CweId::new(89)));
+    }
+}

@@ -1,0 +1,429 @@
+//! CVSS sampling: realistic v2 vectors and the latent true-v3 derivation.
+//!
+//! The paper's §4.3 premise is that "the added parameters in the v3 severity
+//! calculation can be extrapolated from the existing v2 parameters"
+//! (Appendix A.1) — i.e. true v3 vectors are *mostly* a learnable function
+//! of the v2 vector and the weakness type, with a residual the models
+//! cannot capture (their best model reaches 86.29% banded accuracy). The
+//! generator reproduces exactly that structure:
+//!
+//! * [`sample_v2`] draws a v2 vector whose severity-band marginals match
+//!   Table 9 (8.25% L / 54.83% M / 36.92% H) through the per-class band
+//!   weights of [`crate::profile`];
+//! * [`derive_true_v3`] maps (v2, CWE, latent noise) to a v3 vector with a
+//!   deterministic CWE-keyed rule blended with per-CVE noise, so that the
+//!   v2→v3 severity transition matrix reproduces the shape of Table 4 and a
+//!   learner given (v2 features, CWE) can reach high-80s accuracy but not
+//!   100%.
+
+use std::sync::OnceLock;
+
+use cvss::{score_v2, score_v3};
+use nvd_model::cwe::CweId;
+use nvd_model::metrics::{
+    AccessComplexityV2, AccessVectorV2, AttackComplexityV3, AttackVectorV3, AuthenticationV2,
+    CvssV2Vector, CvssV3Vector, ImpactV2, ImpactV3, PrivilegesRequiredV3, ScopeV3, Severity,
+    UserInteractionV3,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::profile::{classify, v2_band_weights, CweClass};
+
+/// A v2 vector pool entry: vector plus realism weight.
+type Pool = Vec<(CvssV2Vector, f64)>;
+
+/// Per-band pools of v2 base vectors, weighted by metric priors estimated
+/// from the real NVD (network-dominant access vector, low complexity, no
+/// authentication, partial impacts).
+fn band_pools() -> &'static [Pool; 3] {
+    static POOLS: OnceLock<[Pool; 3]> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        let av_w = |av: AccessVectorV2| match av {
+            AccessVectorV2::Network => 0.76,
+            AccessVectorV2::Local => 0.22,
+            AccessVectorV2::AdjacentNetwork => 0.02,
+        };
+        let ac_w = |ac: AccessComplexityV2| match ac {
+            AccessComplexityV2::Low => 0.55,
+            AccessComplexityV2::Medium => 0.35,
+            AccessComplexityV2::High => 0.10,
+        };
+        let au_w = |au: AuthenticationV2| match au {
+            AuthenticationV2::None => 0.86,
+            AuthenticationV2::Single => 0.13,
+            AuthenticationV2::Multiple => 0.01,
+        };
+        let im_w = |i: ImpactV2| match i {
+            ImpactV2::None => 0.30,
+            ImpactV2::Partial => 0.51,
+            ImpactV2::Complete => 0.19,
+        };
+        let mut pools: [Pool; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for v in cvss::all_v2_vectors() {
+            // All-None impacts score 0 and carry no signal; NVD entries are
+            // scored because something is impacted.
+            if v.impacts().iter().all(|i| *i == ImpactV2::None) {
+                continue;
+            }
+            let w = av_w(v.access_vector)
+                * ac_w(v.access_complexity)
+                * au_w(v.authentication)
+                * im_w(v.confidentiality)
+                * im_w(v.integrity)
+                * im_w(v.availability);
+            let (_, band) = score_v2(&v);
+            let slot = match band {
+                Severity::Low => 0,
+                Severity::Medium => 1,
+                _ => 2,
+            };
+            pools[slot].push((v, w));
+        }
+        pools
+    })
+}
+
+/// Samples a CVSS v2 base vector for a weakness of the given class, with
+/// band frequencies from [`v2_band_weights`].
+pub fn sample_v2(rng: &mut StdRng, class: CweClass) -> CvssV2Vector {
+    let (l, m, _) = v2_band_weights(class);
+    let x: f64 = rng.gen();
+    let band = if x < l {
+        0
+    } else if x < l + m {
+        1
+    } else {
+        2
+    };
+    let pool = &band_pools()[band];
+    let total: f64 = pool.iter().map(|(_, w)| w).sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (v, w) in pool {
+        t -= w;
+        if t <= 0.0 {
+            return *v;
+        }
+    }
+    pool.last().expect("non-empty pool").0
+}
+
+/// SplitMix64: cheap deterministic hashing for rule decisions.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform-in-[0,1) value derived from a hash.
+fn frac(x: u64) -> f64 {
+    (mix(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Fraction of each rule decision driven by per-CVE latent noise instead of
+/// the (CWE, v2) signal; this is the irreducible error that caps model
+/// accuracy below 100% (paper: CNN 86.29%).
+const NOISE_WEIGHT: f64 = 0.15;
+
+/// A blended coin: mostly keyed on the learnable (cwe, tag) signal, partly
+/// on the per-CVE latent.
+fn decide(cwe: CweId, latent: u64, tag: u64, probability: f64) -> bool {
+    let learnable = frac((u64::from(cwe.number()) << 8) ^ tag);
+    let noisy = frac(latent ^ tag.rotate_left(17));
+    learnable * (1.0 - NOISE_WEIGHT) + noisy * NOISE_WEIGHT < probability
+}
+
+/// Per-class probability that a v2 `Partial` impact becomes v3 `High` for
+/// dimension `dim` (0 = confidentiality, 1 = integrity, 2 = availability).
+fn upgrade_probability(class: CweClass, dim: usize) -> f64 {
+    match (class, dim) {
+        (CweClass::Memory, _) => 0.80,
+        (CweClass::Injection, 0 | 1) => 0.90,
+        (CweClass::Injection, _) => 0.55,
+        (CweClass::Web, _) => 0.30,
+        (CweClass::InfoLeak, 0) => 0.75,
+        (CweClass::InfoLeak, _) => 0.05,
+        (CweClass::Crypto, 0) => 0.70,
+        (CweClass::Crypto, 1) => 0.30,
+        (CweClass::Crypto, _) => 0.05,
+        (CweClass::AuthPriv, _) => 0.60,
+        (CweClass::PathFile, 0) => 0.70,
+        (CweClass::PathFile, 1) => 0.50,
+        (CweClass::PathFile, _) => 0.30,
+        (CweClass::Resource, 2) => 0.85,
+        (CweClass::Resource, _) => 0.10,
+        (CweClass::Race, _) => 0.50,
+        (CweClass::General, _) => 0.50,
+    }
+}
+
+/// Derives the latent *true* CVSS v3.0 vector for a vulnerability.
+///
+/// `latent` is the per-CVE noise source (hash the CVE ID); two calls with
+/// identical arguments return identical vectors.
+pub fn derive_true_v3(v2: &CvssV2Vector, cwe: CweId, latent: u64) -> CvssV3Vector {
+    let class = classify(cwe);
+
+    let attack_vector = match v2.access_vector {
+        AccessVectorV2::Network => AttackVectorV3::Network,
+        AccessVectorV2::AdjacentNetwork => AttackVectorV3::Adjacent,
+        AccessVectorV2::Local => {
+            if decide(cwe, latent, 0x11, 0.12) {
+                AttackVectorV3::Physical
+            } else {
+                AttackVectorV3::Local
+            }
+        }
+    };
+
+    let attack_complexity = match v2.access_complexity {
+        AccessComplexityV2::Low => AttackComplexityV3::Low,
+        AccessComplexityV2::Medium => {
+            // v3 folds most of v2's Medium complexity into Low, splitting
+            // user interaction out separately.
+            let p_high = match class {
+                CweClass::Race | CweClass::Crypto => 0.75,
+                _ => 0.25,
+            };
+            if decide(cwe, latent, 0x22, p_high) {
+                AttackComplexityV3::High
+            } else {
+                AttackComplexityV3::Low
+            }
+        }
+        AccessComplexityV2::High => AttackComplexityV3::High,
+    };
+
+    let privileges_required = match v2.authentication {
+        AuthenticationV2::None => PrivilegesRequiredV3::None,
+        AuthenticationV2::Single => PrivilegesRequiredV3::Low,
+        AuthenticationV2::Multiple => PrivilegesRequiredV3::High,
+    };
+
+    let user_interaction = match class {
+        CweClass::Web => UserInteractionV3::Required,
+        // Client-side file-format memory corruption needs a victim to open
+        // the crafted file — which is most of the buffer-overflow
+        // population, and what keeps v3 Buffer Overflow at High rather
+        // than Critical (paper Table 10).
+        CweClass::Memory if decide(cwe, latent, 0x33, 0.75) => UserInteractionV3::Required,
+        _ => UserInteractionV3::None,
+    };
+
+    // Server-side injections frequently compromise resources beyond the
+    // vulnerable component (the database behind the web app), which is why
+    // SQL injection dominates the critical band in Table 10.
+    let scope_p = match class {
+        CweClass::Web => 0.80,
+        CweClass::Injection => 0.40,
+        CweClass::AuthPriv => 0.15,
+        _ => 0.03,
+    };
+    let scope = if decide(cwe, latent, 0x44, scope_p) {
+        ScopeV3::Changed
+    } else {
+        ScopeV3::Unchanged
+    };
+
+    let impact = |v2_impact: ImpactV2, dim: usize| -> ImpactV3 {
+        match v2_impact {
+            ImpactV2::None => ImpactV3::None,
+            ImpactV2::Complete => ImpactV3::High,
+            ImpactV2::Partial => {
+                if decide(cwe, latent, 0x55 + dim as u64, upgrade_probability(class, dim)) {
+                    ImpactV3::High
+                } else {
+                    ImpactV3::Low
+                }
+            }
+        }
+    };
+
+    CvssV3Vector::new(
+        attack_vector,
+        attack_complexity,
+        privileges_required,
+        user_interaction,
+        scope,
+        impact(v2.confidentiality, 0),
+        impact(v2.integrity, 1),
+        impact(v2.availability, 2),
+    )
+}
+
+/// Convenience: derived v3 vector plus its base score and severity band.
+pub fn derive_true_v3_scored(
+    v2: &CvssV2Vector,
+    cwe: CweId,
+    latent: u64,
+) -> (CvssV3Vector, f64, Severity) {
+    let v3 = derive_true_v3(v2, cwe, latent);
+    let (score, band) = score_v3(&v3);
+    (v3, score, band)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn v2_marginals_match_table9() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Approximate the corpus class mix with the dominant classes.
+        let classes = [
+            (CweClass::Memory, 0.22),
+            (CweClass::Injection, 0.14),
+            (CweClass::Web, 0.18),
+            (CweClass::InfoLeak, 0.09),
+            (CweClass::AuthPriv, 0.13),
+            (CweClass::PathFile, 0.06),
+            (CweClass::Resource, 0.07),
+            (CweClass::Crypto, 0.04),
+            (CweClass::General, 0.07),
+        ];
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let mut x: f64 = rng.gen();
+            let mut class = CweClass::General;
+            for (c, w) in classes {
+                x -= w;
+                if x <= 0.0 {
+                    class = c;
+                    break;
+                }
+            }
+            let v = sample_v2(&mut rng, class);
+            let (_, band) = score_v2(&v);
+            counts[match band {
+                Severity::Low => 0,
+                Severity::Medium => 1,
+                _ => 2,
+            }] += 1;
+        }
+        let low = counts[0] as f64 / n as f64;
+        let med = counts[1] as f64 / n as f64;
+        let high = counts[2] as f64 / n as f64;
+        // Paper Table 9: 8.25 / 54.83 / 36.92.
+        assert!((0.04..0.14).contains(&low), "low {low}");
+        assert!((0.45..0.65).contains(&med), "medium {med}");
+        assert!((0.27..0.47).contains(&high), "high {high}");
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let v2: CvssV2Vector = "AV:N/AC:L/Au:N/C:P/I:P/A:P".parse().unwrap();
+        let a = derive_true_v3(&v2, CweId::new(89), 1234);
+        let b = derive_true_v3(&v2, CweId::new(89), 1234);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transition_matrix_has_table4_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let classes = [
+            CweClass::Memory,
+            CweClass::Injection,
+            CweClass::Web,
+            CweClass::InfoLeak,
+            CweClass::AuthPriv,
+            CweClass::Resource,
+        ];
+        let cwes = [
+            CweId::new(119),
+            CweId::new(89),
+            CweId::new(79),
+            CweId::new(200),
+            CweId::new(264),
+            CweId::new(399),
+        ];
+        // rows: v2 L/M/H; cols: v3 L/M/H/C
+        let mut m = [[0usize; 4]; 3];
+        for _ in 0..30_000 {
+            let k = rng.gen_range(0..classes.len());
+            let v2 = sample_v2(&mut rng, classes[k]);
+            let (_, band2) = score_v2(&v2);
+            let (_, _, band3) = derive_true_v3_scored(&v2, cwes[k], rng.gen());
+            let r = match band2 {
+                Severity::Low => 0,
+                Severity::Medium => 1,
+                _ => 2,
+            };
+            let c = match band3 {
+                Severity::None | Severity::Low => 0,
+                Severity::Medium => 1,
+                Severity::High => 2,
+                Severity::Critical => 3,
+            };
+            m[r][c] += 1;
+        }
+        let row = |r: usize| {
+            let tot: usize = m[r].iter().sum();
+            [
+                m[r][0] as f64 / tot as f64,
+                m[r][1] as f64 / tot as f64,
+                m[r][2] as f64 / tot as f64,
+                m[r][3] as f64 / tot as f64,
+            ]
+        };
+        let low = row(0);
+        // Paper: L → 9.5% L, 84.3% M, 6.2% H, 0% C.
+        assert!(low[1] > 0.5, "L→M share {}", low[1]);
+        assert!(low[3] < 0.02, "L→C share {}", low[3]);
+        let med = row(1);
+        // Paper: M → mostly M (46.9%) and H (49.3%), few C (2.75%).
+        assert!(med[1] + med[2] > 0.75, "M→{{M,H}} {}", med[1] + med[2]);
+        assert!(med[3] < 0.15, "M→C {}", med[3]);
+        let high = row(2);
+        // Paper: H → 47.8% H + 47.2% C, no L.
+        assert!(high[2] + high[3] > 0.80, "H→{{H,C}} {}", high[2] + high[3]);
+        assert!(high[3] > 0.25, "H→C {}", high[3]);
+        assert!(high[0] < 0.01, "H→L {}", high[0]);
+    }
+
+    #[test]
+    fn v3_skews_above_v2() {
+        // Table 9: v3 shifts mass towards High/Critical.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v2_high = 0usize;
+        let mut v3_high = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let v2 = sample_v2(&mut rng, CweClass::Memory);
+            let (_, b2) = score_v2(&v2);
+            let (_, _, b3) = derive_true_v3_scored(&v2, CweId::new(119), rng.gen());
+            if b2 >= Severity::High {
+                v2_high += 1;
+            }
+            if b3 >= Severity::High {
+                v3_high += 1;
+            }
+        }
+        assert!(v3_high > v2_high, "v3 {v3_high} ≤ v2 {v2_high}");
+    }
+
+    #[test]
+    fn sql_injection_reaches_critical_more_than_xss() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sqli_crit = 0;
+        let mut xss_crit = 0;
+        for _ in 0..4000 {
+            let v2 = sample_v2(&mut rng, CweClass::Injection);
+            let (_, _, b) = derive_true_v3_scored(&v2, CweId::new(89), rng.gen());
+            if b == Severity::Critical {
+                sqli_crit += 1;
+            }
+            let v2 = sample_v2(&mut rng, CweClass::Web);
+            let (_, _, b) = derive_true_v3_scored(&v2, CweId::new(79), rng.gen());
+            if b == Severity::Critical {
+                xss_crit += 1;
+            }
+        }
+        assert!(
+            sqli_crit > xss_crit * 3,
+            "sqli {sqli_crit} vs xss {xss_crit}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Side vulnerability databases: SecurityFocus and SecurityTracker.
+//!
+//! §4.2 applies the NVD-derived vendor-name mapping to two other databases
+//! and finds 8% (SecurityFocus, 24,760 vendors) and 3% (SecurityTracker,
+//! 4,151 vendors) of their vendor names inconsistent. The side databases
+//! here share part of the NVD vendor universe — including its injected
+//! aliases at those rates — plus names of their own.
+
+use std::collections::BTreeSet;
+
+use nvd_model::prelude::VendorName;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::names::NameUniverse;
+use crate::words::{VENDOR_HEADS, VENDOR_TAILS};
+
+/// A non-NVD vulnerability database's vendor list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideDatabase {
+    /// Database name (`SecurityFocus` / `SecurityTracker`).
+    pub name: String,
+    /// Distinct vendor names as this database spells them.
+    pub vendors: Vec<VendorName>,
+}
+
+impl SideDatabase {
+    /// Number of distinct vendor names.
+    pub fn len(&self) -> usize {
+        self.vendors.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vendors.is_empty()
+    }
+}
+
+/// Builds a side database sharing the universe's vendor names.
+///
+/// * `target` — total distinct vendor names (pre-scaled by the caller);
+/// * `alias_fraction` — fraction of names that are NVD-mapped aliases
+///   (0.08 for SecurityFocus, 0.03 for SecurityTracker).
+pub fn build_side_database(
+    rng: &mut StdRng,
+    universe: &NameUniverse,
+    name: &str,
+    target: usize,
+    alias_fraction: f64,
+) -> SideDatabase {
+    let mut vendors: BTreeSet<VendorName> = BTreeSet::new();
+
+    // Alias names first (with their canonicals, as real databases carry
+    // both spellings).
+    let alias_budget = ((target as f64) * alias_fraction) as usize;
+    let mut alias_indices: Vec<usize> = (0..universe.vendor_aliases.len()).collect();
+    // Fisher–Yates partial shuffle.
+    for i in 0..alias_indices.len().min(alias_budget) {
+        let j = rng.gen_range(i..alias_indices.len());
+        alias_indices.swap(i, j);
+    }
+    for &ai in alias_indices.iter().take(alias_budget) {
+        let a = &universe.vendor_aliases[ai];
+        vendors.insert(a.alias.clone());
+        vendors.insert(a.canonical.clone());
+    }
+
+    // Shared canonical names.
+    let shared_budget = (target * 2) / 3;
+    let mut guard = 0;
+    while vendors.len() < shared_budget && guard < target * 10 {
+        guard += 1;
+        let idx = rng.gen_range(0..universe.vendors.len());
+        vendors.insert(universe.vendors[idx].name.clone());
+    }
+
+    // Database-exclusive names to reach the target.
+    let mut salt = 0usize;
+    while vendors.len() < target {
+        let head = VENDOR_HEADS[rng.gen_range(0..VENDOR_HEADS.len())];
+        let tail = VENDOR_TAILS[rng.gen_range(0..VENDOR_TAILS.len())];
+        salt += 1;
+        let candidate = format!("{head}_{tail}_{}{salt}", name.to_lowercase());
+        vendors.insert(VendorName::new(&candidate));
+    }
+
+    SideDatabase {
+        name: name.to_owned(),
+        vendors: vendors.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::NameTargets;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, NameUniverse) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let u = NameUniverse::generate(&mut rng, 0.02, &NameTargets::default());
+        (rng, u)
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let (mut rng, u) = setup();
+        let sf = build_side_database(&mut rng, &u, "SecurityFocus", 500, 0.08);
+        assert_eq!(sf.len(), 500);
+    }
+
+    #[test]
+    fn contains_mappable_aliases() {
+        let (mut rng, u) = setup();
+        let sf = build_side_database(&mut rng, &u, "SecurityFocus", 500, 0.08);
+        let alias_map = u.vendor_alias_map();
+        let mapped = sf
+            .vendors
+            .iter()
+            .filter(|v| alias_map.contains_key(*v))
+            .count();
+        assert!(mapped > 0, "side DB must contain NVD aliases");
+        let rate = mapped as f64 / sf.len() as f64;
+        assert!(rate < 0.2, "alias rate too high: {rate}");
+    }
+
+    #[test]
+    fn tracker_has_lower_alias_rate_than_focus() {
+        let (mut rng, u) = setup();
+        let sf = build_side_database(&mut rng, &u, "SecurityFocus", 600, 0.08);
+        let st = build_side_database(&mut rng, &u, "SecurityTracker", 600, 0.02);
+        let alias_map = u.vendor_alias_map();
+        let rate = |db: &SideDatabase| {
+            db.vendors
+                .iter()
+                .filter(|v| alias_map.contains_key(*v))
+                .count() as f64
+                / db.len() as f64
+        };
+        assert!(rate(&sf) >= rate(&st), "SF {} < ST {}", rate(&sf), rate(&st));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let (mut rng, u) = setup();
+        let sf = build_side_database(&mut rng, &u, "SecurityFocus", 300, 0.08);
+        let set: BTreeSet<&VendorName> = sf.vendors.iter().collect();
+        assert_eq!(set.len(), sf.len());
+    }
+}

@@ -1,0 +1,251 @@
+//! Free-form CVE description generation.
+//!
+//! §4.4 of the paper classifies vulnerability descriptions into CWE types
+//! with a k-NN over sentence embeddings (65.60% accuracy over 151 classes)
+//! and regex-mines `CWE-\d+` mentions out of evaluator comments. To support
+//! both experiments, descriptions here are (a) class-typical, written in the
+//! NVD analysts' house style, (b) only partially type-revealing — the
+//! weakness's short name is mentioned in most but not all descriptions, so
+//! embedding classifiers top out well below 100% — and (c) optionally
+//! accompanied by evaluator comments embedding the formal `CWE-n: name`
+//! string.
+
+use nvd_model::cwe::{CweCatalog, CweId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::profile::{classify, CweClass};
+
+const PARAMS: &[&str] = &[
+    "id", "page", "query", "user", "name", "file", "path", "action", "cmd", "search", "lang",
+    "cat", "token", "session", "redirect",
+];
+
+const COMPONENTS: &[&str] = &[
+    "login module",
+    "admin console",
+    "file upload handler",
+    "session manager",
+    "report generator",
+    "update service",
+    "configuration parser",
+    "web interface",
+    "RPC service",
+    "print spooler",
+];
+
+const FILETYPES: &[&str] = &[
+    "PDF", "MP4", "PNG", "XML", "ZIP", "DOC", "TIFF", "SWF", "HTML", "MIDI",
+];
+
+const ACTORS_REMOTE: &[&str] = &["remote attackers", "unauthenticated remote attackers"];
+const ACTORS_AUTH: &[&str] = &["remote authenticated users", "authenticated attackers"];
+const ACTORS_LOCAL: &[&str] = &["local users", "physically proximate attackers"];
+
+fn pick<'a>(rng: &mut StdRng, list: &[&'a str]) -> &'a str {
+    list[rng.gen_range(0..list.len())]
+}
+
+/// A plausible version string.
+pub fn version(rng: &mut StdRng) -> String {
+    let major = rng.gen_range(0..12);
+    let minor = rng.gen_range(0..20);
+    if rng.gen_bool(0.5) {
+        format!("{major}.{minor}")
+    } else {
+        format!("{major}.{minor}.{}", rng.gen_range(0..30))
+    }
+}
+
+/// Generates the analyst description for a vulnerability of type `cwe` in
+/// `vendor`'s `product`.
+///
+/// The probability that the weakness's short name is mentioned explicitly is
+/// `name_mention_p` — the knob that calibrates k-NN type-classification
+/// accuracy (paper: 65.60%).
+pub fn describe(
+    rng: &mut StdRng,
+    catalog: &CweCatalog,
+    cwe: CweId,
+    vendor: &str,
+    product: &str,
+    name_mention_p: f64,
+) -> String {
+    let class = classify(cwe);
+    let ver = version(rng);
+    let param = pick(rng, PARAMS);
+    let comp = pick(rng, COMPONENTS);
+    let ft = pick(rng, FILETYPES);
+    let body = match class {
+        CweClass::Memory => match rng.gen_range(0..3) {
+            0 => format!(
+                "Buffer overflow in {product} {ver} from {vendor} allows {} to execute \
+                 arbitrary code via a crafted {ft} file.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+            1 => format!(
+                "Heap-based memory corruption in the {comp} in {vendor} {product} before \
+                 {ver} allows attackers to cause a denial of service or possibly execute \
+                 arbitrary code via a long {param} argument."
+            ),
+            _ => format!(
+                "Out-of-bounds access in {product} {ver} allows {} to overwrite memory \
+                 and potentially execute arbitrary code via a malformed {ft} document.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+        },
+        CweClass::Injection => match rng.gen_range(0..3) {
+            0 => format!(
+                "SQL injection vulnerability in {param}.php in {vendor} {product} {ver} \
+                 allows {} to execute arbitrary SQL commands via the {param} parameter.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+            1 => format!(
+                "The {comp} in {product} before {ver} allows {} to inject and execute \
+                 arbitrary commands via shell metacharacters in the {param} field.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+            _ => format!(
+                "Improper neutralization of special elements in {vendor} {product} {ver} \
+                 allows attackers to execute arbitrary code via a crafted {param} value."
+            ),
+        },
+        CweClass::Web => match rng.gen_range(0..3) {
+            0 => format!(
+                "Cross-site scripting (XSS) vulnerability in {vendor} {product} {ver} \
+                 allows {} to inject arbitrary web script or HTML via the {param} \
+                 parameter.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+            1 => format!(
+                "Cross-site request forgery in the {comp} of {product} before {ver} allows \
+                 attackers to hijack the authentication of administrators via a crafted \
+                 request."
+            ),
+            _ => format!(
+                "Open redirect in {product} {ver} allows {} to redirect victims to \
+                 arbitrary web sites via the {param} parameter.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+        },
+        CweClass::InfoLeak => format!(
+            "{vendor} {product} {ver} allows {} to obtain sensitive information via a \
+             crafted request to the {comp}, which reveals the {param} in an error message.",
+            pick(rng, ACTORS_REMOTE)
+        ),
+        CweClass::Crypto => format!(
+            "{vendor} {product} before {ver} uses a weak cryptographic algorithm in the \
+             {comp}, which makes it easier for attackers to decrypt or spoof sensitive \
+             data via a crafted {param}.",
+        ),
+        CweClass::AuthPriv => match rng.gen_range(0..2) {
+            0 => format!(
+                "{product} {ver} does not properly enforce access restrictions in the \
+                 {comp}, which allows {} to gain privileges via unspecified vectors.",
+                pick(rng, ACTORS_AUTH)
+            ),
+            _ => format!(
+                "Authentication bypass in the {comp} of {vendor} {product} before {ver} \
+                 allows {} to obtain administrative access via a crafted {param}.",
+                pick(rng, ACTORS_REMOTE)
+            ),
+        },
+        CweClass::PathFile => format!(
+            "Directory traversal vulnerability in {product} {ver} from {vendor} allows \
+             {} to read arbitrary files via a .. (dot dot) in the {param} parameter.",
+            pick(rng, ACTORS_REMOTE)
+        ),
+        CweClass::Resource => format!(
+            "{vendor} {product} before {ver} allows {} to cause a denial of service \
+             (resource exhaustion) via a malformed {ft} file processed by the {comp}.",
+            pick(rng, ACTORS_REMOTE)
+        ),
+        CweClass::Race => format!(
+            "Race condition in the {comp} in {product} {ver} allows {} to gain privileges \
+             via a symlink attack on the {param} temporary file.",
+            pick(rng, ACTORS_LOCAL)
+        ),
+        CweClass::General => format!(
+            "Unspecified vulnerability in {vendor} {product} {ver} allows attackers to \
+             have unspecified impact via unknown vectors related to the {comp}."
+        ),
+    };
+    if rng.gen::<f64>() < name_mention_p {
+        let short = catalog
+            .short_name(cwe)
+            .map(str::to_lowercase)
+            .unwrap_or_else(|| format!("cwe {}", cwe.number()));
+        format!("{body} The issue is classified as {short}.")
+    } else {
+        body
+    }
+}
+
+/// The evaluator comment embedding the formal CWE string, e.g.
+/// `Per the CVE evaluator: CWE-835: Loop with Unreachable Exit Condition
+/// ('Infinite Loop').` — the exact pattern §4.4 mines with `CWE-[0-9]*`.
+pub fn evaluator_comment(catalog: &CweCatalog, cwe: CweId) -> String {
+    let name = catalog
+        .get(cwe)
+        .map(|r| r.name.as_str())
+        .unwrap_or("Unclassified Weakness");
+    format!("Per the CVE evaluator: {cwe}: {name}.")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn descriptions_mention_product_and_read_like_nvd() {
+        let catalog = CweCatalog::builtin();
+        let mut rng = StdRng::seed_from_u64(5);
+        for cwe in [119u32, 89, 79, 200, 310, 264, 22, 399, 362, 16] {
+            let d = describe(
+                &mut rng,
+                &catalog,
+                CweId::new(cwe),
+                "microsoft",
+                "internet_explorer",
+                0.7,
+            );
+            assert!(d.contains("internet_explorer"), "{d}");
+            assert!(d.len() > 60, "{d}");
+        }
+    }
+
+    #[test]
+    fn name_mention_probability_is_respected() {
+        let catalog = CweCatalog::builtin();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mentions = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let d = describe(&mut rng, &catalog, CweId::new(89), "v", "p", 0.7);
+            if d.contains("classified as") {
+                mentions += 1;
+            }
+        }
+        let rate = mentions as f64 / n as f64;
+        assert!((0.6..0.8).contains(&rate), "mention rate {rate}");
+    }
+
+    #[test]
+    fn evaluator_comment_matches_mining_regex() {
+        let catalog = CweCatalog::builtin();
+        let c = evaluator_comment(&catalog, CweId::new(835));
+        assert!(c.contains("CWE-835"), "{c}");
+        assert!(c.contains("Infinite Loop"), "{c}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let catalog = CweCatalog::builtin();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = describe(&mut r1, &catalog, CweId::new(79), "v", "p", 0.5);
+        let b = describe(&mut r2, &catalog, CweId::new(79), "v", "p", 0.5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Word lists for synthesising realistic vendor and product names.
+//!
+//! The synthetic universe combines a roster of *anchor* vendors (the real
+//! names the paper's tables cite, so its case studies reproduce verbatim)
+//! with compositional names built from these lists.
+
+/// First components of compositional vendor names.
+pub const VENDOR_HEADS: &[&str] = &[
+    "net", "soft", "sec", "data", "cyber", "info", "micro", "tech", "web", "cloud", "open",
+    "red", "blue", "silver", "iron", "quick", "smart", "deep", "core", "prime", "alpha", "delta",
+    "omni", "meta", "giga", "tera", "nano", "hyper", "ultra", "pro", "apex", "east", "west",
+    "north", "south", "star", "sun", "moon", "terra", "aqua", "pyro", "volt", "flux", "grid",
+    "link", "node", "byte", "bit", "hex", "zen",
+];
+
+/// Second components of compositional vendor names.
+pub const VENDOR_TAILS: &[&str] = &[
+    "works", "systems", "soft", "ware", "tech", "labs", "corp", "solutions", "security",
+    "networks", "dynamics", "logic", "media", "tools", "forge", "stack", "base", "guard",
+    "shield", "trust", "safe", "scan", "audit", "byte", "code", "apps", "cloud", "host",
+    "server", "comm", "tel", "sys", "dev", "group", "team", "inc", "io", "hub", "port",
+    "gate", "bridge", "point", "view", "line", "path", "wave", "storm", "fire", "ice",
+];
+
+/// First components of compositional product names.
+pub const PRODUCT_HEADS: &[&str] = &[
+    "enterprise", "secure", "smart", "easy", "rapid", "total", "active", "dynamic", "virtual",
+    "remote", "mobile", "central", "unified", "advanced", "express", "instant", "global",
+    "power", "master", "super", "auto", "multi", "open", "free", "pro", "lite", "max", "mini",
+    "turbo", "flex",
+];
+
+/// Second components of compositional product names.
+pub const PRODUCT_TAILS: &[&str] = &[
+    "manager", "server", "client", "suite", "studio", "portal", "gateway", "engine", "console",
+    "monitor", "scanner", "viewer", "editor", "builder", "designer", "explorer", "commander",
+    "center", "desk", "mail", "chat", "store", "cart", "wiki", "blog", "forum", "cms", "crm",
+    "erp", "vpn", "proxy", "router", "switch", "camera", "firmware", "driver", "kernel",
+    "player", "recorder", "archiver", "backup", "sync", "connect", "deploy", "control",
+    "board", "panel", "agent", "daemon", "service",
+];
+
+/// Generic product names deliberately shared across unrelated vendors, so
+/// the shared-product heuristic has honest false-positive candidates to
+/// reject (the paper's `#MP ≥ 1 ∧ |LCS| < 3` bucket).
+pub const GENERIC_PRODUCTS: &[&str] = &[
+    "antivirus",
+    "firewall",
+    "toolkit",
+    "firmware",
+    "dashboard",
+    "installer",
+    "updater",
+    "launcher",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_are_nonempty_and_lowercase() {
+        for list in [VENDOR_HEADS, VENDOR_TAILS, PRODUCT_HEADS, PRODUCT_TAILS, GENERIC_PRODUCTS] {
+            assert!(!list.is_empty());
+            for w in list {
+                assert!(!w.is_empty());
+                assert_eq!(w.to_lowercase(), **w, "{w} must be lowercase");
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_combinations_exceed_universe_needs() {
+        // 50 × 50 heads×tails plus numeric suffixes comfortably exceeds the
+        // ≈19K vendors of the full-scale corpus.
+        assert!(VENDOR_HEADS.len() * VENDOR_TAILS.len() >= 2000);
+    }
+}

@@ -1,0 +1,192 @@
+//! String similarity primitives used by the name-consolidation heuristics.
+//!
+//! The paper's §4.2 vendor heuristics key on the **longest common substring**
+//! (`|LCS| ≥ 3` versus `< 3` splits Table 2's columns) and on **prefix**
+//! relations; its product heuristics use **edit distance** to catch character
+//! replacement/addition/swap typos (e.g. `tbe_banner_engine` vs
+//! `the_banner_engine`, edit distance 1).
+
+/// Levenshtein edit distance between two strings, counting insertions,
+/// deletions, and substitutions (each cost 1).
+///
+/// Operates on `char`s, so multi-byte text is measured in characters rather
+/// than bytes.
+///
+/// ```
+/// use textkit::distance::levenshtein;
+/// assert_eq!(levenshtein("tbe_banner_engine", "the_banner_engine"), 1);
+/// assert_eq!(levenshtein("microsoft", "microsft"), 1);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row dynamic programming; `prev` holds D[i-1][j-1].
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            let next = (prev + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b.len()]
+}
+
+/// Length of the longest common substring (contiguous) of `a` and `b`.
+///
+/// This is the signifier the paper uses to grade vendor-pair heuristics:
+/// pairs with `|LCS| ≥ 3` are far more likely to be genuinely matching.
+///
+/// ```
+/// use textkit::distance::longest_common_substring_len;
+/// assert_eq!(longest_common_substring_len("lynx", "lynx_project"), 4);
+/// assert_eq!(longest_common_substring_len("abc", "xyz"), 0);
+/// ```
+pub fn longest_common_substring_len(a: &str, b: &str) -> usize {
+    longest_common_substring(a, b).chars().count()
+}
+
+/// The longest common substring itself (first one found on ties).
+///
+/// ```
+/// use textkit::distance::longest_common_substring;
+/// assert_eq!(longest_common_substring("bea", "bea_systems"), "bea");
+/// ```
+pub fn longest_common_substring(a: &str, b: &str) -> String {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return String::new();
+    }
+    // row[j] = length of common suffix of a[..i+1] and b[..j+1].
+    let mut row = vec![0usize; b.len() + 1];
+    let mut best_len = 0;
+    let mut best_end = 0; // exclusive end in `a`
+    for (i, &ca) in a.iter().enumerate() {
+        // Iterate j downwards so row[j] still holds the previous row's value.
+        for j in (0..b.len()).rev() {
+            if ca == b[j] {
+                row[j + 1] = row[j] + 1;
+                if row[j + 1] > best_len {
+                    best_len = row[j + 1];
+                    best_end = i + 1;
+                }
+            } else {
+                row[j + 1] = 0;
+            }
+        }
+    }
+    a[best_end - best_len..best_end].iter().collect()
+}
+
+/// Whether one string is a strict prefix of the other (in either direction),
+/// the paper's `Pref` vendor-pair pattern (`lynx` / `lynx_project`).
+///
+/// Equal strings are not considered prefixes of each other.
+pub fn is_strict_prefix_pair(a: &str, b: &str) -> bool {
+    a != b && (a.starts_with(b) || b.starts_with(a))
+}
+
+/// Jaccard similarity of the character trigram sets of `a` and `b`,
+/// in `[0, 1]`. Used as a cheap pre-filter before the quadratic measures.
+pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> std::collections::BTreeSet<Vec<char>> {
+        let cs: Vec<char> = s.chars().collect();
+        if cs.len() < 3 {
+            return cs.windows(1).map(|w| w.to_vec()).collect();
+        }
+        cs.windows(3).map(|w| w.to_vec()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = ga.union(&gb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_pairs() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("", ""), 0);
+        // Paper §4.2: cisco firmware names differ by one character yet are
+        // different products — the heuristic must still measure distance 1.
+        assert_eq!(
+            levenshtein("ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware"),
+            1
+        );
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        let pairs = [("abc", "acb"), ("microsoft", "microsft"), ("", "x")];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn lcs_examples_from_paper() {
+        // bea / bea_systems share "bea" (3) → strong signal bucket.
+        assert_eq!(longest_common_substring("bea", "bea_systems"), "bea");
+        assert_eq!(longest_common_substring_len("avast", "avast!"), 5);
+        // lms vs lan_management_system share only single characters.
+        assert!(longest_common_substring_len("lms", "lan_management_system") < 3);
+    }
+
+    #[test]
+    fn lcs_empty_and_disjoint() {
+        assert_eq!(longest_common_substring("", "abc"), "");
+        assert_eq!(longest_common_substring("abc", ""), "");
+        assert_eq!(longest_common_substring_len("abc", "xyz"), 0);
+    }
+
+    #[test]
+    fn lcs_is_substring_of_both() {
+        let cases = [
+            ("internet_explorer", "internet-explorer"),
+            ("quick_heal", "quickheal"),
+            ("xyzzy", "zzyx"),
+        ];
+        for (a, b) in cases {
+            let lcs = longest_common_substring(a, b);
+            assert!(a.contains(&lcs), "{lcs:?} not in {a:?}");
+            assert!(b.contains(&lcs), "{lcs:?} not in {b:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_pairs() {
+        assert!(is_strict_prefix_pair("lynx", "lynx_project"));
+        assert!(is_strict_prefix_pair("lynx_project", "lynx"));
+        assert!(!is_strict_prefix_pair("lynx", "lynx"));
+        assert!(!is_strict_prefix_pair("lynx", "linx"));
+    }
+
+    #[test]
+    fn trigram_jaccard_bounds() {
+        assert_eq!(trigram_jaccard("same", "same"), 1.0);
+        assert_eq!(trigram_jaccard("", ""), 1.0);
+        let j = trigram_jaccard("microsoft", "microsft");
+        assert!(j > 0.3 && j < 1.0, "{j}");
+        assert_eq!(trigram_jaccard("abc", "xyz"), 0.0);
+    }
+}

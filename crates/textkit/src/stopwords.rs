@@ -1,0 +1,70 @@
+//! English stop-word list.
+//!
+//! The list is the classic "SMART-ish" core set of function words that the
+//! paper removes before encoding descriptions ("commonly used words that do
+//! not affect the meaning of the sentence").
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The stop-word list. Lowercase; check tokens after case folding.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
+    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+    "let", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "per", "same", "shan", "she", "should", "shouldn", "so", "some", "such", "than",
+    "that", "the", "their", "theirs", "them", "themselves", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "upon", "very", "via",
+    "was", "wasn", "we", "were", "weren", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Whether a (lowercase) token is a stop word.
+///
+/// ```
+/// use textkit::stopwords::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("overflow"));
+/// ```
+pub fn is_stopword(token: &str) -> bool {
+    stopword_set().contains(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "a", "is", "of", "and", "can", "be", "this", "via"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["buffer", "overflow", "remote", "attacker", "sql", "injection"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut seen = HashSet::new();
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase(), "{w} not lowercase");
+            assert!(seen.insert(*w), "{w} duplicated");
+        }
+    }
+}

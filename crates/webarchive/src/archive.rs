@@ -1,0 +1,269 @@
+//! The archive store and its fetch API.
+//!
+//! Mirrors the failure modes the paper's crawlers hit: dead hosts (14 of the
+//! top 50 domains) and pages that simply are not there.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use nvd_model::prelude::Date;
+
+use crate::domains::domain_spec;
+use crate::page::{page_url, render_page};
+
+/// One archived web page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// Full URL the page is served at.
+    pub url: String,
+    /// Host part of the URL.
+    pub host: String,
+    /// Page body (HTML-ish text).
+    pub body: String,
+}
+
+/// Why a fetch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The host no longer responds (e.g. osvdb.org after 2016).
+    HostUnreachable {
+        /// The dead host.
+        host: String,
+    },
+    /// The host answers but has no such page.
+    NotFound {
+        /// The missing URL.
+        url: String,
+    },
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::HostUnreachable { host } => write!(f, "host unreachable: {host}"),
+            FetchError::NotFound { url } => write!(f, "not found: {url}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// Error returned by [`WebArchive::publish`] for hosts missing from the
+/// domain registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDomainError {
+    /// The unregistered host.
+    pub host: String,
+}
+
+impl fmt::Display for UnknownDomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown domain: {}", self.host)
+    }
+}
+
+impl std::error::Error for UnknownDomainError {}
+
+/// An in-memory snapshot of the reference-URL web.
+///
+/// Pages are inserted by the corpus generator and fetched by the disclosure
+/// estimator; liveness comes from the domain registry, with
+/// [`WebArchive::mark_dead`] layering extra outages on top for failure
+/// injection.
+#[derive(Debug, Clone, Default)]
+pub struct WebArchive {
+    pages: BTreeMap<String, Page>,
+    pages_per_host: BTreeMap<String, usize>,
+    extra_dead: BTreeSet<String>,
+}
+
+impl WebArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders and stores the page `host` would serve about `cve_id`
+    /// disclosed on `disclosed`; returns the page URL.
+    ///
+    /// Pages for dead hosts are stored too — the death shows at fetch time,
+    /// exactly like a real crawl hitting a domain that has since shut down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownDomainError`] if the host is not in the registry.
+    pub fn publish(
+        &mut self,
+        host: &str,
+        cve_id: &str,
+        disclosed: Date,
+        modified_offset_days: u32,
+    ) -> Result<String, UnknownDomainError> {
+        let spec = domain_spec(host).ok_or_else(|| UnknownDomainError {
+            host: host.to_owned(),
+        })?;
+        let n = self.pages_per_host.entry(host.to_owned()).or_insert(0);
+        let url = page_url(spec, cve_id, *n);
+        *n += 1;
+        let body = render_page(spec, cve_id, disclosed, modified_offset_days);
+        self.insert_raw(&url, body);
+        Ok(url)
+    }
+
+    /// Stores an arbitrary page body at the given URL (for malformed-page
+    /// failure injection and custom sites).
+    pub fn insert_raw(&mut self, url: &str, body: String) {
+        let host = url
+            .split_once("://")
+            .map(|(_, rest)| rest.split(['/', '?', '#']).next().unwrap_or(""))
+            .unwrap_or("")
+            .to_owned();
+        self.pages.insert(
+            url.to_owned(),
+            Page {
+                url: url.to_owned(),
+                host,
+                body,
+            },
+        );
+    }
+
+    /// Marks a host as unreachable regardless of its registry liveness.
+    pub fn mark_dead(&mut self, host: &str) {
+        self.extra_dead.insert(host.to_owned());
+    }
+
+    /// Whether fetches to this host fail.
+    pub fn is_dead(&self, host: &str) -> bool {
+        if self.extra_dead.contains(host) {
+            return true;
+        }
+        domain_spec(host).is_some_and(|d| !d.alive)
+    }
+
+    /// Fetches a page.
+    ///
+    /// # Errors
+    ///
+    /// [`FetchError::HostUnreachable`] for dead hosts,
+    /// [`FetchError::NotFound`] for live hosts without the page.
+    pub fn fetch(&self, url: &str) -> Result<&Page, FetchError> {
+        let host = url
+            .split_once("://")
+            .map(|(_, rest)| rest.split(['/', '?', '#']).next().unwrap_or(""))
+            .unwrap_or("");
+        if self.is_dead(host) {
+            return Err(FetchError::HostUnreachable {
+                host: host.to_owned(),
+            });
+        }
+        self.pages.get(url).ok_or_else(|| FetchError::NotFound {
+            url: url.to_owned(),
+        })
+    }
+
+    /// Number of stored pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterates over all stored URLs.
+    pub fn urls(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn date(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn publish_and_fetch_round_trip() {
+        let mut a = WebArchive::new();
+        let url = a
+            .publish("www.securityfocus.com", "CVE-2011-0700", date("2011-02-07"), 5)
+            .unwrap();
+        let page = a.fetch(&url).unwrap();
+        assert_eq!(page.host, "www.securityfocus.com");
+        assert!(page.body.contains("2011-02-07"));
+    }
+
+    #[test]
+    fn dead_host_is_unreachable_even_with_page() {
+        let mut a = WebArchive::new();
+        let url = a
+            .publish("osvdb.org", "CVE-2009-0001", date("2009-03-01"), 0)
+            .unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(
+            a.fetch(&url),
+            Err(FetchError::HostUnreachable {
+                host: "osvdb.org".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn missing_page_is_not_found() {
+        let a = WebArchive::new();
+        assert_eq!(
+            a.fetch("https://www.securityfocus.com/vuln/CVE-1999-0001-0"),
+            Err(FetchError::NotFound {
+                url: "https://www.securityfocus.com/vuln/CVE-1999-0001-0".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn mark_dead_injects_outage() {
+        let mut a = WebArchive::new();
+        let url = a
+            .publish("seclists.org", "CVE-2014-0001", date("2014-04-01"), 2)
+            .unwrap();
+        assert!(a.fetch(&url).is_ok());
+        a.mark_dead("seclists.org");
+        assert!(matches!(
+            a.fetch(&url),
+            Err(FetchError::HostUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_domain_is_rejected_at_publish() {
+        let mut a = WebArchive::new();
+        let err = a
+            .publish("example.invalid", "CVE-2020-0001", date("2020-01-01"), 0)
+            .unwrap_err();
+        assert_eq!(err.host, "example.invalid");
+    }
+
+    #[test]
+    fn repeated_publishes_get_distinct_urls() {
+        let mut a = WebArchive::new();
+        let u1 = a
+            .publish("seclists.org", "CVE-2014-0001", date("2014-04-01"), 0)
+            .unwrap();
+        let u2 = a
+            .publish("seclists.org", "CVE-2014-0001", date("2014-04-02"), 0)
+            .unwrap();
+        assert_ne!(u1, u2);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn insert_raw_extracts_host() {
+        let mut a = WebArchive::new();
+        a.insert_raw("https://drupal.org/advisory/x?y=1", "no dates here".into());
+        let page = a.fetch("https://drupal.org/advisory/x?y=1").unwrap();
+        assert_eq!(page.host, "drupal.org");
+    }
+}

@@ -1,0 +1,296 @@
+//! Formatting and parsing of the date styles reference domains use.
+//!
+//! Each domain in [`crate::domains`] renders dates one way; the paper "built
+//! a separate crawler for each domain to extract the relevant publication
+//! date" — the parsing half of those crawlers lives here.
+
+use nvd_model::prelude::Date;
+
+/// The date rendering convention of a reference domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DateStyle {
+    /// `2011-02-07`.
+    Iso,
+    /// `February 7, 2011`.
+    UsLong,
+    /// `02/07/2011` (month first).
+    UsSlash,
+    /// `Mon, 7 Feb 2011 14:22:01 +0000` — mail archives.
+    Rfc2822,
+    /// `2011-02-07 14:22 UTC` — Bugzilla-style timestamps.
+    BugzillaTs,
+    /// `2011年02月07日` — Japanese portals such as jvn.jp.
+    JapaneseYmd,
+}
+
+const MONTHS_LONG: [&str; 12] = [
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+];
+
+const MONTHS_SHORT: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+const WEEKDAYS_SHORT: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// Renders a date in the given style. Time-of-day components, where the
+/// style has them, are synthesised deterministically from the date.
+pub fn format_date(date: Date, style: DateStyle) -> String {
+    let (y, m, d) = date.ymd();
+    match style {
+        DateStyle::Iso => format!("{y:04}-{m:02}-{d:02}"),
+        DateStyle::UsLong => format!("{} {}, {}", MONTHS_LONG[(m - 1) as usize], d, y),
+        DateStyle::UsSlash => format!("{m:02}/{d:02}/{y:04}"),
+        DateStyle::Rfc2822 => {
+            let dow = WEEKDAYS_SHORT[date.weekday().index()];
+            let (hh, mm, ss) = fake_time(date);
+            format!(
+                "{dow}, {d} {} {y} {hh:02}:{mm:02}:{ss:02} +0000",
+                MONTHS_SHORT[(m - 1) as usize]
+            )
+        }
+        DateStyle::BugzillaTs => {
+            let (hh, mm, _) = fake_time(date);
+            format!("{y:04}-{m:02}-{d:02} {hh:02}:{mm:02} UTC")
+        }
+        DateStyle::JapaneseYmd => format!("{y:04}年{m:02}月{d:02}日"),
+    }
+}
+
+/// Deterministic pseudo-time so timestamped styles look realistic without
+/// an entropy source.
+fn fake_time(date: Date) -> (u32, u32, u32) {
+    let n = date.day_number().unsigned_abs();
+    (n % 24, (n / 24) % 60, (n / 1440) % 60)
+}
+
+/// Parses a date written in the given style, anywhere at the start of `s`.
+///
+/// Returns `None` for text that does not begin with a valid date in that
+/// style (the caller scans for candidate positions).
+pub fn parse_date(s: &str, style: DateStyle) -> Option<Date> {
+    match style {
+        DateStyle::Iso | DateStyle::BugzillaTs => parse_iso_prefix(s),
+        DateStyle::UsLong => parse_us_long(s),
+        DateStyle::UsSlash => parse_us_slash(s),
+        DateStyle::Rfc2822 => parse_rfc2822(s),
+        DateStyle::JapaneseYmd => parse_japanese(s),
+    }
+}
+
+fn digits(s: &str, n: usize) -> Option<i64> {
+    if s.len() < n || !s.as_bytes()[..n].iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    s[..n].parse().ok()
+}
+
+/// `YYYY-MM-DD` at the start of the string.
+fn parse_iso_prefix(s: &str) -> Option<Date> {
+    let y = digits(s, 4)?;
+    let rest = &s[4..];
+    if !rest.starts_with('-') {
+        return None;
+    }
+    let m = digits(&rest[1..], 2)?;
+    let rest = &rest[3..];
+    if !rest.starts_with('-') {
+        return None;
+    }
+    let d = digits(&rest[1..], 2)?;
+    Date::from_ymd(y as i32, m as u32, d as u32).ok()
+}
+
+/// `February 7, 2011` (long month name, day, comma, year).
+fn parse_us_long(s: &str) -> Option<Date> {
+    let (idx, name) = MONTHS_LONG
+        .iter()
+        .enumerate()
+        .find(|(_, name)| s.starts_with(**name))?;
+    let rest = s[name.len()..].strip_prefix(' ')?;
+    let day_len = rest.bytes().take_while(u8::is_ascii_digit).count();
+    if day_len == 0 || day_len > 2 {
+        return None;
+    }
+    let d: u32 = rest[..day_len].parse().ok()?;
+    let rest = rest[day_len..].strip_prefix(", ")?;
+    let y = digits(rest, 4)?;
+    Date::from_ymd(y as i32, idx as u32 + 1, d).ok()
+}
+
+/// `MM/DD/YYYY`.
+fn parse_us_slash(s: &str) -> Option<Date> {
+    let m = digits(s, 2)?;
+    let rest = s[2..].strip_prefix('/')?;
+    let d = digits(rest, 2)?;
+    let rest = rest[2..].strip_prefix('/')?;
+    let y = digits(rest, 4)?;
+    Date::from_ymd(y as i32, m as u32, d as u32).ok()
+}
+
+/// `Mon, 7 Feb 2011 …` — weekday prefix optional.
+fn parse_rfc2822(s: &str) -> Option<Date> {
+    let s = WEEKDAYS_SHORT
+        .iter()
+        .find_map(|w| {
+            s.strip_prefix(w)
+                .and_then(|rest| rest.strip_prefix(", "))
+        })
+        .unwrap_or(s);
+    let day_len = s.bytes().take_while(u8::is_ascii_digit).count();
+    if day_len == 0 || day_len > 2 {
+        return None;
+    }
+    let d: u32 = s[..day_len].parse().ok()?;
+    let rest = s[day_len..].strip_prefix(' ')?;
+    let (idx, name) = MONTHS_SHORT
+        .iter()
+        .enumerate()
+        .find(|(_, name)| rest.starts_with(**name))?;
+    let rest = rest[name.len()..].strip_prefix(' ')?;
+    let y = digits(rest, 4)?;
+    Date::from_ymd(y as i32, idx as u32 + 1, d).ok()
+}
+
+/// `2011年02月07日`.
+fn parse_japanese(s: &str) -> Option<Date> {
+    let y = digits(s, 4)?;
+    let rest = s[4..].strip_prefix('年')?;
+    let m = digits(rest, 2)?;
+    let rest = rest[2..].strip_prefix('月')?;
+    let d = digits(rest, 2)?;
+    Date::from_ymd(y as i32, m as u32, d as u32).ok()
+}
+
+/// Scans `text` for the first date in the given style appearing after the
+/// given label (e.g. `Published:`). Falls back to the first date in the
+/// style anywhere in the text when the label is absent.
+pub fn find_labelled_date(text: &str, label: &str, style: DateStyle) -> Option<Date> {
+    if let Some(pos) = text.find(label) {
+        let after = &text[pos + label.len()..];
+        // Skip separators between the label and the date.
+        let after = after.trim_start_matches([':', ' ', '\t']);
+        if let Some(d) = parse_date(after, style) {
+            return Some(d);
+        }
+    }
+    scan_for_date(text, style)
+}
+
+/// Returns the first parseable date of the given style anywhere in `text`.
+pub fn scan_for_date(text: &str, style: DateStyle) -> Option<Date> {
+    // Candidate positions: every character boundary that could start a date.
+    text.char_indices()
+        .find_map(|(i, _)| parse_date(&text[i..], style))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn date(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn round_trip_every_style() {
+        let samples = ["2011-02-07", "1999-12-31", "2018-05-21", "2004-02-29"];
+        for s in samples {
+            let d = date(s);
+            for style in [
+                DateStyle::Iso,
+                DateStyle::UsLong,
+                DateStyle::UsSlash,
+                DateStyle::Rfc2822,
+                DateStyle::BugzillaTs,
+                DateStyle::JapaneseYmd,
+            ] {
+                let rendered = format_date(d, style);
+                let parsed = parse_date(&rendered, style);
+                assert_eq!(parsed, Some(d), "style {style:?}: {rendered}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_example_date() {
+        // CVE-2011-0700's advisory was published February 7, 2011.
+        assert_eq!(
+            parse_date("February 7, 2011", DateStyle::UsLong),
+            Some(date("2011-02-07"))
+        );
+    }
+
+    #[test]
+    fn rfc2822_accepts_missing_weekday() {
+        assert_eq!(
+            parse_date("7 Feb 2011 10:00:00 +0000", DateStyle::Rfc2822),
+            Some(date("2011-02-07"))
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_calendar_dates() {
+        assert_eq!(parse_date("2011-02-30", DateStyle::Iso), None);
+        assert_eq!(parse_date("13/07/2011", DateStyle::UsSlash), None);
+        assert_eq!(parse_date("February 30, 2011", DateStyle::UsLong), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for style in [
+            DateStyle::Iso,
+            DateStyle::UsLong,
+            DateStyle::UsSlash,
+            DateStyle::Rfc2822,
+            DateStyle::JapaneseYmd,
+        ] {
+            assert_eq!(parse_date("not a date", style), None, "{style:?}");
+            assert_eq!(parse_date("", style), None, "{style:?}");
+        }
+    }
+
+    #[test]
+    fn labelled_date_beats_earlier_noise() {
+        let text = "Copyright 2018 ACME.\nPublished: 2011-02-07\nRevised: 2012-01-01";
+        assert_eq!(
+            find_labelled_date(text, "Published", DateStyle::Iso),
+            Some(date("2011-02-07"))
+        );
+    }
+
+    #[test]
+    fn scan_finds_embedded_date() {
+        let text = "blah blah 2011年02月07日 blah";
+        assert_eq!(
+            scan_for_date(text, DateStyle::JapaneseYmd),
+            Some(date("2011-02-07"))
+        );
+    }
+
+    #[test]
+    fn scan_handles_multibyte_boundaries() {
+        // Scanning must not panic on non-ASCII text without a date.
+        assert_eq!(scan_for_date("日本語テキスト", DateStyle::Iso), None);
+    }
+
+    #[test]
+    fn missing_label_falls_back_to_scan() {
+        let text = "intro 02/07/2011 tail";
+        assert_eq!(
+            find_labelled_date(text, "Published", DateStyle::UsSlash),
+            Some(date("2011-02-07"))
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Page templates: how each domain renders a vulnerability report.
+//!
+//! Every rendered page embeds the true disclosure date in the domain's own
+//! format behind the domain's own label, surrounded by realistic noise (a
+//! title, the CVE identifier, a later "last modified" date, a copyright
+//! year) so the per-domain crawlers have to do real extraction work.
+
+use nvd_model::prelude::Date;
+
+use crate::dates::format_date;
+use crate::domains::{DomainCategory, DomainSpec};
+
+/// Renders the reference page `spec`'s site would serve for `cve_id`,
+/// disclosed on `disclosed`. `modified_offset_days` (≥ 0) pushes the "last
+/// modified" noise date after the disclosure date.
+pub fn render_page(
+    spec: &DomainSpec,
+    cve_id: &str,
+    disclosed: Date,
+    modified_offset_days: u32,
+) -> String {
+    let date_str = format_date(disclosed, spec.style);
+    let modified = format_date(disclosed.plus_days(modified_offset_days as i32), spec.style);
+    let copyright_year = disclosed.year().max(2016) + 1;
+    let headline = headline_for(spec.category, cve_id);
+    format!(
+        "<html><head><title>{cve_id} — {host}</title></head>\n\
+         <body>\n\
+         <h1>{headline}</h1>\n\
+         <p>{label}: {date_str}</p>\n\
+         <p>This entry tracks {cve_id}. Exploitation details and remediation\n\
+         guidance are provided below. Affected users should update promptly.</p>\n\
+         <p>Last modified: {modified}</p>\n\
+         <footer>&copy; {copyright_year} {host}</footer>\n\
+         </body></html>\n",
+        host = spec.host,
+        label = spec.date_label,
+    )
+}
+
+fn headline_for(category: DomainCategory, cve_id: &str) -> String {
+    match category {
+        DomainCategory::VulnDatabase => format!("Vulnerability report for {cve_id}"),
+        DomainCategory::BugTracker => format!("Bug report referencing {cve_id}"),
+        DomainCategory::Advisory => format!("Security advisory for {cve_id}"),
+    }
+}
+
+/// A deterministic URL for the `n`-th page a host serves about a CVE.
+pub fn page_url(spec: &DomainSpec, cve_id: &str, n: usize) -> String {
+    let path = match spec.category {
+        DomainCategory::VulnDatabase => "vuln",
+        DomainCategory::BugTracker => "bug",
+        DomainCategory::Advisory => "advisory",
+    };
+    format!("https://{}/{path}/{cve_id}-{n}", spec.host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dates::{find_labelled_date, DateStyle};
+    use crate::domains::domain_spec;
+
+    #[test]
+    fn rendered_page_contains_labelled_date() {
+        let spec = domain_spec("www.securityfocus.com").unwrap();
+        let d: Date = "2011-02-07".parse().unwrap();
+        let body = render_page(spec, "CVE-2011-0700", d, 30);
+        assert!(body.contains("Published: 2011-02-07"));
+        assert!(body.contains("CVE-2011-0700"));
+        assert_eq!(
+            find_labelled_date(&body, spec.date_label, spec.style),
+            Some(d)
+        );
+    }
+
+    #[test]
+    fn japanese_page_renders_and_extracts() {
+        let spec = domain_spec("jvn.jp").unwrap();
+        let d: Date = "2015-06-30".parse().unwrap();
+        let body = render_page(spec, "CVE-2015-1234", d, 10);
+        assert!(body.contains("公開日: 2015年06月30日"));
+        assert_eq!(
+            find_labelled_date(&body, spec.date_label, spec.style),
+            Some(d)
+        );
+    }
+
+    #[test]
+    fn modified_noise_does_not_shadow_disclosure() {
+        // The "last modified" date is later; label-first extraction must
+        // still find the disclosure date.
+        let spec = domain_spec("securitytracker.com").unwrap();
+        let d: Date = "2010-01-15".parse().unwrap();
+        let body = render_page(spec, "CVE-2010-0001", d, 400);
+        assert_eq!(
+            find_labelled_date(&body, spec.date_label, spec.style),
+            Some(d)
+        );
+    }
+
+    #[test]
+    fn copyright_year_is_not_parseable_as_iso_date() {
+        let spec = domain_spec("www.debian.org").unwrap();
+        let d: Date = "2012-03-04".parse().unwrap();
+        let body = render_page(spec, "CVE-2012-0001", d, 0);
+        // Strip the labelled and modified lines; the rest has no ISO date.
+        let noise: String = body
+            .lines()
+            .filter(|l| !l.contains("2012-03-04"))
+            .collect();
+        assert_eq!(crate::dates::scan_for_date(&noise, DateStyle::Iso), None);
+    }
+
+    #[test]
+    fn urls_are_unique_per_host_and_sequence() {
+        let spec = domain_spec("seclists.org").unwrap();
+        let a = page_url(spec, "CVE-2016-1111", 0);
+        let b = page_url(spec, "CVE-2016-1111", 1);
+        assert_ne!(a, b);
+        assert!(a.starts_with("https://seclists.org/"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Patch-window analysis: the §4.1 motivation made concrete.
+//!
+//! A security team prioritising patches needs to know how long each
+//! vulnerability has been *public* — the NVD publication date understates
+//! that window (Fig. 1: 28% of CVEs enter the NVD more than a week after
+//! disclosure). This example measures the window-of-exposure error an
+//! analyst would make by trusting the raw NVD date, split by severity.
+//!
+//! ```text
+//! cargo run --release -p nvd-examples --bin patch_window [-- --scale 0.02 --seed 11]
+//! ```
+
+use std::collections::BTreeMap;
+
+use nvd_clean::DisclosureEstimator;
+use nvd_examples::scale_and_seed;
+use nvd_model::prelude::Severity;
+use nvd_synth::{generate, SynthConfig};
+
+fn main() {
+    let (scale, seed) = scale_and_seed(0.02, 11);
+    let corpus = generate(&SynthConfig::with_scale(scale, seed));
+    let estimator = DisclosureEstimator::new(&corpus.archive);
+
+    let mut by_band: BTreeMap<Severity, (u64, u64, usize)> = BTreeMap::new();
+    let mut worst: Vec<(i32, String)> = Vec::new();
+    for entry in corpus.database.iter() {
+        let Some(band) = entry.severity_v2() else {
+            continue;
+        };
+        let estimate = estimator.estimate(entry);
+        let lag = estimate.lag_days(entry.published).max(0);
+        let slot = by_band.entry(band).or_insert((0, 0, 0));
+        slot.0 += lag as u64;
+        slot.2 += 1;
+        if lag > 7 {
+            slot.1 += 1;
+        }
+        worst.push((lag, entry.id.to_string()));
+    }
+
+    println!("window-of-exposure error when trusting the raw NVD publication date\n");
+    println!("severity  mean error (days)  >1 week");
+    println!("-------------------------------------");
+    for (band, (sum, over_week, n)) in &by_band {
+        println!(
+            "{:<9} {:<18.1} {:.1}%",
+            format!("{band:?}"),
+            *sum as f64 / *n as f64,
+            100.0 * *over_week as f64 / *n as f64
+        );
+    }
+
+    worst.sort_by(|a, b| b.0.cmp(&a.0));
+    println!("\nmost underestimated exposure windows:");
+    for (lag, id) in worst.iter().take(5) {
+        println!("  {id}: public {lag} days before its NVD date");
+    }
+    println!(
+        "\nlesson: high-severity CVEs lag the most — exactly the entries a\n\
+         patch-prioritisation pipeline cares about (paper §4.1)."
+    );
+}

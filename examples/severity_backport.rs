@@ -1,0 +1,86 @@
+//! Severity backporting: the §4.3 model zoo on its own.
+//!
+//! Trains all four models (LR, SVR, CNN, DNN) on the dual-scored subset,
+//! prints the Table 5 / Table 7 metrics, and shows how the severity mix of
+//! the whole database shifts once every CVE has a v3 rating (Table 9).
+//!
+//! ```text
+//! cargo run --release -p nvd-examples --bin severity_backport [-- --scale 0.02 --seed 17]
+//! ```
+
+use std::collections::BTreeMap;
+
+use nvd_clean::severity::{backport_v3, BackportOptions, ModelKind};
+use nvd_examples::scale_and_seed;
+use nvd_model::prelude::Severity;
+use nvd_synth::{generate, SynthConfig};
+
+fn main() {
+    let (scale, seed) = scale_and_seed(0.02, 17);
+    let corpus = generate(&SynthConfig::with_scale(scale, seed));
+    let db = &corpus.database;
+    println!(
+        "ground truth: {} dual-scored CVEs; backport target: {} v2-only CVEs\n",
+        db.iter().filter(|e| e.cvss_v2.is_some() && e.has_v3()).count(),
+        db.iter().filter(|e| e.cvss_v2.is_some() && !e.has_v3()).count(),
+    );
+
+    let outcome = backport_v3(
+        db,
+        &BackportOptions {
+            seed,
+            ..BackportOptions::default()
+        },
+    );
+
+    println!("model   AE     AER(%)  accuracy");
+    println!("--------------------------------");
+    for kind in ModelKind::ALL {
+        let r = &outcome.reports[&kind];
+        println!(
+            "{:<7} {:<6.2} {:<7.2} {:.2}%",
+            kind.label(),
+            r.ae,
+            r.aer_percent,
+            100.0 * r.overall_accuracy
+        );
+    }
+    println!(
+        "\nchosen model: {} (paper chooses its CNN at 86.29%)",
+        outcome.chosen.label()
+    );
+
+    // Severity mix before (v2) and after (labelled + predicted v3).
+    let mut v2_mix: BTreeMap<Severity, usize> = BTreeMap::new();
+    let mut pv3_mix: BTreeMap<Severity, usize> = BTreeMap::new();
+    for e in db.iter() {
+        if let Some(b) = e.severity_v2() {
+            *v2_mix.entry(b).or_insert(0) += 1;
+        }
+        if let Some(b) = outcome.effective_severity(db, &e.id) {
+            *pv3_mix.entry(b).or_insert(0) += 1;
+        }
+    }
+    let total: usize = v2_mix.values().sum();
+    println!("\nseverity mix over all {total} scored CVEs (Table 9):");
+    println!("band      v2       rectified v3");
+    for band in [
+        Severity::Low,
+        Severity::Medium,
+        Severity::High,
+        Severity::Critical,
+    ] {
+        let v2 = *v2_mix.get(&band).unwrap_or(&0);
+        let pv3 = *pv3_mix.get(&band).unwrap_or(&0);
+        println!(
+            "{:<9} {:>5.2}%   {:>5.2}%",
+            format!("{band:?}"),
+            100.0 * v2 as f64 / total as f64,
+            100.0 * pv3 as f64 / total as f64
+        );
+    }
+    println!(
+        "\nthe mass shifts towards High/Critical — v3 was designed to account\n\
+         for scope, which elevates many formerly-Medium CVEs (paper §4.3)."
+    );
+}

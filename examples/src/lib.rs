@@ -1,0 +1,33 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example binary accepts `--scale` and `--seed` so they stay fast by
+//! default yet can be pushed to paper scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parses `--scale F` and `--seed N` from the process arguments, with the
+/// given defaults.
+pub fn scale_and_seed(default_scale: f64, default_seed: u64) -> (f64, u64) {
+    let mut scale = default_scale;
+    let mut seed = default_seed;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("numeric value for --scale");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("numeric value for --seed");
+            }
+            other => panic!("unknown flag {other:?} (expected --scale / --seed)"),
+        }
+    }
+    (scale, seed)
+}

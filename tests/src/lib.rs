@@ -1,0 +1,5 @@
+//! Integration-test crate for the `nvd-clean` workspace.
+//!
+//! The tests live in `tests/` and exercise cross-crate behaviour: the full
+//! cleaning pipeline over generated corpora, determinism, JSON feed
+//! round-trips, cross-database mapping, and property-based invariants.

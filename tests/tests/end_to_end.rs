@@ -1,0 +1,120 @@
+//! End-to-end pipeline runs asserting the paper's calibration bands.
+
+use nvd_clean::cleaner::{CleanOptions, Cleaner};
+use nvd_clean::names::OracleVerifier;
+use nvd_clean::LagSummary;
+use nvd_model::prelude::*;
+use nvd_synth::{generate, SynthConfig};
+
+fn pipeline(scale: f64, seed: u64) -> (nvd_synth::SynthCorpus, Database, nvd_clean::CleanReport) {
+    let corpus = generate(&SynthConfig::with_scale(scale, seed));
+    let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+    let (db, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    (corpus, db, report)
+}
+
+#[test]
+fn fig1_zero_lag_band_holds_end_to_end() {
+    let (_, db, report) = pipeline(0.03, 101);
+    let summary = LagSummary::compute(&db, &report.disclosure);
+    // Paper: ≈38% zero lag; ±7pp band for the small corpus.
+    assert!(
+        (0.31..=0.45).contains(&summary.zero_fraction),
+        "zero-lag {}",
+        summary.zero_fraction
+    );
+    assert!(
+        summary.within_week_fraction > summary.zero_fraction,
+        "CDF must grow"
+    );
+}
+
+#[test]
+fn vendor_reduction_matches_paper_scale() {
+    let (_, db, report) = pipeline(0.03, 102);
+    // Paper: consolidation removes ≈5% of distinct vendor names.
+    let removed =
+        report.names.vendors_before as f64 - report.names.vendors_after as f64;
+    let rate = removed / report.names.vendors_before as f64;
+    assert!((0.005..0.12).contains(&rate), "vendor removal rate {rate}");
+    assert_eq!(db.vendor_set().len(), report.names.vendors_after);
+}
+
+#[test]
+fn severity_models_order_sanely() {
+    let (_, _, report) = pipeline(0.03, 103);
+    let sev = report.severity.unwrap();
+    // Every model must beat 4-way chance comfortably on banded accuracy.
+    for (kind, r) in &sev.reports {
+        assert!(
+            r.overall_accuracy > 0.40,
+            "{kind:?} accuracy {}",
+            r.overall_accuracy
+        );
+        assert!(r.ae < 3.0, "{kind:?} AE {}", r.ae);
+    }
+    // The winner is at least as good as linear regression, like the paper.
+    let lr = sev.reports[&nvd_clean::ModelKind::Lr].overall_accuracy;
+    let best = sev.reports[&sev.chosen].overall_accuracy;
+    assert!(best >= lr);
+}
+
+#[test]
+fn backported_severity_skews_upward() {
+    let (_, db, report) = pipeline(0.03, 104);
+    let sev = report.severity.unwrap();
+    let m = &sev.backport_transition;
+    // Table 6: the M row sends a large share to High, none/few to Low.
+    assert!(m.row_percent(1, 2) > 25.0, "M→H {}", m.row_percent(1, 2));
+    assert!(m.row_percent(1, 0) < 10.0, "M→L {}", m.row_percent(1, 0));
+    // Predictions cover exactly the v2-only CVEs.
+    let v2_only = db
+        .iter()
+        .filter(|e| e.cvss_v2.is_some() && !e.has_v3())
+        .count();
+    assert_eq!(sev.predictions.len(), v2_only);
+}
+
+#[test]
+fn cwe_degenerate_fraction_matches_paper() {
+    let (_, db, report) = pipeline(0.03, 105);
+    // Paper: ≈31% of entries carry Other/noinfo/unassigned labels.
+    let frac = report.cwe.stats.degenerate_fraction(db.len());
+    assert!((0.24..0.42).contains(&frac), "degenerate fraction {frac}");
+    // Most fixes are Other-entries, like the paper's 1,732 of 2,456.
+    assert!(report.cwe.stats.fixed_other >= report.cwe.stats.fixed_missing);
+}
+
+#[test]
+fn disclosure_estimates_are_never_after_publication() {
+    let (_, db, report) = pipeline(0.02, 106);
+    for e in db.iter() {
+        let est = report.disclosure[&e.id];
+        assert!(
+            est.estimated <= e.published,
+            "{}: estimate {} after published {}",
+            e.id,
+            est.estimated,
+            e.published
+        );
+    }
+}
+
+#[test]
+fn cleaning_is_idempotent_on_names() {
+    let (corpus, db, _) = pipeline(0.02, 107);
+    // Cleaning the already-cleaned database must not change names again
+    // (no new candidates confirmed by the oracle).
+    let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+    let cleaner = Cleaner::new(CleanOptions {
+        run_backport: false,
+        ..CleanOptions::default()
+    });
+    let (db2, report2) = cleaner.clean(&db, &corpus.archive, &oracle);
+    assert_eq!(
+        db.vendor_set().len(),
+        db2.vendor_set().len(),
+        "second pass changed vendors: {:?}",
+        report2.names.mapping.vendor
+    );
+}

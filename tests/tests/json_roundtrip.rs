@@ -1,0 +1,55 @@
+//! NVD JSON feed round-trips over generated corpora.
+
+use nvd_model::feed::{from_feed, to_feed};
+use nvd_synth::{generate, SynthConfig};
+
+#[test]
+fn feed_round_trip_preserves_database() {
+    let corpus = generate(&SynthConfig::with_scale(0.005, 11));
+    let doc = to_feed(&corpus.database, "2018-05-21T00:00Z");
+    let back = from_feed(&doc).expect("feed parses back");
+    assert_eq!(back.len(), corpus.database.len());
+    for (a, b) in corpus.database.iter().zip(back.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.published, b.published);
+        assert_eq!(a.cwes, b.cwes, "{}", a.id);
+        assert_eq!(a.affected, b.affected, "{}", a.id);
+        assert_eq!(a.references, b.references, "{}", a.id);
+        match (&a.cvss_v2, &b.cvss_v2) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.vector, y.vector);
+                assert!((x.base_score - y.base_score).abs() < 1e-9);
+            }
+            (None, None) => {}
+            _ => panic!("{}: v2 presence mismatch", a.id),
+        }
+    }
+}
+
+#[test]
+fn feed_serialises_to_json_and_back() {
+    let corpus = generate(&SynthConfig::with_scale(0.003, 12));
+    let doc = to_feed(&corpus.database, "2018-05-21T00:00Z");
+    let json = serde_json::to_string(&doc).expect("serialise");
+    assert!(json.contains("CVE_Items") || json.contains("cve_items") || json.len() > 100);
+    let doc2: nvd_model::feed::FeedDocument =
+        serde_json::from_str(&json).expect("deserialise");
+    let back = from_feed(&doc2).expect("convert");
+    assert_eq!(back.len(), corpus.database.len());
+}
+
+#[test]
+fn cleaned_database_still_serialises() {
+    use nvd_clean::cleaner::{CleanOptions, Cleaner};
+    use nvd_clean::names::OracleVerifier;
+    let corpus = generate(&SynthConfig::with_scale(0.003, 13));
+    let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+    let cleaner = Cleaner::new(CleanOptions {
+        run_backport: false,
+        ..CleanOptions::default()
+    });
+    let (cleaned, _) = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+    let doc = to_feed(&cleaned, "2018-05-21T00:00Z");
+    let back = from_feed(&doc).expect("round trip");
+    assert_eq!(back.len(), cleaned.len());
+}
