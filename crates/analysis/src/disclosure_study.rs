@@ -59,7 +59,9 @@ pub fn render_lag_cdf(cdf: &LagCdf) -> String {
 pub fn improved_fraction_by_v2(exps: &Experiments) -> BTreeMap<Severity, f64> {
     let mut counts: BTreeMap<Severity, (usize, usize)> = BTreeMap::new();
     for e in exps.cleaned.iter() {
-        let Some(band) = e.severity_v2() else { continue };
+        let Some(band) = e.severity_v2() else {
+            continue;
+        };
         let Some(est) = exps.report.disclosure.get(&e.id) else {
             continue;
         };

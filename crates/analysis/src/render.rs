@@ -35,7 +35,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str(&"-".repeat(total));
     out.push('\n');
     for row in rows {
-        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push_str(&render_row(
+            row.iter().map(String::as_str).collect(),
+            &widths,
+        ));
         out.push('\n');
     }
     out

@@ -59,8 +59,13 @@ pub fn render_distribution(d: &SeverityDistribution) -> String {
         .map(|b| {
             vec![
                 format!("{b:?}"),
-                d.v2.get(b).map(|&x| render::pct(x)).unwrap_or_else(|| "N.A.".into()),
-                d.pv3.get(b).map(|&x| render::pct(x)).unwrap_or_else(|| "0.00%".into()),
+                d.v2.get(b)
+                    .map(|&x| render::pct(x))
+                    .unwrap_or_else(|| "N.A.".into()),
+                d.pv3
+                    .get(b)
+                    .map(|&x| render::pct(x))
+                    .unwrap_or_else(|| "0.00%".into()),
             ]
         })
         .collect();

@@ -67,7 +67,10 @@ pub fn render_name_scale(rows: &[NameScaleRow]) -> String {
             ]
         })
         .collect();
-    render::table(&["database", "# vendors", "# impacted", "# consistent"], &body)
+    render::table(
+        &["database", "# vendors", "# impacted", "# consistent"],
+        &body,
+    )
 }
 
 /// One Table 11 row: a vendor with its CVE (or product) count and share.
@@ -132,13 +135,17 @@ pub fn render_vendor_ranks(
                 r.count.to_string(),
                 render::pct(r.share),
                 b.map(|x| x.count.to_string()).unwrap_or_else(|| "-".into()),
-                b.map(|x| render::pct(x.share)).unwrap_or_else(|| "-".into()),
+                b.map(|x| render::pct(x.share))
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
     format!(
         "{title}\n{}",
-        render::table(&["vendor", "# after", "% after", "# before", "% before"], &body)
+        render::table(
+            &["vendor", "# after", "% after", "# before", "% before"],
+            &body
+        )
     )
 }
 
@@ -216,7 +223,13 @@ pub fn render_mislabeled(m: &MislabeledBreakdown) -> String {
         })
         .collect();
     render::table(
-        &["severity", "vendor v2", "vendor pv3", "product v2", "product pv3"],
+        &[
+            "severity",
+            "vendor v2",
+            "vendor pv3",
+            "product v2",
+            "product pv3",
+        ],
         &body,
     )
 }
@@ -237,12 +250,7 @@ pub struct CaseSample {
 /// Table 16: a deterministic sample of CVEs that had mislabeled vendors,
 /// preferring higher-severity ones (as the paper's sample skews High).
 pub fn case_samples(exps: &Experiments, k: usize) -> Vec<CaseSample> {
-    let alias_map: BTreeMap<VendorName, VendorName> = exps
-        .report
-        .names
-        .mapping
-        .vendor
-        .clone();
+    let alias_map: BTreeMap<VendorName, VendorName> = exps.report.names.mapping.vendor.clone();
     let mut rows: Vec<CaseSample> = Vec::new();
     for id in &exps.report.names.apply_stats.cves_with_vendor_fixes {
         // The ORIGINAL entry still shows the inconsistent name.
@@ -268,11 +276,7 @@ pub fn case_samples(exps: &Experiments, k: usize) -> Vec<CaseSample> {
             description,
         });
     }
-    rows.sort_by(|a, b| {
-        b.severity_v2
-            .cmp(&a.severity_v2)
-            .then(a.id.cmp(&b.id))
-    });
+    rows.sort_by(|a, b| b.severity_v2.cmp(&a.severity_v2).then(a.id.cmp(&b.id)));
     rows.truncate(k);
     rows
 }

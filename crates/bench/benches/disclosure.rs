@@ -50,11 +50,7 @@ fn table8_and_figures(c: &mut Criterion) {
         b.iter(|| {
             (
                 disclosure_study::top_publication_dates(black_box(&exps.cleaned), 10),
-                disclosure_study::top_disclosure_dates(
-                    &exps.cleaned,
-                    &exps.report.disclosure,
-                    10,
-                ),
+                disclosure_study::top_disclosure_dates(&exps.cleaned, &exps.report.disclosure, 10),
             )
         })
     });

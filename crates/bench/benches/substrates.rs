@@ -57,7 +57,12 @@ fn bench_text(c: &mut Criterion) {
         b.iter(|| preprocess(black_box(desc)))
     });
     c.bench_function("levenshtein_vendor_pair", |b| {
-        b.iter(|| levenshtein(black_box("schneider_electric"), black_box("chneider_electric")))
+        b.iter(|| {
+            levenshtein(
+                black_box("schneider_electric"),
+                black_box("chneider_electric"),
+            )
+        })
     });
     c.bench_function("lcs_vendor_pair", |b| {
         b.iter(|| {

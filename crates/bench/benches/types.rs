@@ -14,9 +14,24 @@ fn table10_top_types(c: &mut Criterion) {
     c.bench_function("table10_top_types_all_views", |b| {
         b.iter(|| {
             (
-                types_study::top_types(black_box(&exps), types_study::ScoreView::V2, Severity::High, 10),
-                types_study::top_types(&exps, types_study::ScoreView::LabelledV3, Severity::Critical, 10),
-                types_study::top_types(&exps, types_study::ScoreView::RectifiedV3, Severity::Critical, 10),
+                types_study::top_types(
+                    black_box(&exps),
+                    types_study::ScoreView::V2,
+                    Severity::High,
+                    10,
+                ),
+                types_study::top_types(
+                    &exps,
+                    types_study::ScoreView::LabelledV3,
+                    Severity::Critical,
+                    10,
+                ),
+                types_study::top_types(
+                    &exps,
+                    types_study::ScoreView::RectifiedV3,
+                    Severity::Critical,
+                    10,
+                ),
             )
         })
     });

@@ -157,7 +157,11 @@ impl LagSummary {
     pub fn compute(db: &Database, estimates: &BTreeMap<CveId, DisclosureEstimate>) -> Self {
         let mut lags: Vec<i32> = db
             .iter()
-            .filter_map(|e| estimates.get(&e.id).map(|est| est.lag_days(e.published).max(0)))
+            .filter_map(|e| {
+                estimates
+                    .get(&e.id)
+                    .map(|est| est.lag_days(e.published).max(0))
+            })
             .collect();
         lags.sort_unstable();
         let n = lags.len().max(1) as f64;
@@ -194,9 +198,7 @@ mod tests {
     fn entry_with_refs(archive: &mut WebArchive, urls: &[(&str, &str)]) -> CveEntry {
         let mut e = CveEntry::new("CVE-2011-0700".parse().unwrap(), date("2011-03-14"));
         for (host, d) in urls {
-            let url = archive
-                .publish(host, "CVE-2011-0700", date(d), 10)
-                .unwrap();
+            let url = archive.publish(host, "CVE-2011-0700", date(d), 10).unwrap();
             e.references.push(Reference::new(url));
         }
         e
@@ -295,10 +297,15 @@ mod tests {
     fn lag_summary_cdf_is_monotone() {
         let mut archive = WebArchive::new();
         let mut db = Database::new();
-        for (i, d) in ["2015-01-05", "2015-01-05", "2015-02-01"].iter().enumerate() {
+        for (i, d) in ["2015-01-05", "2015-01-05", "2015-02-01"]
+            .iter()
+            .enumerate()
+        {
             let id: CveId = format!("CVE-2015-{:04}", i + 1).parse().unwrap();
             let mut e = CveEntry::new(id, date("2015-03-01"));
-            let url = archive.publish("seclists.org", &id.to_string(), date(d), 0).unwrap();
+            let url = archive
+                .publish("seclists.org", &id.to_string(), date(d), 0)
+                .unwrap();
             e.references.push(Reference::new(url));
             db.push(e);
         }

@@ -163,10 +163,8 @@ impl NameMapping {
                     .expect("non-empty group");
                 for &m in members {
                     if m != canonical {
-                        self.product.insert(
-                            (vendor.clone(), names[m].clone()),
-                            names[canonical].clone(),
-                        );
+                        self.product
+                            .insert((vendor.clone(), names[m].clone()), names[canonical].clone());
                     }
                 }
             }
@@ -233,10 +231,7 @@ impl NameMapping {
     /// Distinct consistent names that inconsistent vendor names map onto
     /// (Table 3's `#con`).
     pub fn consistent_vendor_targets(&self) -> usize {
-        self.vendor
-            .values()
-            .collect::<BTreeSet<_>>()
-            .len()
+        self.vendor.values().collect::<BTreeSet<_>>().len()
     }
 }
 
@@ -354,10 +349,7 @@ mod tests {
         );
         let stats = mapping.apply(&mut db);
         assert_eq!(stats.cves_with_product_fixes.len(), 1);
-        assert!(db
-            .product_set()
-            .iter()
-            .all(|p| p.as_str() != "anti-virus"));
+        assert!(db.product_set().iter().all(|p| p.as_str() != "anti-virus"));
     }
 
     #[test]

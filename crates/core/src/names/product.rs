@@ -62,7 +62,10 @@ pub fn find_product_candidates(db: &Database, mapping: &NameMapping) -> Vec<Prod
     for entry in db.iter() {
         for cpe in &entry.affected {
             let vendor = mapping.resolve_vendor(&cpe.vendor).clone();
-            products.entry(vendor).or_default().insert(cpe.product.clone());
+            products
+                .entry(vendor)
+                .or_default()
+                .insert(cpe.product.clone());
         }
     }
 
@@ -90,8 +93,7 @@ pub fn find_product_candidates(db: &Database, mapping: &NameMapping) -> Vec<Prod
         let name_set: BTreeSet<&str> = names.iter().map(|p| p.as_str()).collect();
         for p in &names {
             if let Some(abbrev) = abbreviation(p.as_str()) {
-                if abbrev.len() >= 2 && abbrev != p.as_str() && name_set.contains(abbrev.as_str())
-                {
+                if abbrev.len() >= 2 && abbrev != p.as_str() && name_set.contains(abbrev.as_str()) {
                     let other = names
                         .iter()
                         .find(|q| q.as_str() == abbrev.as_str())
@@ -225,10 +227,9 @@ mod tests {
         // after vendor consolidation both product spellings are under avg.
         let db = db_with(&[("avg", "antivirus"), ("avg_technologies", "anti-virus")]);
         let mut mapping = NameMapping::default();
-        mapping.vendor.insert(
-            VendorName::new("avg_technologies"),
-            VendorName::new("avg"),
-        );
+        mapping
+            .vendor
+            .insert(VendorName::new("avg_technologies"), VendorName::new("avg"));
         let cands = find_product_candidates(&db, &mapping);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].vendor.as_str(), "avg");

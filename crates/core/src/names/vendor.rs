@@ -62,7 +62,10 @@ pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
     // Block 1: identical strip-specials form.
     let mut by_norm: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
     for v in &vendors {
-        by_norm.entry(strip_specials(v.as_str())).or_default().push(v);
+        by_norm
+            .entry(strip_specials(v.as_str()))
+            .or_default()
+            .push(v);
     }
     for group in by_norm.values() {
         pair_group(group, &mut proposed);
@@ -94,7 +97,10 @@ pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
     let mut vendors_by_product: BTreeMap<&str, Vec<&VendorName>> = BTreeMap::new();
     for (vendor, products) in &products_by_vendor {
         for p in products {
-            vendors_by_product.entry(p.as_str()).or_default().push(vendor);
+            vendors_by_product
+                .entry(p.as_str())
+                .or_default()
+                .push(vendor);
         }
     }
     for group in vendors_by_product.values() {
@@ -292,9 +298,9 @@ mod tests {
     }
 
     fn has_pair(cands: &[VendorCandidate], a: &str, b: &str) -> bool {
-        cands
-            .iter()
-            .any(|c| (c.a.as_str() == a && c.b.as_str() == b) || (c.a.as_str() == b && c.b.as_str() == a))
+        cands.iter().any(|c| {
+            (c.a.as_str() == a && c.b.as_str() == b) || (c.a.as_str() == b && c.b.as_str() == a)
+        })
     }
 
     #[test]
@@ -302,10 +308,7 @@ mod tests {
         let db = db_with(&[("avast", "antivirus"), ("avast!", "antivirus")]);
         let cands = find_vendor_candidates(&db);
         assert!(has_pair(&cands, "avast", "avast!"));
-        let c = cands
-            .iter()
-            .find(|c| c.a.as_str() == "avast")
-            .unwrap();
+        let c = cands.iter().find(|c| c.a.as_str() == "avast").unwrap();
         assert!(c.tokens_identical);
         assert!(c.matching_products >= 1);
     }

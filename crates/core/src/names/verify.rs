@@ -89,7 +89,12 @@ impl AcceptanceRateVerifier {
 impl Verifier for AcceptanceRateVerifier {
     fn confirm(&self, candidate: &VendorCandidate) -> bool {
         let mut h = self.salt ^ 0x9e37_79b9_7f4a_7c15;
-        for b in candidate.a.as_str().bytes().chain(candidate.b.as_str().bytes()) {
+        for b in candidate
+            .a
+            .as_str()
+            .bytes()
+            .chain(candidate.b.as_str().bytes())
+        {
             h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
         }
         let x = (h >> 11) as f64 / (1u64 << 53) as f64;
@@ -155,8 +160,6 @@ mod tests {
         let mut weak = candidate("x", "y");
         weak.lcs_len = 1;
         weak.matching_products = 1;
-        assert!(
-            AcceptanceRateVerifier::rate(&strong) > AcceptanceRateVerifier::rate(&weak)
-        );
+        assert!(AcceptanceRateVerifier::rate(&strong) > AcceptanceRateVerifier::rate(&weak));
     }
 }

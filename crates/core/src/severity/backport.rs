@@ -72,7 +72,9 @@ pub struct BackportOutcome {
 impl BackportOutcome {
     /// Predicted v3 severity band for a CVE, if it was backported.
     pub fn predicted_severity(&self, id: &CveId) -> Option<Severity> {
-        self.predictions.get(id).map(|&s| Severity::from_v3_score(s))
+        self.predictions
+            .get(id)
+            .map(|&s| Severity::from_v3_score(s))
     }
 
     /// The v3 severity of a CVE after rectification: the NVD label when
@@ -175,8 +177,14 @@ pub fn backport_v3(db: &Database, options: &BackportOptions) -> BackportOutcome 
     let backport_transition = transition_matrix(&v2_bands, &pred_bands);
 
     // --- Table 4: ground-truth transitions ---------------------------------
-    let gt_v2: Vec<Severity> = ground.iter().map(|e| e.severity_v2().expect("v2")).collect();
-    let gt_v3: Vec<Severity> = ground.iter().map(|e| e.severity_v3().expect("v3")).collect();
+    let gt_v2: Vec<Severity> = ground
+        .iter()
+        .map(|e| e.severity_v2().expect("v2"))
+        .collect();
+    let gt_v3: Vec<Severity> = ground
+        .iter()
+        .map(|e| e.severity_v3().expect("v3"))
+        .collect();
     let ground_truth_transition = transition_matrix(&gt_v2, &gt_v3);
 
     // --- Tables 13–15: sanity matrices on the ground truth ------------------

@@ -151,7 +151,7 @@ fn privilege_flags(v: &CvssV2Vector) -> (f64, f64, f64) {
     let impacts = v.impacts();
     if impacts.iter().all(|i| *i == ImpactV2::Complete) {
         (1.0, 0.0, 0.0)
-    } else if impacts.iter().any(|i| *i == ImpactV2::Partial)
+    } else if impacts.contains(&ImpactV2::Partial)
         && impacts.iter().all(|i| *i != ImpactV2::Complete)
     {
         (0.0, 1.0, 0.0)
@@ -167,7 +167,10 @@ mod tests {
     use nvd_model::prelude::*;
 
     fn entry(v2: &str, score: f64, cwe: Option<u32>, v3_score: Option<f64>) -> CveEntry {
-        let mut e = CveEntry::new("CVE-2017-0001".parse().unwrap(), "2017-01-01".parse().unwrap());
+        let mut e = CveEntry::new(
+            "CVE-2017-0001".parse().unwrap(),
+            "2017-01-01".parse().unwrap(),
+        );
         e.cvss_v2 = Some(CvssV2Record {
             vector: v2.parse().unwrap(),
             base_score: score,
@@ -177,7 +180,9 @@ mod tests {
         }
         if let Some(s) = v3_score {
             e.cvss_v3 = Some(CvssV3Record {
-                vector: "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".parse().unwrap(),
+                vector: "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+                    .parse()
+                    .unwrap(),
                 base_score: s,
             });
         }
@@ -186,7 +191,12 @@ mod tests {
 
     #[test]
     fn features_are_in_unit_range() {
-        let train = [entry("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5, Some(89), Some(9.8))];
+        let train = [entry(
+            "AV:N/AC:L/Au:N/C:P/I:P/A:P",
+            7.5,
+            Some(89),
+            Some(9.8),
+        )];
         let fx = FeatureExtractor::fit(train.iter());
         let f = fx.extract(&train[0]).unwrap();
         for (i, v) in f.iter().enumerate() {
@@ -220,7 +230,12 @@ mod tests {
 
     #[test]
     fn unseen_cwe_falls_back_to_global_mean() {
-        let train = [entry("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5, Some(89), Some(8.0))];
+        let train = [entry(
+            "AV:N/AC:L/Au:N/C:P/I:P/A:P",
+            7.5,
+            Some(89),
+            Some(8.0),
+        )];
         let fx = FeatureExtractor::fit(train.iter());
         let probe = entry("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5, Some(999), None);
         let f = fx.extract(&probe).unwrap();
@@ -230,7 +245,10 @@ mod tests {
     #[test]
     fn entries_without_v2_yield_none() {
         let fx = FeatureExtractor::fit([].iter());
-        let e = CveEntry::new("CVE-2017-0002".parse().unwrap(), "2017-01-01".parse().unwrap());
+        let e = CveEntry::new(
+            "CVE-2017-0002".parse().unwrap(),
+            "2017-01-01".parse().unwrap(),
+        );
         assert!(fx.extract(&e).is_none());
     }
 }

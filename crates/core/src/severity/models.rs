@@ -233,8 +233,7 @@ mod tests {
     fn models_beat_constant_baseline() {
         let (x, y) = toy_data(200);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
-        let baseline: f64 =
-            y.iter().map(|v| (v - mean).abs()).sum::<f64>() / y.len() as f64;
+        let baseline: f64 = y.iter().map(|v| (v - mean).abs()).sum::<f64>() / y.len() as f64;
         for kind in [ModelKind::Lr, ModelKind::Cnn, ModelKind::Dnn] {
             let m = SeverityModel::train(kind, &x, &y, TrainProfile::Fast, 7);
             let pred = m.predict(&x);

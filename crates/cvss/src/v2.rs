@@ -179,10 +179,7 @@ impl TemporalV2 {
 /// Computes the v2 temporal score: `round1(base * E * RL * RC)`.
 pub fn temporal_score(v: &CvssV2Vector, t: TemporalV2) -> f64 {
     round1(
-        base_score(v)
-            * t.exploitability_weight()
-            * t.remediation_weight()
-            * t.confidence_weight(),
+        base_score(v) * t.exploitability_weight() * t.remediation_weight() * t.confidence_weight(),
     )
 }
 
@@ -198,13 +195,13 @@ mod tests {
     fn published_conformance_scores() {
         // Scores published by FIRST / NVD for well-known CVEs.
         let cases = [
-            ("AV:N/AC:L/Au:N/C:N/I:N/A:C", 7.8),  // CVE-2002-0392 Apache chunked
+            ("AV:N/AC:L/Au:N/C:N/I:N/A:C", 7.8), // CVE-2002-0392 Apache chunked
             ("AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0), // worst case
-            ("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5),  // classic remote partial
-            ("AV:N/AC:M/Au:N/C:N/I:P/A:N", 4.3),  // typical XSS
-            ("AV:L/AC:H/Au:N/C:C/I:C/A:C", 6.2),  // local hard full compromise
-            ("AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0),  // no impact
-            ("AV:L/AC:L/Au:N/C:N/I:N/A:P", 2.1),  // local DoS
+            ("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5), // classic remote partial
+            ("AV:N/AC:M/Au:N/C:N/I:P/A:N", 4.3), // typical XSS
+            ("AV:L/AC:H/Au:N/C:C/I:C/A:C", 6.2), // local hard full compromise
+            ("AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0), // no impact
+            ("AV:L/AC:L/Au:N/C:N/I:N/A:P", 2.1), // local DoS
             ("AV:N/AC:M/Au:S/C:P/I:P/A:P", 6.0),
             ("AV:N/AC:L/Au:N/C:P/I:N/A:N", 5.0),
             ("AV:A/AC:L/Au:N/C:P/I:P/A:P", 5.8),
@@ -224,8 +221,14 @@ mod tests {
 
     #[test]
     fn severity_bands() {
-        assert_eq!(severity(&vec2("AV:N/AC:L/Au:N/C:C/I:C/A:C")), Severity::High);
-        assert_eq!(severity(&vec2("AV:N/AC:M/Au:N/C:N/I:P/A:N")), Severity::Medium);
+        assert_eq!(
+            severity(&vec2("AV:N/AC:L/Au:N/C:C/I:C/A:C")),
+            Severity::High
+        );
+        assert_eq!(
+            severity(&vec2("AV:N/AC:M/Au:N/C:N/I:P/A:N")),
+            Severity::Medium
+        );
         assert_eq!(severity(&vec2("AV:L/AC:L/Au:N/C:N/I:N/A:P")), Severity::Low);
     }
 

@@ -208,9 +208,7 @@ impl TemporalV3 {
 
 /// Computes the v3 temporal score: `roundup(base * E * RL * RC)`.
 pub fn temporal_score(v: &CvssV3Vector, t: TemporalV3) -> f64 {
-    roundup(
-        base_score(v) * t.maturity_weight() * t.remediation_weight() * t.confidence_weight(),
-    )
+    roundup(base_score(v) * t.maturity_weight() * t.remediation_weight() * t.confidence_weight())
 }
 
 #[cfg(test)]

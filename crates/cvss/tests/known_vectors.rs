@@ -1,0 +1,124 @@
+//! Hand-computed CVSS reference scores, worked directly from the FIRST v2
+//! and v3.0 base-equation specifications. Each expectation was derived by
+//! hand (impact / exploitability subscores shown in comments), so these
+//! tests pin the scoring equations independently of the property tests.
+
+use cvss::{score_v2, score_v3, v2, v3, Severity};
+use nvd_model::metrics::{CvssV2Vector, CvssV3Vector};
+
+fn v2v(s: &str) -> CvssV2Vector {
+    s.parse().expect("valid v2 vector")
+}
+
+fn v3v(s: &str) -> CvssV3Vector {
+    s.parse().expect("valid v3 vector")
+}
+
+#[test]
+fn v2_known_vectors() {
+    // Impact = 10.41·(1−(1−C)(1−I)(1−A)), Exploitability = 20·AV·AC·Au,
+    // Base = ((0.6·Impact) + (0.4·Exploitability) − 1.5)·f(Impact).
+    let cases = [
+        // Classic fully-partial network vector (e.g. CVE-2002-0392).
+        ("AV:N/AC:L/Au:N/C:P/I:P/A:P", 7.5),
+        // Total compromise over the network.
+        ("AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0),
+        // No impact at all => f(Impact) = 0 => score 0.
+        ("AV:L/AC:H/Au:N/C:N/I:N/A:N", 0.0),
+        // Local root: Impact 10.0, Exploitability 3.95.
+        ("AV:L/AC:L/Au:N/C:C/I:C/A:C", 7.2),
+        // Authenticated medium-complexity info leak: 3.4697 rounds to 3.5.
+        ("AV:N/AC:M/Au:S/C:P/I:N/A:N", 3.5),
+        // Adjacent network, all partial: 4.9486·1.176 = 5.8.
+        ("AV:A/AC:L/Au:N/C:P/I:P/A:P", 5.8),
+    ];
+    for (text, want) in cases {
+        let v = v2v(text);
+        assert_eq!(v2::base_score(&v), want, "{text}");
+    }
+}
+
+#[test]
+fn v2_severity_bands() {
+    assert_eq!(
+        score_v2(&v2v("AV:N/AC:L/Au:N/C:P/I:P/A:P")).1,
+        Severity::High
+    );
+    assert_eq!(
+        score_v2(&v2v("AV:N/AC:M/Au:S/C:P/I:N/A:N")).1,
+        Severity::Low
+    );
+    assert_eq!(
+        score_v2(&v2v("AV:L/AC:L/Au:N/C:P/I:P/A:P")).1,
+        Severity::Medium // 4.6
+    );
+    assert_eq!(
+        score_v2(&v2v("AV:N/AC:L/Au:N/C:C/I:C/A:C")).1,
+        Severity::High
+    );
+}
+
+#[test]
+fn v3_known_vectors() {
+    // ISS = 1−(1−C)(1−I)(1−A); Impact(U) = 6.42·ISS;
+    // Exploitability = 8.22·AV·AC·PR·UI; Base = roundup(min(I+E, 10)).
+    let cases = [
+        // The ubiquitous unauthenticated network RCE banding.
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8),
+        // Scope change lifts it to a flat 10.0.
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0),
+        // Local privileged-code execution (the kernel-LPE shape).
+        ("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8),
+        // Reflected XSS: scope-changed, low C/I impact, user interaction.
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1),
+        // Zero impact must be exactly zero regardless of exploitability.
+        ("CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0),
+        // Worst-case exploitability product: 1.51533 rounds up to 1.6.
+        ("CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6),
+    ];
+    for (text, want) in cases {
+        let v = v3v(text);
+        assert_eq!(v3::base_score(&v), want, "{text}");
+    }
+}
+
+#[test]
+fn v3_severity_bands() {
+    let bands = [
+        (
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            Severity::Critical,
+        ),
+        (
+            "CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+            Severity::High,
+        ),
+        (
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N",
+            Severity::Medium,
+        ),
+        (
+            "CVSS:3.0/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N",
+            Severity::Low,
+        ),
+        (
+            "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:N/I:N/A:N",
+            Severity::None,
+        ),
+    ];
+    for (text, want) in bands {
+        assert_eq!(score_v3(&v3v(text)).1, want, "{text}");
+    }
+}
+
+#[test]
+fn scores_round_to_one_decimal() {
+    for v in cvss::all_v2_vectors() {
+        let (s, _) = score_v2(&v);
+        assert!((s * 10.0 - (s * 10.0).round()).abs() < 1e-9, "{v}: {s}");
+    }
+    for v in cvss::all_v3_vectors() {
+        let (s, _) = score_v3(&v);
+        assert!((s * 10.0 - (s * 10.0).round()).abs() < 1e-9, "{v}: {s}");
+    }
+}

@@ -21,11 +21,7 @@ pub fn average_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    let sum: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p).abs())
-        .sum();
+    let sum: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum();
     sum / y_true.len() as f64
 }
 
@@ -67,11 +63,7 @@ pub fn accuracy<T: PartialEq>(truth: &[T], predicted: &[T]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     hits as f64 / truth.len() as f64
 }
 

@@ -86,7 +86,12 @@ impl Layer {
         }
     }
 
-    fn conv1d(in_shape: (usize, usize), filters: usize, kernel: usize, activation: Activation) -> Self {
+    fn conv1d(
+        in_shape: (usize, usize),
+        filters: usize,
+        kernel: usize,
+        activation: Activation,
+    ) -> Self {
         let (c, l) = in_shape;
         assert!(
             l >= kernel,
@@ -105,9 +110,7 @@ impl Layer {
     fn init(&mut self, rng: &mut StdRng) {
         let (fan_in, fan_out) = match self.kind {
             LayerKind::Dense { units } => (self.in_shape.0 * self.in_shape.1, units),
-            LayerKind::Conv1d { filters, kernel } => {
-                (self.in_shape.0 * kernel, filters * kernel)
-            }
+            LayerKind::Conv1d { filters, kernel } => (self.in_shape.0 * kernel, filters * kernel),
         };
         let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
         for w in &mut self.weights {
@@ -195,8 +198,8 @@ impl Layer {
                 for f in 0..filters {
                     for p in 0..l_out {
                         let o_idx = f * l_out + p;
-                        let d = grad_out[o_idx]
-                            * self.activation.derivative_from_output(output[o_idx]);
+                        let d =
+                            grad_out[o_idx] * self.activation.derivative_from_output(output[o_idx]);
                         if d == 0.0 {
                             continue;
                         }
@@ -422,8 +425,16 @@ impl Network {
             .map(|l| AdamState::sized(l.biases.len()))
             .collect();
 
-        let mut grad_w: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
-        let mut grad_b: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        let mut grad_w: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
 
         // Per-layer activation caches for one sample.
         let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
@@ -559,7 +570,9 @@ mod tests {
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for i in 0..64 {
-            let row: Vec<f64> = (0..6).map(|j| ((i * 7 + j * 13) % 10) as f64 / 10.0).collect();
+            let row: Vec<f64> = (0..6)
+                .map(|j| ((i * 7 + j * 13) % 10) as f64 / 10.0)
+                .collect();
             y.push(row.iter().sum::<f64>() / 6.0);
             rows.push(row);
         }
@@ -634,10 +647,16 @@ mod tests {
             let (head, tail) = acts.split_at_mut(li + 1);
             layer.forward(&head[li], &mut tail[0]);
         }
-        let mut grad_w: Vec<Vec<f64>> =
-            net.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
-        let mut grad_b: Vec<Vec<f64>> =
-            net.layers.iter().map(|l| vec![0.0; l.biases.len()]).collect();
+        let mut grad_w: Vec<Vec<f64>> = net
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut grad_b: Vec<Vec<f64>> = net
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
         let mut grad_cur = vec![2.0 * (acts[net.layers.len()][0] - y.row(0)[0])];
         let mut grad_next = Vec::new();
         for li in (0..net.layers.len()).rev() {

@@ -251,7 +251,10 @@ impl FromStr for CpeUri {
                     part,
                     vendor: VendorName::new(fields[1]),
                     product: ProductName::new(fields[2]),
-                    version: fields.get(3).filter(|v| !v.is_empty()).map(|v| (*v).to_owned()),
+                    version: fields
+                        .get(3)
+                        .filter(|v| !v.is_empty())
+                        .map(|v| (*v).to_owned()),
                 },
             })
         } else {
@@ -285,7 +288,10 @@ mod tests {
     fn names_fold_case_and_whitespace() {
         assert_eq!(VendorName::new("BEA Systems").as_str(), "bea_systems");
         assert_eq!(VendorName::new("avast!").as_str(), "avast!");
-        assert_eq!(ProductName::new("Internet Explorer").as_str(), "internet_explorer");
+        assert_eq!(
+            ProductName::new("Internet Explorer").as_str(),
+            "internet_explorer"
+        );
         assert_eq!(ProductName::new("  AntiVirus ").as_str(), "antivirus");
         assert!(VendorName::new("  ").is_empty());
     }
@@ -294,7 +300,10 @@ mod tests {
     fn cpe_2_3_roundtrip() {
         let name = CpeName::application("microsoft", "internet explorer").with_version("8.0");
         let uri = name.to_uri_2_3();
-        assert_eq!(uri, "cpe:2.3:a:microsoft:internet_explorer:8.0:*:*:*:*:*:*:*");
+        assert_eq!(
+            uri,
+            "cpe:2.3:a:microsoft:internet_explorer:8.0:*:*:*:*:*:*:*"
+        );
         let parsed: CpeUri = uri.parse().unwrap();
         assert_eq!(parsed.binding, CpeBinding::V2_3);
         assert_eq!(parsed.name, name);
@@ -340,7 +349,11 @@ mod tests {
 
     #[test]
     fn part_codes() {
-        for part in [CpePart::Application, CpePart::OperatingSystem, CpePart::Hardware] {
+        for part in [
+            CpePart::Application,
+            CpePart::OperatingSystem,
+            CpePart::Hardware,
+        ] {
             assert_eq!(CpePart::from_code(part.code()), Some(part));
         }
         assert_eq!(CpePart::from_code('z'), None);

@@ -255,7 +255,9 @@ mod tests {
         assert_eq!(db.len(), 2);
 
         let mut replacement = entry("CVE-2001-0001", "2001-01-15");
-        replacement.references.push(Reference::new("https://a.example/x"));
+        replacement
+            .references
+            .push(Reference::new("https://a.example/x"));
         db.push(replacement);
         assert_eq!(db.len(), 2, "same id replaces, not appends");
         assert_eq!(
@@ -273,13 +275,17 @@ mod tests {
         let mut a = entry("CVE-2001-0001", "2001-01-10");
         a.cwes = vec![CweLabel::Specific(CweId::new(79))];
         a.affected.push(CpeName::application("microsoft", "iis"));
-        a.references.push(Reference::new("https://www.kb.cert.org/vuls/1"));
-        a.references.push(Reference::new("https://bugzilla.redhat.com/2"));
+        a.references
+            .push(Reference::new("https://www.kb.cert.org/vuls/1"));
+        a.references
+            .push(Reference::new("https://bugzilla.redhat.com/2"));
         let mut b = entry("CVE-2005-0002", "2005-06-01");
         b.cwes = vec![CweLabel::Specific(CweId::new(89)), CweLabel::Other];
-        b.affected.push(CpeName::application("microsoft", "sql_server"));
+        b.affected
+            .push(CpeName::application("microsoft", "sql_server"));
         b.affected.push(CpeName::application("oracle", "database"));
-        b.references.push(Reference::new("https://www.kb.cert.org/vuls/3"));
+        b.references
+            .push(Reference::new("https://www.kb.cert.org/vuls/3"));
         db.push(a);
         db.push(b);
 

@@ -210,9 +210,7 @@ impl CveEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::{
-        AccessComplexityV2, AccessVectorV2, AuthenticationV2, ImpactV2,
-    };
+    use crate::metrics::{AccessComplexityV2, AccessVectorV2, AuthenticationV2, ImpactV2};
 
     fn sample_entry() -> CveEntry {
         let mut e = CveEntry::new(
@@ -225,9 +223,8 @@ mod tests {
         e.descriptions.push(Description::evaluator(
             "Per: CWE-79: Improper Neutralization of Input During Web Page Generation",
         ));
-        e.references.push(Reference::new(
-            "https://www.securityfocus.com/bid/46249",
-        ));
+        e.references
+            .push(Reference::new("https://www.securityfocus.com/bid/46249"));
         e.cvss_v2 = Some(CvssV2Record {
             vector: CvssV2Vector::new(
                 AccessVectorV2::Network,
@@ -260,11 +257,17 @@ mod tests {
     #[test]
     fn reference_domain_extraction() {
         let cases = [
-            ("https://www.securityfocus.com/bid/46249", Some("www.securityfocus.com")),
+            (
+                "https://www.securityfocus.com/bid/46249",
+                Some("www.securityfocus.com"),
+            ),
             ("http://jvn.jp/en/jp/JVN12345/index.html", Some("jvn.jp")),
             ("https://example.com:8443/x?y#z", Some("example.com")),
             ("https://user@example.org/path", Some("example.org")),
-            ("ftp://archives.neohapsis.com/archives/", Some("archives.neohapsis.com")),
+            (
+                "ftp://archives.neohapsis.com/archives/",
+                Some("archives.neohapsis.com"),
+            ),
             ("no-scheme.com/path", None),
             ("https:///nohost", None),
         ];
@@ -276,7 +279,10 @@ mod tests {
     #[test]
     fn effective_cwe_prefers_specific() {
         let mut e = sample_entry();
-        e.cwes = vec![CweLabel::Other, CweLabel::Specific(crate::cwe::CweId::new(79))];
+        e.cwes = vec![
+            CweLabel::Other,
+            CweLabel::Specific(crate::cwe::CweId::new(79)),
+        ];
         assert_eq!(
             e.effective_cwe(),
             CweLabel::Specific(crate::cwe::CweId::new(79))

@@ -298,12 +298,7 @@ fn item_to_entry(item: &FeedItem) -> Result<CveEntry, FeedError> {
         cve_id: Some(item.cve.meta.id.clone()),
         msg,
     };
-    let id: CveId = item
-        .cve
-        .meta
-        .id
-        .parse()
-        .map_err(|e| err(format!("{e}")))?;
+    let id: CveId = item.cve.meta.id.parse().map_err(|e| err(format!("{e}")))?;
     // Feed dates may carry a time suffix like `2011-03-14T21:55Z`.
     let date_part = |s: &str| s.split('T').next().unwrap_or(s).to_owned();
     let published: Date = date_part(&item.published_date)
@@ -413,14 +408,18 @@ mod tests {
         e.descriptions.push(Description::evaluator(
             "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')",
         ));
-        e.references.push(Reference::new("https://www.securitytracker.com/id/1017597"));
-        e.affected.push(CpeName::application("adobe", "acrobat_reader").with_version("8.0"));
+        e.references
+            .push(Reference::new("https://www.securitytracker.com/id/1017597"));
+        e.affected
+            .push(CpeName::application("adobe", "acrobat_reader").with_version("8.0"));
         e.cvss_v2 = Some(CvssV2Record {
             vector: "AV:N/AC:M/Au:N/C:N/I:N/A:P".parse().unwrap(),
             base_score: 4.3,
         });
         e.cvss_v3 = Some(CvssV3Record {
-            vector: "CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:U/C:N/I:N/A:H".parse().unwrap(),
+            vector: "CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:U/C:N/I:N/A:H"
+                .parse()
+                .unwrap(),
             base_score: 6.5,
         });
         Database::from_entries([e])
@@ -439,7 +438,10 @@ mod tests {
         assert_eq!(back.len(), 1);
         let e = back.get(&"CVE-2007-0838".parse().unwrap()).unwrap();
         assert_eq!(e.cwes, vec![CweLabel::Other]);
-        assert_eq!(e.evaluator_comment().unwrap(), "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')");
+        assert_eq!(
+            e.evaluator_comment().unwrap(),
+            "CWE-835: Loop with Unreachable Exit Condition ('Infinite Loop')"
+        );
         assert_eq!(e.affected[0].vendor.as_str(), "adobe");
         assert_eq!(e.cvss_v2.unwrap().base_score, 4.3);
         assert_eq!(e.cvss_v3.unwrap().severity(), Severity::Medium);
@@ -466,8 +468,13 @@ mod tests {
         assert!(e.to_string().contains("NOT-A-CVE"));
 
         let mut feed2 = to_feed(&db, "t");
-        feed2.items[0].impact.base_metric_v2.as_mut().unwrap().cvss_v2.vector_string =
-            "garbage".to_owned();
+        feed2.items[0]
+            .impact
+            .base_metric_v2
+            .as_mut()
+            .unwrap()
+            .cvss_v2
+            .vector_string = "garbage".to_owned();
         assert!(from_feed(&feed2).is_err());
     }
 

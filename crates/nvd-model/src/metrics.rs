@@ -199,9 +199,11 @@ impl FromStr for CvssV2Vector {
             match key {
                 "AV" => {
                     if av
-                        .replace(AccessVectorV2::from_abbrev(val).ok_or_else(|| {
-                            ParseVectorError::new(format!("AV value {val:?}"))
-                        })?)
+                        .replace(
+                            AccessVectorV2::from_abbrev(val).ok_or_else(|| {
+                                ParseVectorError::new(format!("AV value {val:?}"))
+                            })?,
+                        )
                         .is_some()
                     {
                         return Err(dup("AV"));
@@ -209,9 +211,11 @@ impl FromStr for CvssV2Vector {
                 }
                 "AC" => {
                     if ac
-                        .replace(AccessComplexityV2::from_abbrev(val).ok_or_else(|| {
-                            ParseVectorError::new(format!("AC value {val:?}"))
-                        })?)
+                        .replace(
+                            AccessComplexityV2::from_abbrev(val).ok_or_else(|| {
+                                ParseVectorError::new(format!("AC value {val:?}"))
+                            })?,
+                        )
                         .is_some()
                     {
                         return Err(dup("AC"));
@@ -219,9 +223,11 @@ impl FromStr for CvssV2Vector {
                 }
                 "Au" => {
                     if au
-                        .replace(AuthenticationV2::from_abbrev(val).ok_or_else(|| {
-                            ParseVectorError::new(format!("Au value {val:?}"))
-                        })?)
+                        .replace(
+                            AuthenticationV2::from_abbrev(val).ok_or_else(|| {
+                                ParseVectorError::new(format!("Au value {val:?}"))
+                            })?,
+                        )
                         .is_some()
                     {
                         return Err(dup("Au"));

@@ -1,0 +1,119 @@
+//! Edge-case tests for `Date` arithmetic: leap years, month and year
+//! boundaries, ordering, and round trips at the supported extremes.
+
+use nvd_model::date::{days_in_month, is_leap_year, Date, Weekday};
+
+#[test]
+fn century_leap_rules() {
+    // Divisible by 400 => leap; by 100 only => common; by 4 only => leap.
+    assert!(is_leap_year(2000));
+    assert!(!is_leap_year(1900));
+    assert!(!is_leap_year(2100));
+    assert!(is_leap_year(2400));
+    assert!(is_leap_year(1988));
+    assert!(!is_leap_year(2019));
+
+    assert!(Date::from_ymd(2000, 2, 29).is_ok());
+    assert!(Date::from_ymd(1900, 2, 29).is_err());
+    assert!(Date::from_ymd(2100, 2, 29).is_err());
+    assert!(Date::from_ymd(2400, 2, 29).is_ok());
+}
+
+#[test]
+fn month_boundary_arithmetic() {
+    let jan31: Date = "2018-01-31".parse().unwrap();
+    assert_eq!(jan31.plus_days(1).to_string(), "2018-02-01");
+    assert_eq!(jan31.plus_days(28).to_string(), "2018-02-28");
+    assert_eq!(jan31.plus_days(29).to_string(), "2018-03-01");
+
+    // Leap-day crossing, both directions.
+    let feb28: Date = "2016-02-28".parse().unwrap();
+    assert_eq!(feb28.plus_days(1).to_string(), "2016-02-29");
+    assert_eq!(feb28.plus_days(2).to_string(), "2016-03-01");
+    let mar1: Date = "2016-03-01".parse().unwrap();
+    assert_eq!(mar1.plus_days(-1).to_string(), "2016-02-29");
+
+    // Year boundary, both directions.
+    let nye: Date = "2004-12-31".parse().unwrap();
+    assert_eq!(nye.plus_days(1).to_string(), "2005-01-01");
+    let nyd: Date = "2005-01-01".parse().unwrap();
+    assert_eq!(nyd.plus_days(-1), nye);
+}
+
+#[test]
+fn leap_year_lengths() {
+    // A leap year is 366 days start-to-start; a common year 365.
+    let y2016: Date = "2016-01-01".parse().unwrap();
+    let y2017: Date = "2017-01-01".parse().unwrap();
+    assert_eq!(y2017.days_since(y2016), 366);
+    let y2018: Date = "2018-01-01".parse().unwrap();
+    assert_eq!(y2018.days_since(y2017), 365);
+    // The 1900 century boundary is a common year.
+    let a = Date::from_ymd(1900, 1, 1).unwrap();
+    let b = Date::from_ymd(1901, 1, 1).unwrap();
+    assert_eq!(b.days_since(a), 365);
+}
+
+#[test]
+fn every_month_length_consistent_with_arithmetic() {
+    for year in [1999, 2000, 2016, 2018, 2100] {
+        for month in 1..=12u32 {
+            let dim = days_in_month(year, month);
+            let first = Date::from_ymd(year, month, 1).unwrap();
+            let last = Date::from_ymd(year, month, dim).unwrap();
+            assert_eq!(last.days_since(first), dim as i32 - 1);
+            // The day after the last of the month is the 1st of the next.
+            let next = last.plus_days(1);
+            assert_eq!(next.day(), 1, "{year}-{month}");
+            assert!(Date::from_ymd(year, month, dim + 1).is_err());
+        }
+    }
+}
+
+#[test]
+fn ordering_and_extremes_round_trip() {
+    let min = Date::from_ymd(Date::MIN_YEAR, 1, 1).unwrap();
+    let max = Date::from_ymd(Date::MAX_YEAR, 12, 31).unwrap();
+    assert!(min < max);
+    assert_eq!(Date::from_day_number(min.day_number()), min);
+    assert_eq!(Date::from_day_number(max.day_number()), max);
+    assert_eq!(min.ymd(), (1800, 1, 1));
+    assert_eq!(max.ymd(), (2999, 12, 31));
+
+    // Total order agrees with day numbers across a mixed sample.
+    let mut sample: Vec<Date> = [
+        "2004-12-31",
+        "1988-01-01",
+        "2018-05-21",
+        "2000-02-29",
+        "1970-01-01",
+        "2999-12-31",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect();
+    sample.sort();
+    let mut by_number = sample.clone();
+    by_number.sort_by_key(|d| d.day_number());
+    assert_eq!(sample, by_number);
+}
+
+#[test]
+fn weekday_at_edges() {
+    // 2000-02-29 was a Tuesday; 1900-02-28 a Wednesday.
+    assert_eq!(
+        Date::from_ymd(2000, 2, 29).unwrap().weekday(),
+        Weekday::Tuesday
+    );
+    assert_eq!(
+        Date::from_ymd(1900, 2, 28).unwrap().weekday(),
+        Weekday::Wednesday
+    );
+    // Weekday advances by exactly one across the leap day.
+    let before = Date::from_ymd(2016, 2, 28).unwrap();
+    for offset in 0..4 {
+        let d = before.plus_days(offset);
+        let want = (before.weekday().index() + offset as usize) % 7;
+        assert_eq!(d.weekday().index(), want, "{d}");
+    }
+}

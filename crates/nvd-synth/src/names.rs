@@ -165,7 +165,12 @@ const ANCHOR_ALIASES: &[(&str, &str, AliasPattern, f64)] = &[
     ("avast!", "avast", AliasPattern::SpecialChars, 0.25),
     ("bea_systems", "bea", AliasPattern::PrefixExtension, 0.076),
     ("lynx_project", "lynx", AliasPattern::PrefixExtension, 0.3),
-    ("lms", "lan_management_system", AliasPattern::Abbreviation, 0.3),
+    (
+        "lms",
+        "lan_management_system",
+        AliasPattern::Abbreviation,
+        0.3,
+    ),
     (
         "chneider_electric",
         "schneider_electric",
@@ -173,12 +178,22 @@ const ANCHOR_ALIASES: &[(&str, &str, AliasPattern, f64)] = &[
         0.05,
     ),
     ("kernel", "linux", AliasPattern::ProductAsVendor, 0.02),
-    ("openssl_project", "openssl", AliasPattern::PrefixExtension, 0.3),
+    (
+        "openssl_project",
+        "openssl",
+        AliasPattern::PrefixExtension,
+        0.3,
+    ),
     ("torproject", "tor", AliasPattern::PrefixExtension, 0.35),
     ("quick_heal", "quickheal", AliasPattern::SpecialChars, 0.3),
     ("cat", "quickheal", AliasPattern::SharedProductOnly, 0.15),
     ("igor_sysoev", "nginx", AliasPattern::SharedProductOnly, 0.2),
-    ("neilsprovos", "provos", AliasPattern::SharedProductOnly, 0.3),
+    (
+        "neilsprovos",
+        "provos",
+        AliasPattern::SharedProductOnly,
+        0.3,
+    ),
     ("icq", "aol", AliasPattern::ProductAsVendor, 0.2),
 ];
 
@@ -198,16 +213,66 @@ const ANCHOR_PRODUCTS: &[(&str, &[&str])] = &[
             "dotnet_framework",
         ],
     ),
-    ("oracle", &["database_server", "java", "mysql", "weblogic", "solaris", "peoplesoft"]),
-    ("apple", &["mac_os_x", "iphone_os", "safari", "itunes", "quicktime", "watchos"]),
-    ("ibm", &["websphere", "db2", "aix", "domino", "tivoli", "rational"]),
+    (
+        "oracle",
+        &[
+            "database_server",
+            "java",
+            "mysql",
+            "weblogic",
+            "solaris",
+            "peoplesoft",
+        ],
+    ),
+    (
+        "apple",
+        &[
+            "mac_os_x",
+            "iphone_os",
+            "safari",
+            "itunes",
+            "quicktime",
+            "watchos",
+        ],
+    ),
+    (
+        "ibm",
+        &["websphere", "db2", "aix", "domino", "tivoli", "rational"],
+    ),
     ("google", &["chrome", "android", "v8", "chrome_os"]),
-    ("cisco", &["ios", "asa", "unified_communications_manager", "webex", "ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware"]),
-    ("adobe", &["flash_player", "acrobat", "reader", "coldfusion", "photoshop"]),
+    (
+        "cisco",
+        &[
+            "ios",
+            "asa",
+            "unified_communications_manager",
+            "webex",
+            "ucs-e160dp-m1_firmware",
+            "ucs-e140dp-m1_firmware",
+        ],
+    ),
+    (
+        "adobe",
+        &[
+            "flash_player",
+            "acrobat",
+            "reader",
+            "coldfusion",
+            "photoshop",
+        ],
+    ),
     ("linux", &["kernel", "util-linux"]),
     ("debian", &["debian_linux", "apt", "dpkg"]),
     ("redhat", &["enterprise_linux", "openshift", "jboss"]),
-    ("hp", &["openview", "laserjet_firmware", "integrated_lights-out", "systems_insight_manager"]),
+    (
+        "hp",
+        &[
+            "openview",
+            "laserjet_firmware",
+            "integrated_lights-out",
+            "systems_insight_manager",
+        ],
+    ),
     ("mozilla", &["firefox", "thunderbird", "seamonkey"]),
     ("wordpress", &["wordpress"]),
     ("avg", &["antivirus", "internet_security"]),
@@ -216,13 +281,19 @@ const ANCHOR_PRODUCTS: &[(&str, &[&str])] = &[
     ("tor", &["tor", "tor_browser"]),
     ("nginx", &["nginx"]),
     ("aol", &["icq", "aim", "aol_desktop"]),
-    ("quickheal", &["antivirus", "total_security", "internet_security"]),
+    (
+        "quickheal",
+        &["antivirus", "total_security", "internet_security"],
+    ),
     ("lan_management_system", &["lms_client", "lms_server"]),
     ("lynx", &["lynx"]),
     ("nativesolutions", &["the_banner_engine"]),
     ("provos", &["systrace", "honeyd"]),
     ("openssl", &["openssl"]),
-    ("schneider_electric", &["modicon_m340_firmware", "unity_pro", "somachine"]),
+    (
+        "schneider_electric",
+        &["modicon_m340_firmware", "unity_pro", "somachine"],
+    ),
 ];
 
 /// Anchor product aliases from the paper (`(vendor, alias, canonical)`).
@@ -230,7 +301,12 @@ const ANCHOR_PRODUCT_ALIASES: &[(&str, &str, &str, f64)] = &[
     ("avg", "anti-virus", "antivirus", 0.3),
     ("microsoft", "internet-explorer", "internet_explorer", 0.08),
     ("microsoft", "ie", "internet_explorer", 0.04),
-    ("nativesolutions", "tbe_banner_engine", "the_banner_engine", 0.3),
+    (
+        "nativesolutions",
+        "tbe_banner_engine",
+        "the_banner_engine",
+        0.3,
+    ),
 ];
 
 /// Calibration targets, expressed at scale 1.0 (the paper's snapshot).
@@ -280,10 +356,12 @@ impl NameUniverse {
         let anchor_product_count: usize = ANCHORS.iter().map(|(_, _, c)| c).sum();
         // Anchors own a fixed share of the product universe; scale their
         // per-vendor counts proportionally, but never below the named list.
-        let anchor_product_budget = (product_target / 5).max(anchor_product_count.min(product_target / 2));
+        let anchor_product_budget =
+            (product_target / 5).max(anchor_product_count.min(product_target / 2));
         for (name, weight, product_count_hint) in ANCHORS {
             let named: &[&str] = anchor_products.get(name).copied().unwrap_or(&[]);
-            let scaled = (*product_count_hint * anchor_product_budget) / anchor_product_count.max(1);
+            let scaled =
+                (*product_count_hint * anchor_product_budget) / anchor_product_count.max(1);
             let count = scaled.max(named.len()).max(1);
             let products = build_products(rng, named, count, &mut BTreeSet::new());
             vendors.push(VendorEntry {
@@ -484,18 +562,17 @@ impl NameUniverse {
 
     /// The alias (if any) a CVE for this vendor should be recorded under,
     /// given the per-alias share coin flips.
-    pub fn maybe_vendor_alias(&self, rng: &mut StdRng, vendor: &VendorName) -> Option<&VendorAlias> {
+    pub fn maybe_vendor_alias(
+        &self,
+        rng: &mut StdRng,
+        vendor: &VendorName,
+    ) -> Option<&VendorAlias> {
         let candidates: Vec<&VendorAlias> = self
             .vendor_aliases
             .iter()
             .filter(|a| a.canonical == *vendor)
             .collect();
-        for a in candidates {
-            if rng.gen::<f64>() < a.share {
-                return Some(a);
-            }
-        }
-        None
+        candidates.into_iter().find(|a| rng.gen::<f64>() < a.share)
     }
 
     /// The alias (if any) a CVE for this vendor+product should use.
@@ -510,12 +587,7 @@ impl NameUniverse {
             .iter()
             .filter(|a| a.vendor == *vendor && a.canonical == *product)
             .collect();
-        for a in candidates {
-            if rng.gen::<f64>() < a.share {
-                return Some(a);
-            }
-        }
-        None
+        candidates.into_iter().find(|a| rng.gen::<f64>() < a.share)
     }
 
     /// Ground-truth vendor alias → canonical mapping.
@@ -599,8 +671,8 @@ fn synthesize_alias(
                 .collect::<String>()
         }
         AliasPattern::PrefixExtension => {
-            let suffix = ["_project", "_inc", "_software", "_team", "_org"]
-                [rng.gen_range(0..5)];
+            let suffix =
+                ["_project", "_inc", "_software", "_team", "_org"][rng.gen_range(0..5usize)];
             format!("{name}{suffix}")
         }
         AliasPattern::ProductAsVendor => {

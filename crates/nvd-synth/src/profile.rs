@@ -38,17 +38,18 @@ pub enum CweClass {
 /// Classifies a CWE ID into its behavioural class.
 pub fn classify(id: CweId) -> CweClass {
     match id.number() {
-        119 | 120 | 125 | 129 | 131 | 134 | 189 | 190 | 191 | 193 | 415 | 416 | 476 | 787
-        | 822 | 824 | 908 | 909 | 369 | 682 | 843 => CweClass::Memory,
+        119 | 120 | 125 | 129 | 131 | 134 | 189 | 190 | 191 | 193 | 415 | 416 | 476 | 787 | 822
+        | 824 | 908 | 909 | 369 | 682 | 843 => CweClass::Memory,
         74 | 77 | 78 | 88 | 89 | 90 | 91 | 93 | 94 | 98 | 113 | 502 | 611 | 829 | 917 | 918
         | 444 | 776 => CweClass::Injection,
         79 | 352 | 601 | 640 | 916 | 920 | 922 | 346 | 441 => CweClass::Web,
         199 | 200 | 201 | 203 | 209 | 532 | 538 | 552 | 668 => CweClass::InfoLeak,
-        310 | 311 | 312 | 319 | 320 | 326 | 327 | 330 | 331 | 338 | 295 | 297 | 345 | 354
-        | 693 => CweClass::Crypto,
-        254 | 255 | 259 | 264 | 269 | 273 | 275 | 276 | 281 | 284 | 285 | 287 | 290 | 294
-        | 306 | 307 | 521 | 522 | 613 | 798 | 862 | 863 | 732 | 749 | 384 | 426 | 427 | 428
-        | 436 | 662 => CweClass::AuthPriv,
+        310 | 311 | 312 | 319 | 320 | 326 | 327 | 330 | 331 | 338 | 295 | 297 | 345 | 354 | 693 => {
+            CweClass::Crypto
+        }
+        254 | 255 | 259 | 264 | 269 | 273 | 275 | 276 | 281 | 284 | 285 | 287 | 290 | 294 | 306
+        | 307 | 521 | 522 | 613 | 798 | 862 | 863 | 732 | 749 | 384 | 426 | 427 | 428 | 436
+        | 662 => CweClass::AuthPriv,
         21 | 22 | 59 | 434 | 706 | 610 => CweClass::PathFile,
         399 | 400 | 401 | 404 | 459 | 674 | 769 | 772 | 834 | 835 | 617 => CweClass::Resource,
         362 | 367 => CweClass::Race,

@@ -231,7 +231,12 @@ pub fn derive_true_v3(v2: &CvssV2Vector, cwe: CweId, latent: u64) -> CvssV3Vecto
             ImpactV2::None => ImpactV3::None,
             ImpactV2::Complete => ImpactV3::High,
             ImpactV2::Partial => {
-                if decide(cwe, latent, 0x55 + dim as u64, upgrade_probability(class, dim)) {
+                if decide(
+                    cwe,
+                    latent,
+                    0x55 + dim as u64,
+                    upgrade_probability(class, dim),
+                ) {
                     ImpactV3::High
                 } else {
                     ImpactV3::Low

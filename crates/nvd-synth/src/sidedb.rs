@@ -137,7 +137,12 @@ mod tests {
                 .count() as f64
                 / db.len() as f64
         };
-        assert!(rate(&sf) >= rate(&st), "SF {} < ST {}", rate(&sf), rate(&st));
+        assert!(
+            rate(&sf) >= rate(&st),
+            "SF {} < ST {}",
+            rate(&sf),
+            rate(&st)
+        );
     }
 
     #[test]

@@ -103,19 +103,49 @@ fn d(y: i32, m: u32, day: u32) -> Date {
 /// paper; other years get generic quarterly events.
 pub fn disclosure_batches(year: i32) -> Vec<BatchDay> {
     match year {
-        2005 => vec![BatchDay { date: d(2005, 5, 2), share: 0.054 }],
-        2014 => vec![BatchDay { date: d(2014, 9, 9), share: 0.051 }],
-        2015 => vec![BatchDay { date: d(2015, 7, 14), share: 0.037 }],
-        2016 => vec![BatchDay { date: d(2016, 1, 19), share: 0.046 }],
+        2005 => vec![BatchDay {
+            date: d(2005, 5, 2),
+            share: 0.054,
+        }],
+        2014 => vec![BatchDay {
+            date: d(2014, 9, 9),
+            share: 0.051,
+        }],
+        2015 => vec![BatchDay {
+            date: d(2015, 7, 14),
+            share: 0.037,
+        }],
+        2016 => vec![BatchDay {
+            date: d(2016, 1, 19),
+            share: 0.046,
+        }],
         2017 => vec![
-            BatchDay { date: d(2017, 7, 5), share: 0.024 },
-            BatchDay { date: d(2017, 7, 18), share: 0.022 },
-            BatchDay { date: d(2017, 1, 17), share: 0.020 },
+            BatchDay {
+                date: d(2017, 7, 5),
+                share: 0.024,
+            },
+            BatchDay {
+                date: d(2017, 7, 18),
+                share: 0.022,
+            },
+            BatchDay {
+                date: d(2017, 1, 17),
+                share: 0.020,
+            },
         ],
         2018 => vec![
-            BatchDay { date: d(2018, 7, 9), share: 0.024 },
-            BatchDay { date: d(2018, 4, 2), share: 0.023 },
-            BatchDay { date: d(2018, 7, 17), share: 0.017 },
+            BatchDay {
+                date: d(2018, 7, 9),
+                share: 0.024,
+            },
+            BatchDay {
+                date: d(2018, 4, 2),
+                share: 0.023,
+            },
+            BatchDay {
+                date: d(2018, 7, 17),
+                share: 0.017,
+            },
         ],
         y if (2006..=2013).contains(&y) => {
             // Generic quarterly coordinated-disclosure days: second Tuesday
@@ -136,19 +166,49 @@ pub fn disclosure_batches(year: i32) -> Vec<BatchDay> {
 /// handful of real mass-insertion days.
 pub fn publication_batches(year: i32) -> Vec<BatchDay> {
     match year {
-        2002 => vec![BatchDay { date: d(2002, 12, 31), share: 0.205 }],
-        2003 => vec![BatchDay { date: d(2003, 12, 31), share: 0.267 }],
-        2004 => vec![BatchDay { date: d(2004, 12, 31), share: 0.448 }],
+        2002 => vec![BatchDay {
+            date: d(2002, 12, 31),
+            share: 0.205,
+        }],
+        2003 => vec![BatchDay {
+            date: d(2003, 12, 31),
+            share: 0.267,
+        }],
+        2004 => vec![BatchDay {
+            date: d(2004, 12, 31),
+            share: 0.448,
+        }],
         2005 => vec![
-            BatchDay { date: d(2005, 5, 2), share: 0.166 },
-            BatchDay { date: d(2005, 12, 31), share: 0.078 },
+            BatchDay {
+                date: d(2005, 5, 2),
+                share: 0.166,
+            },
+            BatchDay {
+                date: d(2005, 12, 31),
+                share: 0.078,
+            },
         ],
-        2014 => vec![BatchDay { date: d(2014, 9, 9), share: 0.041 }],
-        2017 => vec![BatchDay { date: d(2017, 8, 8), share: 0.022 }],
+        2014 => vec![BatchDay {
+            date: d(2014, 9, 9),
+            share: 0.041,
+        }],
+        2017 => vec![BatchDay {
+            date: d(2017, 8, 8),
+            share: 0.022,
+        }],
         2018 => vec![
-            BatchDay { date: d(2018, 7, 9), share: 0.028 },
-            BatchDay { date: d(2018, 2, 15), share: 0.023 },
-            BatchDay { date: d(2018, 4, 18), share: 0.019 },
+            BatchDay {
+                date: d(2018, 7, 9),
+                share: 0.028,
+            },
+            BatchDay {
+                date: d(2018, 2, 15),
+                share: 0.023,
+            },
+            BatchDay {
+                date: d(2018, 4, 18),
+                share: 0.019,
+            },
         ],
         _ => Vec::new(),
     }
@@ -352,10 +412,7 @@ mod tests {
     fn high_severity_lags_more_often() {
         let mut rng = StdRng::seed_from_u64(11);
         let lagged = |band: Severity, rng: &mut StdRng| {
-            (0..4000)
-                .filter(|_| sample_lag(rng, band) > 0)
-                .count() as f64
-                / 4000.0
+            (0..4000).filter(|_| sample_lag(rng, band) > 0).count() as f64 / 4000.0
         };
         let low = lagged(Severity::Low, &mut rng);
         let high = lagged(Severity::High, &mut rng);

@@ -6,38 +6,152 @@
 
 /// First components of compositional vendor names.
 pub const VENDOR_HEADS: &[&str] = &[
-    "net", "soft", "sec", "data", "cyber", "info", "micro", "tech", "web", "cloud", "open",
-    "red", "blue", "silver", "iron", "quick", "smart", "deep", "core", "prime", "alpha", "delta",
-    "omni", "meta", "giga", "tera", "nano", "hyper", "ultra", "pro", "apex", "east", "west",
-    "north", "south", "star", "sun", "moon", "terra", "aqua", "pyro", "volt", "flux", "grid",
-    "link", "node", "byte", "bit", "hex", "zen",
+    "net", "soft", "sec", "data", "cyber", "info", "micro", "tech", "web", "cloud", "open", "red",
+    "blue", "silver", "iron", "quick", "smart", "deep", "core", "prime", "alpha", "delta", "omni",
+    "meta", "giga", "tera", "nano", "hyper", "ultra", "pro", "apex", "east", "west", "north",
+    "south", "star", "sun", "moon", "terra", "aqua", "pyro", "volt", "flux", "grid", "link",
+    "node", "byte", "bit", "hex", "zen",
 ];
 
 /// Second components of compositional vendor names.
 pub const VENDOR_TAILS: &[&str] = &[
-    "works", "systems", "soft", "ware", "tech", "labs", "corp", "solutions", "security",
-    "networks", "dynamics", "logic", "media", "tools", "forge", "stack", "base", "guard",
-    "shield", "trust", "safe", "scan", "audit", "byte", "code", "apps", "cloud", "host",
-    "server", "comm", "tel", "sys", "dev", "group", "team", "inc", "io", "hub", "port",
-    "gate", "bridge", "point", "view", "line", "path", "wave", "storm", "fire", "ice",
+    "works",
+    "systems",
+    "soft",
+    "ware",
+    "tech",
+    "labs",
+    "corp",
+    "solutions",
+    "security",
+    "networks",
+    "dynamics",
+    "logic",
+    "media",
+    "tools",
+    "forge",
+    "stack",
+    "base",
+    "guard",
+    "shield",
+    "trust",
+    "safe",
+    "scan",
+    "audit",
+    "byte",
+    "code",
+    "apps",
+    "cloud",
+    "host",
+    "server",
+    "comm",
+    "tel",
+    "sys",
+    "dev",
+    "group",
+    "team",
+    "inc",
+    "io",
+    "hub",
+    "port",
+    "gate",
+    "bridge",
+    "point",
+    "view",
+    "line",
+    "path",
+    "wave",
+    "storm",
+    "fire",
+    "ice",
 ];
 
 /// First components of compositional product names.
 pub const PRODUCT_HEADS: &[&str] = &[
-    "enterprise", "secure", "smart", "easy", "rapid", "total", "active", "dynamic", "virtual",
-    "remote", "mobile", "central", "unified", "advanced", "express", "instant", "global",
-    "power", "master", "super", "auto", "multi", "open", "free", "pro", "lite", "max", "mini",
-    "turbo", "flex",
+    "enterprise",
+    "secure",
+    "smart",
+    "easy",
+    "rapid",
+    "total",
+    "active",
+    "dynamic",
+    "virtual",
+    "remote",
+    "mobile",
+    "central",
+    "unified",
+    "advanced",
+    "express",
+    "instant",
+    "global",
+    "power",
+    "master",
+    "super",
+    "auto",
+    "multi",
+    "open",
+    "free",
+    "pro",
+    "lite",
+    "max",
+    "mini",
+    "turbo",
+    "flex",
 ];
 
 /// Second components of compositional product names.
 pub const PRODUCT_TAILS: &[&str] = &[
-    "manager", "server", "client", "suite", "studio", "portal", "gateway", "engine", "console",
-    "monitor", "scanner", "viewer", "editor", "builder", "designer", "explorer", "commander",
-    "center", "desk", "mail", "chat", "store", "cart", "wiki", "blog", "forum", "cms", "crm",
-    "erp", "vpn", "proxy", "router", "switch", "camera", "firmware", "driver", "kernel",
-    "player", "recorder", "archiver", "backup", "sync", "connect", "deploy", "control",
-    "board", "panel", "agent", "daemon", "service",
+    "manager",
+    "server",
+    "client",
+    "suite",
+    "studio",
+    "portal",
+    "gateway",
+    "engine",
+    "console",
+    "monitor",
+    "scanner",
+    "viewer",
+    "editor",
+    "builder",
+    "designer",
+    "explorer",
+    "commander",
+    "center",
+    "desk",
+    "mail",
+    "chat",
+    "store",
+    "cart",
+    "wiki",
+    "blog",
+    "forum",
+    "cms",
+    "crm",
+    "erp",
+    "vpn",
+    "proxy",
+    "router",
+    "switch",
+    "camera",
+    "firmware",
+    "driver",
+    "kernel",
+    "player",
+    "recorder",
+    "archiver",
+    "backup",
+    "sync",
+    "connect",
+    "deploy",
+    "control",
+    "board",
+    "panel",
+    "agent",
+    "daemon",
+    "service",
 ];
 
 /// Generic product names deliberately shared across unrelated vendors, so
@@ -60,7 +174,13 @@ mod tests {
 
     #[test]
     fn lists_are_nonempty_and_lowercase() {
-        for list in [VENDOR_HEADS, VENDOR_TAILS, PRODUCT_HEADS, PRODUCT_TAILS, GENERIC_PRODUCTS] {
+        for list in [
+            VENDOR_HEADS,
+            VENDOR_TAILS,
+            PRODUCT_HEADS,
+            PRODUCT_TAILS,
+            GENERIC_PRODUCTS,
+        ] {
             assert!(!list.is_empty());
             for w in list {
                 assert!(!w.is_empty());

@@ -266,9 +266,13 @@ mod tests {
     #[test]
     fn similar_texts_are_closer_than_dissimilar() {
         let enc = SentenceEncoder::default();
-        let sqli_a = enc.encode("SQL injection in login form allows remote attackers to execute arbitrary SQL commands");
+        let sqli_a = enc.encode(
+            "SQL injection in login form allows remote attackers to execute arbitrary SQL commands",
+        );
         let sqli_b = enc.encode("SQL injection vulnerability in the search form allows remote attackers to run SQL commands");
-        let bof = enc.encode("stack-based buffer overflow in the TIFF decoder allows local users to gain privileges");
+        let bof = enc.encode(
+            "stack-based buffer overflow in the TIFF decoder allows local users to gain privileges",
+        );
         assert!(cosine(&sqli_a, &sqli_b) > cosine(&sqli_a, &bof) + 0.1);
     }
 

@@ -170,7 +170,7 @@ fn step_1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step_1c(w: &mut Vec<u8>) {
+fn step_1c(w: &mut [u8]) {
     if let Some(len) = stem_len(w, "y") {
         if has_vowel(&w[..len]) {
             w[len] = b'i';

@@ -1,0 +1,89 @@
+//! Determinism tests: every textkit primitive is a pure function, so
+//! repeated calls on fixed inputs must agree exactly — the name-matching and
+//! classification pipelines depend on that for reproducible runs.
+
+use textkit::distance::{levenshtein, longest_common_substring_len, trigram_jaccard};
+use textkit::preprocess::preprocess;
+use textkit::stemmer::stem;
+use textkit::tokenize::tokenize;
+
+const DESCRIPTION: &str = "SQL injection vulnerability in index.php in ExampleCMS 2.1 \
+     allows remote attackers to execute arbitrary SQL commands via the id parameter.";
+
+#[test]
+fn tokenize_is_deterministic_and_stable() {
+    let first = tokenize(DESCRIPTION);
+    for _ in 0..10 {
+        assert_eq!(tokenize(DESCRIPTION), first);
+    }
+    assert!(!first.is_empty());
+    // Tokens never carry surrounding whitespace.
+    assert!(first.iter().all(|t| t.trim() == t && !t.is_empty()));
+}
+
+#[test]
+fn stem_is_deterministic_and_idempotent() {
+    for word in [
+        "vulnerabilities",
+        "attackers",
+        "execute",
+        "injection",
+        "allows",
+        "overflow",
+        "crafted",
+    ] {
+        let once = stem(word);
+        assert_eq!(stem(word), once, "{word}: repeated call differs");
+        // Stemming a stem must be a fixed point.
+        assert_eq!(stem(&once), once, "{word}: stem not idempotent");
+        assert!(!once.is_empty());
+    }
+}
+
+#[test]
+fn preprocess_is_deterministic() {
+    let first = preprocess(DESCRIPTION);
+    for _ in 0..5 {
+        assert_eq!(preprocess(DESCRIPTION), first);
+    }
+}
+
+#[test]
+fn distances_match_known_values() {
+    // The textbook pair.
+    assert_eq!(levenshtein("kitten", "sitting"), 3);
+    // The paper's §4.2 example: a one-character vendor typo.
+    assert_eq!(levenshtein("schneider_electric", "chneider_electric"), 1);
+    assert_eq!(
+        longest_common_substring_len("schneider_electric", "chneider_electric"),
+        17
+    );
+    assert_eq!(levenshtein("", "abc"), 3);
+    assert_eq!(levenshtein("abc", "abc"), 0);
+    assert_eq!(longest_common_substring_len("abcdef", "zabcy"), 3);
+    assert!((trigram_jaccard("microsoft", "microsoft") - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn distances_are_symmetric_on_fixed_corpus() {
+    let names = [
+        "microsoft",
+        "micro_soft",
+        "schneider_electric",
+        "lan_management_system",
+        "lms_manager",
+        "hp",
+    ];
+    for a in names {
+        for b in names {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(
+                longest_common_substring_len(a, b),
+                longest_common_substring_len(b, a)
+            );
+            let j_ab = trigram_jaccard(a, b);
+            let j_ba = trigram_jaccard(b, a);
+            assert!((j_ab - j_ba).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

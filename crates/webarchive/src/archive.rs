@@ -190,7 +190,12 @@ mod tests {
     fn publish_and_fetch_round_trip() {
         let mut a = WebArchive::new();
         let url = a
-            .publish("www.securityfocus.com", "CVE-2011-0700", date("2011-02-07"), 5)
+            .publish(
+                "www.securityfocus.com",
+                "CVE-2011-0700",
+                date("2011-02-07"),
+                5,
+            )
             .unwrap();
         let page = a.fetch(&url).unwrap();
         assert_eq!(page.host, "www.securityfocus.com");

@@ -143,10 +143,7 @@ fn parse_us_slash(s: &str) -> Option<Date> {
 fn parse_rfc2822(s: &str) -> Option<Date> {
     let s = WEEKDAYS_SHORT
         .iter()
-        .find_map(|w| {
-            s.strip_prefix(w)
-                .and_then(|rest| rest.strip_prefix(", "))
-        })
+        .find_map(|w| s.strip_prefix(w).and_then(|rest| rest.strip_prefix(", ")))
         .unwrap_or(s);
     let day_len = s.bytes().take_while(u8::is_ascii_digit).count();
     if day_len == 0 || day_len > 2 {

@@ -65,56 +65,238 @@ macro_rules! dom {
 
 static DOMAINS: &[DomainSpec] = &[
     // -- Vulnerability databases ------------------------------------------
-    dom!("www.securityfocus.com", VulnDatabase, Iso, "Published", true, 120.0),
-    dom!("securitytracker.com", VulnDatabase, UsLong, "Date", true, 55.0),
-    dom!("www.vupen.com", VulnDatabase, Iso, "Release Date", false, 18.0),
-    dom!("osvdb.org", VulnDatabase, UsSlash, "Disclosure Date", false, 30.0),
-    dom!("xforce.iss.net", VulnDatabase, UsLong, "Reported", false, 22.0),
-    dom!("www.securiteam.com", VulnDatabase, UsSlash, "Published", false, 12.0),
-    dom!("secunia.com", VulnDatabase, Iso, "Release Date", false, 28.0),
+    dom!(
+        "www.securityfocus.com",
+        VulnDatabase,
+        Iso,
+        "Published",
+        true,
+        120.0
+    ),
+    dom!(
+        "securitytracker.com",
+        VulnDatabase,
+        UsLong,
+        "Date",
+        true,
+        55.0
+    ),
+    dom!(
+        "www.vupen.com",
+        VulnDatabase,
+        Iso,
+        "Release Date",
+        false,
+        18.0
+    ),
+    dom!(
+        "osvdb.org",
+        VulnDatabase,
+        UsSlash,
+        "Disclosure Date",
+        false,
+        30.0
+    ),
+    dom!(
+        "xforce.iss.net",
+        VulnDatabase,
+        UsLong,
+        "Reported",
+        false,
+        22.0
+    ),
+    dom!(
+        "www.securiteam.com",
+        VulnDatabase,
+        UsSlash,
+        "Published",
+        false,
+        12.0
+    ),
+    dom!(
+        "secunia.com",
+        VulnDatabase,
+        Iso,
+        "Release Date",
+        false,
+        28.0
+    ),
     dom!("jvn.jp", VulnDatabase, JapaneseYmd, "公開日", true, 14.0),
     dom!("vuldb.com", VulnDatabase, Iso, "Published", true, 6.0),
-    dom!("www.exploit-db.com", VulnDatabase, Iso, "Published", true, 25.0),
-    dom!("packetstormsecurity.com", VulnDatabase, UsLong, "Posted", true, 16.0),
+    dom!(
+        "www.exploit-db.com",
+        VulnDatabase,
+        Iso,
+        "Published",
+        true,
+        25.0
+    ),
+    dom!(
+        "packetstormsecurity.com",
+        VulnDatabase,
+        UsLong,
+        "Posted",
+        true,
+        16.0
+    ),
     dom!("cve.mitre.org", VulnDatabase, Iso, "Assigned", true, 40.0),
     // -- Bug trackers & mail archives --------------------------------------
-    dom!("bugzilla.redhat.com", BugTracker, BugzillaTs, "Reported", true, 48.0),
-    dom!("bugzilla.mozilla.org", BugTracker, BugzillaTs, "Reported", true, 26.0),
+    dom!(
+        "bugzilla.redhat.com",
+        BugTracker,
+        BugzillaTs,
+        "Reported",
+        true,
+        48.0
+    ),
+    dom!(
+        "bugzilla.mozilla.org",
+        BugTracker,
+        BugzillaTs,
+        "Reported",
+        true,
+        26.0
+    ),
     dom!("bugs.debian.org", BugTracker, Rfc2822, "Date", true, 20.0),
-    dom!("bugs.launchpad.net", BugTracker, Iso, "Reported", true, 12.0),
-    dom!("bugs.chromium.org", BugTracker, UsSlash, "Opened", true, 18.0),
+    dom!(
+        "bugs.launchpad.net",
+        BugTracker,
+        Iso,
+        "Reported",
+        true,
+        12.0
+    ),
+    dom!(
+        "bugs.chromium.org",
+        BugTracker,
+        UsSlash,
+        "Opened",
+        true,
+        18.0
+    ),
     dom!("seclists.org", BugTracker, Rfc2822, "Date", true, 42.0),
     dom!("marc.info", BugTracker, Rfc2822, "Date", true, 24.0),
     dom!("www.openwall.com", BugTracker, Rfc2822, "Date", true, 22.0),
-    dom!("lists.opensuse.org", BugTracker, Rfc2822, "Date", true, 10.0),
-    dom!("lists.fedoraproject.org", BugTracker, Rfc2822, "Date", true, 9.0),
+    dom!(
+        "lists.opensuse.org",
+        BugTracker,
+        Rfc2822,
+        "Date",
+        true,
+        10.0
+    ),
+    dom!(
+        "lists.fedoraproject.org",
+        BugTracker,
+        Rfc2822,
+        "Date",
+        true,
+        9.0
+    ),
     dom!("lists.apple.com", BugTracker, Rfc2822, "Date", true, 11.0),
-    dom!("archives.neohapsis.com", BugTracker, Rfc2822, "Date", false, 17.0),
+    dom!(
+        "archives.neohapsis.com",
+        BugTracker,
+        Rfc2822,
+        "Date",
+        false,
+        17.0
+    ),
     dom!("github.com", BugTracker, Iso, "Opened", true, 23.0),
-    dom!("sourceforge.net", BugTracker, UsSlash, "Updated", false, 8.0),
-    dom!("bugzilla.novell.com", BugTracker, BugzillaTs, "Reported", false, 7.0),
-    dom!("bugs.mysql.com", BugTracker, UsSlash, "Submitted", false, 6.0),
+    dom!(
+        "sourceforge.net",
+        BugTracker,
+        UsSlash,
+        "Updated",
+        false,
+        8.0
+    ),
+    dom!(
+        "bugzilla.novell.com",
+        BugTracker,
+        BugzillaTs,
+        "Reported",
+        false,
+        7.0
+    ),
+    dom!(
+        "bugs.mysql.com",
+        BugTracker,
+        UsSlash,
+        "Submitted",
+        false,
+        6.0
+    ),
     // -- Security advisories ------------------------------------------------
-    dom!("tools.cisco.com", Advisory, UsLong, "First Published", true, 38.0),
+    dom!(
+        "tools.cisco.com",
+        Advisory,
+        UsLong,
+        "First Published",
+        true,
+        38.0
+    ),
     dom!("www.debian.org", Advisory, Iso, "Date Reported", true, 30.0),
     dom!("usn.ubuntu.com", Advisory, UsLong, "Published", true, 24.0),
     dom!("rhn.redhat.com", Advisory, Iso, "Issued", true, 34.0),
     dom!("access.redhat.com", Advisory, Iso, "Issued", true, 21.0),
     dom!("www.oracle.com", Advisory, UsLong, "Published", true, 26.0),
-    dom!("technet.microsoft.com", Advisory, UsLong, "Published", true, 36.0),
+    dom!(
+        "technet.microsoft.com",
+        Advisory,
+        UsLong,
+        "Published",
+        true,
+        36.0
+    ),
     dom!("www.ibm.com", Advisory, UsSlash, "Published", true, 15.0),
     dom!("www-01.ibm.com", Advisory, UsSlash, "Published", false, 9.0),
-    dom!("support.apple.com", Advisory, UsLong, "Released", true, 19.0),
-    dom!("www.adobe.com", Advisory, UsLong, "Date Published", true, 14.0),
+    dom!(
+        "support.apple.com",
+        Advisory,
+        UsLong,
+        "Released",
+        true,
+        19.0
+    ),
+    dom!(
+        "www.adobe.com",
+        Advisory,
+        UsLong,
+        "Date Published",
+        true,
+        14.0
+    ),
     dom!("www.mandriva.com", Advisory, Iso, "Issued", false, 12.0),
     dom!("www.gentoo.org", Advisory, Iso, "Issued", true, 10.0),
     dom!("lists.suse.com", Advisory, Rfc2822, "Date", true, 8.0),
     dom!("www.vmware.com", Advisory, Iso, "Issued", true, 7.0),
     dom!("www.hp.com", Advisory, UsSlash, "Released", false, 13.0),
-    dom!("h20566.www2.hpe.com", Advisory, UsSlash, "Released", false, 5.0),
-    dom!("www.kb.cert.org", Advisory, UsLong, "First Published", true, 16.0),
+    dom!(
+        "h20566.www2.hpe.com",
+        Advisory,
+        UsSlash,
+        "Released",
+        false,
+        5.0
+    ),
+    dom!(
+        "www.kb.cert.org",
+        Advisory,
+        UsLong,
+        "First Published",
+        true,
+        16.0
+    ),
     dom!("kb.juniper.net", Advisory, UsLong, "Published", true, 5.0),
-    dom!("www.wordfence.com", Advisory, UsLong, "Published", true, 4.0),
+    dom!(
+        "www.wordfence.com",
+        Advisory,
+        UsLong,
+        "Published",
+        true,
+        4.0
+    ),
     dom!("drupal.org", Advisory, Iso, "Published", true, 6.0),
     dom!("www.samba.org", Advisory, Iso, "Issued", false, 3.0),
 ];

@@ -106,10 +106,7 @@ mod tests {
         let d: Date = "2012-03-04".parse().unwrap();
         let body = render_page(spec, "CVE-2012-0001", d, 0);
         // Strip the labelled and modified lines; the rest has no ISO date.
-        let noise: String = body
-            .lines()
-            .filter(|l| !l.contains("2012-03-04"))
-            .collect();
+        let noise: String = body.lines().filter(|l| !l.contains("2012-03-04")).collect();
         assert_eq!(crate::dates::scan_for_date(&noise, DateStyle::Iso), None);
     }
 

@@ -51,7 +51,7 @@ fn main() {
         );
     }
 
-    worst.sort_by(|a, b| b.0.cmp(&a.0));
+    worst.sort_by_key(|(lag, _)| std::cmp::Reverse(*lag));
     println!("\nmost underestimated exposure windows:");
     for (lag, id) in worst.iter().take(5) {
         println!("  {id}: public {lag} days before its NVD date");

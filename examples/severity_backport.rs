@@ -21,8 +21,12 @@ fn main() {
     let db = &corpus.database;
     println!(
         "ground truth: {} dual-scored CVEs; backport target: {} v2-only CVEs\n",
-        db.iter().filter(|e| e.cvss_v2.is_some() && e.has_v3()).count(),
-        db.iter().filter(|e| e.cvss_v2.is_some() && !e.has_v3()).count(),
+        db.iter()
+            .filter(|e| e.cvss_v2.is_some() && e.has_v3())
+            .count(),
+        db.iter()
+            .filter(|e| e.cvss_v2.is_some() && !e.has_v3())
+            .count(),
     );
 
     let outcome = backport_v3(

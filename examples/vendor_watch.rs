@@ -38,11 +38,13 @@ fn main() {
     ];
 
     let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-    let (cleaned, report) =
-        Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    let (cleaned, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
 
     println!("vendor watchlist audit: CVE counts before vs after name cleaning\n");
-    println!("{:<22} {:>7} {:>7} {:>8}", "vendor", "before", "after", "missed");
+    println!(
+        "{:<22} {:>7} {:>7} {:>8}",
+        "vendor", "before", "after", "missed"
+    );
     println!("{}", "-".repeat(48));
     let mut total_missed = 0usize;
     for name in watchlist {

@@ -1,7 +1,7 @@
 //! Determinism: equal seeds reproduce everything bit-for-bit; different
 //! seeds genuinely differ.
 
-use nvd_clean::cleaner::{CleanOptions, Cleaner};
+use nvd_clean::cleaner::Cleaner;
 use nvd_clean::names::OracleVerifier;
 use nvd_synth::{generate, SynthConfig};
 
@@ -10,8 +10,7 @@ fn same_seed_same_corpus_and_cleaning() {
     let run = || {
         let corpus = generate(&SynthConfig::with_scale(0.01, 777));
         let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-        let (db, report) =
-            Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+        let (db, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
         let sev = report.severity.as_ref().unwrap();
         (
             db.iter().cloned().collect::<Vec<_>>(),

@@ -33,8 +33,7 @@ fn fig1_zero_lag_band_holds_end_to_end() {
 fn vendor_reduction_matches_paper_scale() {
     let (_, db, report) = pipeline(0.03, 102);
     // Paper: consolidation removes ≈5% of distinct vendor names.
-    let removed =
-        report.names.vendors_before as f64 - report.names.vendors_after as f64;
+    let removed = report.names.vendors_before as f64 - report.names.vendors_after as f64;
     let rate = removed / report.names.vendors_before as f64;
     assert!((0.005..0.12).contains(&rate), "vendor removal rate {rate}");
     assert_eq!(db.vendor_set().len(), report.names.vendors_after);

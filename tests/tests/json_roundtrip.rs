@@ -32,8 +32,7 @@ fn feed_serialises_to_json_and_back() {
     let doc = to_feed(&corpus.database, "2018-05-21T00:00Z");
     let json = serde_json::to_string(&doc).expect("serialise");
     assert!(json.contains("CVE_Items") || json.contains("cve_items") || json.len() > 100);
-    let doc2: nvd_model::feed::FeedDocument =
-        serde_json::from_str(&json).expect("deserialise");
+    let doc2: nvd_model::feed::FeedDocument = serde_json::from_str(&json).expect("deserialise");
     let back = from_feed(&doc2).expect("convert");
     assert_eq!(back.len(), corpus.database.len());
 }

@@ -1,0 +1,119 @@
+//! Minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `name(pat in strategy, ...)` arguments;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies: integer/float ranges, string patterns (a small
+//!   character-class + repetition subset of regex), [`strategy::Just`],
+//!   tuples, `prop_map`, [`prop_oneof!`] and [`sample::select`];
+//! * a deterministic [`test_runner::TestRunner`] (fixed seed, 256 cases per
+//!   test), so CI runs are reproducible.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! generated inputs via the assertion message instead.
+
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    // Lets tests write `prop::sample::select(...)` as with real proptest.
+    pub use crate as prop;
+}
+
+/// Number of cases generated per property (fixed, like proptest's default).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Defines property tests. Each function body runs [`DEFAULT_CASES`] times
+/// with freshly generated inputs; `prop_assert*` failures panic with the
+/// case's inputs included in the message.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::deterministic();
+            for __case in 0..$crate::DEFAULT_CASES {
+                $(let $arg = $crate::strategy::Strategy::new_value(&$strat, &mut __runner);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest case {}/{} failed: {}", __case + 1, $crate::DEFAULT_CASES, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Fallible assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fallible inequality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks among several strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

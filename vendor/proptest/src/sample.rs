@@ -1,0 +1,29 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Strategy that picks a uniformly random element of a vector.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Builds a [`Select`] strategy over the given options.
+///
+/// Panics at generation time if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        assert!(!self.options.is_empty(), "sample::select on empty options");
+        let idx = runner.rng().gen_range(0..self.options.len());
+        self.options[idx].clone()
+    }
+}

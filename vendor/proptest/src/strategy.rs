@@ -1,0 +1,301 @@
+//! Value-generation strategies for the vendored proptest stand-in.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRunner;
+
+/// A source of generated values.
+///
+/// `new_value` takes `&self` so strategies can be reused across cases; there
+/// is no shrinking in this stand-in.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn ObjectSafeStrategy<Value = T>>;
+
+/// Object-safe core of [`Strategy`], automatically implemented.
+pub trait ObjectSafeStrategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value_dyn(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+impl<S: Strategy> ObjectSafeStrategy for S {
+    type Value = S::Value;
+
+    fn new_value_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.new_value(runner)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.as_ref().new_value_dyn(runner)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Strategy returned by [`crate::prop_oneof!`]: uniform choice among
+/// alternatives.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.rng().gen_range(0..self.options.len());
+        self.options[idx].new_value(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize f32 f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+// ---------------------------------------------------------------------------
+// String patterns
+// ---------------------------------------------------------------------------
+
+/// One atom of a string pattern: a set of candidate characters plus a
+/// repetition range.
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the small regex subset used as string strategies: literal
+/// characters, `.` (printable ASCII), character classes like `[a-z0-9_.-]`,
+/// each optionally followed by `{n}` or `{m,n}`.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    const PRINTABLE: std::ops::RangeInclusive<u8> = b' '..=b'~';
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '.' => PRINTABLE.map(char::from).collect(),
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        // `\x` escapes just mean the literal x in this subset.
+                        if chars[j] == '\\' && j + 1 < close {
+                            j += 1;
+                        }
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close;
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 1;
+                vec![chars[i]]
+            }
+            c => vec![c],
+        };
+        i += 1;
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("pattern repeat min"),
+                    hi.trim().parse().expect("pattern repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("pattern repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = runner.rng().gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                let idx = runner.rng().gen_range(0..atom.choices.len());
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_pattern_respects_class_and_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let s = "[a-z_]{0,12}".new_value(&mut runner);
+            assert!(s.len() <= 12);
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_and_dot_patterns() {
+        let mut runner = TestRunner::deterministic();
+        let s = "ab".new_value(&mut runner);
+        assert_eq!(s, "ab");
+        for _ in 0..50 {
+            let s = ".{0,200}".new_value(&mut runner);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut runner = TestRunner::deterministic();
+        let strat = crate::prop_oneof![Just(1u32), Just(2u32)].prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = strat.new_value(&mut runner);
+            assert!(v == 10 || v == 20);
+        }
+    }
+}

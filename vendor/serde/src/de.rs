@@ -1,0 +1,322 @@
+//! Deserialization half of the vendored serde stand-in.
+//!
+//! Instead of serde's visitor machinery, the deserializer yields a
+//! self-describing [`Content`] tree and typed `Deserialize` impls pick it
+//! apart. This is the same trick serde's own derive uses internally for
+//! untagged enums, promoted here to the whole (JSON-only) data model.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::{self, Display};
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+/// Trait for deserialization errors, mirroring `serde::de::Error`.
+pub trait Error: Sized + fmt::Debug + Display {
+    /// Builds a custom error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// Error for a struct field absent from the input.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// Error for an enum variant name not matching any known variant.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+
+    /// Error for a value of the wrong shape.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format!("invalid type: {unexpected}, expected {expected}"))
+    }
+}
+
+/// A self-describing value tree — the interchange between format crates and
+/// typed `Deserialize` impls. Map keys are strings because the only wire
+/// format in this workspace is JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Human-readable name of this value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// A format-specific deserializer: anything that can produce a [`Content`]
+/// tree. Manual impls in the workspace only ever forward to existing
+/// `Deserialize` impls (e.g. `String::deserialize(deserializer)?`), so this
+/// single entry point is the whole required surface.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding the underlying value tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A data structure that can be deserialized from any supported format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an already-parsed [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree for typed deserialization.
+    pub fn new(content: Content) -> Self {
+        Self {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<E> fmt::Debug for ContentDeserializer<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ContentDeserializer")
+            .field(&self.content)
+            .finish()
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a typed value out of a [`Content`] tree.
+pub fn from_content<'de, T, E>(content: Content) -> Result<T, E>
+where
+    T: Deserialize<'de>,
+    E: Error,
+{
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::invalid_type(other.kind(), "string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(D::Error::invalid_type(other.kind(), "boolean")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(D::Error::invalid_type("string", "a single character")),
+                }
+            }
+            other => Err(D::Error::invalid_type(other.kind(), "a single character")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let out = match &content {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    // JSON object keys arrive as strings; accept numeric text.
+                    Content::Str(s) => s.parse::<$t>().ok(),
+                    Content::F64(v) if v.fract() == 0.0 => Some(*v as $t),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    D::Error::invalid_type(content.kind(), concat!("an in-range ", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    other => Err(D::Error::invalid_type(other.kind(), "a number")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32 f64);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => from_content::<T, D::Error>(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        from_content::<T, D::Error>(deserializer.take_content()?).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content::<T, D::Error>).collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "array")),
+        }
+    }
+}
+
+fn map_entries<'de, K, V, E>(content: Content) -> Result<Vec<(K, V)>, E>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    E: Error,
+{
+    match content {
+        Content::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                let key = from_content::<K, E>(Content::Str(k))?;
+                let value = from_content::<V, E>(v)?;
+                Ok((key, value))
+            })
+            .collect(),
+        other => Err(E::invalid_type(other.kind(), "object")),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_entries::<K, V, D::Error>(deserializer.take_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_entries::<K, V, D::Error>(deserializer.take_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content::<T, D::Error>).collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "array")),
+        }
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content::<T, D::Error>).collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "array")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(from_content::<$name, D::Error>(
+                            iter.next().expect("length checked"),
+                        )?,)+))
+                    }
+                    other => Err(D::Error::invalid_type(
+                        other.kind(),
+                        concat!("array of length ", $len),
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1; A)
+    (2; A, B)
+    (3; A, B, C)
+    (4; A, B, C, Z)
+}

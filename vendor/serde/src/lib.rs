@@ -1,0 +1,27 @@
+//! Minimal, API-compatible stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the subset of serde's surface the workspace uses:
+//!
+//! * `Serialize` / `Deserialize` traits with the same generic shapes as real
+//!   serde, so hand-written impls (`Date`, `CveId`, `CweId`) compile verbatim;
+//! * derive macros (re-exported from `serde_derive`) supporting the container
+//!   attribute `transparent` and the field attributes `rename`, `default`,
+//!   `skip` and `skip_serializing_if`;
+//! * a self-describing [`de::Content`] tree that acts as the data-model
+//!   interchange between derived impls and format crates (`serde_json`).
+//!
+//! The serializer side mirrors serde's visitor-free builder traits
+//! (`SerializeSeq` / `SerializeMap` / `SerializeStruct`); the deserializer
+//! side replaces serde's visitor machinery with a single
+//! [`de::Deserializer::take_content`] entry point, which is sufficient for a
+//! JSON-only workspace and keeps the vendored code small.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros share the trait names, like real serde's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,551 @@
+//! Serialization half of the vendored serde stand-in.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+
+/// Trait for serialization errors, mirroring `serde::ser::Error`.
+pub trait Error: Sized + fmt::Debug + Display {
+    /// Builds a custom error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any supported format.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format-specific serializer, mirroring the subset of `serde::Serializer`
+/// the workspace uses.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+    /// Sequence builder returned by [`Serializer::serialize_seq`].
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Map builder returned by [`Serializer::serialize_map`].
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct builder returned by [`Serializer::serialize_struct`].
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct as its inner value.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant (externally tagged).
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins serializing a struct with named fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a struct enum variant (externally tagged).
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Serializes the `Display` form of a value as a string.
+    fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(&value.to_string())
+    }
+}
+
+/// Builder for sequence serialization.
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for map serialization.
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+    /// Serializes one key/value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for struct serialization.
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Records a field skipped by `skip_serializing_if`.
+    fn skip_field(&mut self, name: &'static str) -> Result<(), Self::Error> {
+        let _ = name;
+        Ok(())
+    }
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8 i16 i32 i64 isize);
+impl_serialize_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut buf = [0u8; 4];
+        serializer.serialize_str(self.encode_utf8(&mut buf))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<'a, S, T, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: Iterator<Item = &'a T>,
+{
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, N, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(impl_serialize_tuple!(@count $($name)+)))?;
+                $(seq.serialize_element(&self.$idx)?;)+
+                seq.end()
+            }
+        }
+    )*};
+    (@count $($name:ident)+) => { [$(stringify!($name)),+].len() };
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Content-building serializer: the bridge used by format crates.
+// ---------------------------------------------------------------------------
+
+use crate::de::Content;
+
+/// Serializes a value into the self-describing [`Content`] tree.
+///
+/// Format crates (like the vendored `serde_json`) build their output from the
+/// returned tree.
+pub fn to_content<T, E>(value: &T) -> Result<Content, E>
+where
+    T: Serialize + ?Sized,
+    E: Error,
+{
+    value.serialize(ContentSerializer::<E>::new())
+}
+
+/// A [`Serializer`] whose output is a [`Content`] tree.
+pub struct ContentSerializer<E> {
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ContentSerializer<E> {
+    /// Creates a content serializer.
+    pub fn new() -> Self {
+        Self {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E> Default for ContentSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for ContentSerializer<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ContentSerializer")
+    }
+}
+
+/// Serializes a map key down to the string JSON requires.
+fn key_to_string<K: Serialize + ?Sized, E: Error>(key: &K) -> Result<String, E> {
+    match to_content::<K, E>(key)? {
+        Content::Str(s) => Ok(s),
+        Content::I64(v) => Ok(v.to_string()),
+        Content::U64(v) => Ok(v.to_string()),
+        Content::Bool(v) => Ok(v.to_string()),
+        other => Err(E::custom(format!(
+            "map key must serialize to a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Sequence builder for [`ContentSerializer`].
+pub struct ContentSeq<E> {
+    items: Vec<Content>,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Error> SerializeSeq for ContentSeq<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), E> {
+        self.items.push(to_content::<T, E>(value)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Seq(self.items))
+    }
+}
+
+/// Map builder for [`ContentSerializer`].
+pub struct ContentMap<E> {
+    entries: Vec<(String, Content)>,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Error> SerializeMap for ContentMap<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), E> {
+        let k = key_to_string::<K, E>(key)?;
+        self.entries.push((k, to_content::<V, E>(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.entries))
+    }
+}
+
+/// Struct builder for [`ContentSerializer`]; also backs struct variants.
+pub struct ContentStruct<E> {
+    fields: Vec<(String, Content)>,
+    /// For struct variants, the externally-tagged wrapper key.
+    variant: Option<&'static str>,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Error> SerializeStruct for ContentStruct<E> {
+    type Ok = Content;
+    type Error = E;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        self.fields
+            .push((name.to_owned(), to_content::<T, E>(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, E> {
+        let body = Content::Map(self.fields);
+        Ok(match self.variant {
+            Some(v) => Content::Map(vec![(v.to_owned(), body)]),
+            None => body,
+        })
+    }
+}
+
+impl<E: Error> Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+    type SerializeSeq = ContentSeq<E>;
+    type SerializeMap = ContentMap<E>;
+    type SerializeStruct = ContentStruct<E>;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, E> {
+        Ok(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Content, E> {
+        Ok(Content::I64(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Content, E> {
+        Ok(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Content, E> {
+        Ok(Content::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Content, E> {
+        Ok(Content::Str(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Content, E> {
+        to_content::<T, E>(value)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Content, E> {
+        Ok(Content::Str(variant.to_owned()))
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Content, E> {
+        to_content::<T, E>(value)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, E> {
+        Ok(Content::Map(vec![(
+            variant.to_owned(),
+            to_content::<T, E>(value)?,
+        )]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeq<E>, E> {
+        Ok(ContentSeq {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<ContentMap<E>, E> {
+        Ok(ContentMap {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentStruct<E>, E> {
+        Ok(ContentStruct {
+            fields: Vec::with_capacity(len),
+            variant: None,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ContentStruct<E>, E> {
+        Ok(ContentStruct {
+            fields: Vec::with_capacity(len),
+            variant: Some(variant),
+            _marker: std::marker::PhantomData,
+        })
+    }
+}

@@ -1,0 +1,657 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the build environment
+//! has no `syn`/`quote`), supporting the shapes and attributes the workspace
+//! actually uses:
+//!
+//! * structs with named fields, newtype/tuple structs, unit structs;
+//! * enums with unit, newtype and struct variants;
+//! * container attribute `#[serde(transparent)]`;
+//! * field attributes `rename = "..."`, `default`, `skip`,
+//!   `skip_serializing_if = "path"`.
+//!
+//! Generated code targets the `serde::ser` builder traits for serialization
+//! and the `serde::de::Content` tree for deserialization.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    /// `None` for tuple-struct fields (addressed by index).
+    name: Option<String>,
+    attrs: FieldAttrs,
+    /// Whether the declared type's head is `Option` (missing => `None`).
+    is_option: bool,
+}
+
+impl Field {
+    fn key(&self) -> String {
+        match &self.attrs.rename {
+            Some(r) => r.clone(),
+            None => self.name.clone().expect("named field"),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("serde_derive: expected `{ch}`, got {other:?}"),
+        }
+    }
+
+    /// Consumes `#[...]` attributes, folding any `serde(...)` contents into
+    /// `attrs` via `apply`.
+    fn take_attrs(&mut self, mut apply: impl FnMut(&str, Option<String>)) {
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: expected attribute brackets, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if !inner.is_ident("serde") {
+                continue; // doc comments, cfg_attr-free lint attrs, etc.
+            }
+            inner.next();
+            let args = match inner.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                other => panic!("serde_derive: expected serde(...), got {other:?}"),
+            };
+            let mut items = Cursor::new(args.stream());
+            while !items.at_end() {
+                let key = items.expect_ident();
+                let mut value = None;
+                if items.is_punct('=') {
+                    items.next();
+                    match items.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            value = Some(unquote(&lit.to_string()));
+                        }
+                        other => panic!("serde_derive: expected literal, got {other:?}"),
+                    }
+                }
+                apply(&key, value);
+                if items.is_punct(',') {
+                    items.next();
+                }
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips a balanced `<...>` generics block if present.
+    fn skip_generics(&mut self) {
+        if !self.is_punct('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        panic!("serde_derive: unbalanced generics");
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn unquote(lit: &str) -> String {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive: expected string literal, got {lit}"));
+    // The attribute values used in this workspace contain no escapes.
+    inner.to_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut c = Cursor::new(stream);
+    let mut transparent = false;
+    c.take_attrs(|key, _| {
+        if key == "transparent" {
+            transparent = true;
+        }
+    });
+    c.skip_vis();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    c.skip_generics();
+    // Skip a `where` clause if one ever appears.
+    while !c.at_end() && !matches!(c.peek(), Some(TokenTree::Group(_)) | None) {
+        if c.is_punct(';') {
+            break;
+        }
+        c.next();
+    }
+    let body = match kind.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Input {
+        name,
+        transparent,
+        body,
+    }
+}
+
+fn parse_field_attrs(c: &mut Cursor) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    c.take_attrs(|key, value| match key {
+        "rename" => attrs.rename = value,
+        "default" => attrs.default = true,
+        "skip" => attrs.skip = true,
+        "skip_serializing_if" => attrs.skip_serializing_if = value,
+        other => panic!("serde_derive: unsupported field attribute `{other}`"),
+    });
+    attrs
+}
+
+/// Consumes a type, returning whether its head identifier is `Option`.
+/// Stops at a top-level (angle-depth 0) comma, which is left unconsumed.
+fn skip_type(c: &mut Cursor) -> bool {
+    let mut is_option = false;
+    let mut first = true;
+    let mut depth = 0i32;
+    while let Some(tok) = c.peek() {
+        match tok {
+            TokenTree::Punct(p) => {
+                let ch = p.as_char();
+                if ch == ',' && depth == 0 {
+                    break;
+                }
+                if ch == '<' {
+                    depth += 1;
+                }
+                if ch == '>' {
+                    depth -= 1;
+                }
+            }
+            TokenTree::Ident(i) if first && i.to_string() == "Option" => {
+                is_option = true;
+            }
+            _ => {}
+        }
+        first = false;
+        c.next();
+    }
+    is_option
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = parse_field_attrs(&mut c);
+        c.skip_vis();
+        let name = c.expect_ident();
+        c.expect_punct(':');
+        let is_option = skip_type(&mut c);
+        if c.is_punct(',') {
+            c.next();
+        }
+        fields.push(Field {
+            name: Some(name),
+            attrs,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    while !c.at_end() {
+        let _ = parse_field_attrs(&mut c);
+        c.skip_vis();
+        skip_type(&mut c);
+        count += 1;
+        if c.is_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.take_attrs(|_, _| {});
+        let name = c.expect_ident();
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                if n == 1 {
+                    VariantShape::Newtype
+                } else {
+                    VariantShape::Tuple(n)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant if present.
+        if c.is_punct('=') {
+            c.next();
+            c.next();
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let mut out = String::new();
+            out.push_str("use serde::ser::SerializeStruct as _;\n");
+            let live = fields.iter().filter(|f| !f.attrs.skip).count();
+            out.push_str(&format!(
+                "let mut __s = serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {live}usize)?;\n"
+            ));
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let key = f.key();
+                let fname = f.name.as_ref().expect("named field");
+                match &f.attrs.skip_serializing_if {
+                    Some(path) => out.push_str(&format!(
+                        "if !{path}(&self.{fname}) {{ __s.serialize_field(\"{key}\", &self.{fname})?; }} else {{ __s.skip_field(\"{key}\")?; }}\n"
+                    )),
+                    None => out.push_str(&format!(
+                        "__s.serialize_field(\"{key}\", &self.{fname})?;\n"
+                    )),
+                }
+            }
+            out.push_str("__s.end()\n");
+            out
+        }
+        Body::TupleStruct(1) => {
+            if input.transparent {
+                "serde::ser::Serialize::serialize(&self.0, __serializer)\n".to_owned()
+            } else {
+                format!(
+                    "serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+                )
+            }
+        }
+        Body::TupleStruct(n) => {
+            let mut out = String::new();
+            out.push_str("use serde::ser::SerializeSeq as _;\n");
+            out.push_str(&format!(
+                "let mut __s = serde::ser::Serializer::serialize_seq(__serializer, ::std::option::Option::Some({n}usize))?;\n"
+            ));
+            for i in 0..*n {
+                out.push_str(&format!("__s.serialize_element(&self.{i})?;\n"));
+            }
+            out.push_str("__s.end()\n");
+            out
+        }
+        Body::UnitStruct => "serde::ser::Serializer::serialize_unit(__serializer)\n".to_owned(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__v0) => serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __v0),\n"
+                    )),
+                    VariantShape::Tuple(n) => panic!(
+                        "serde_derive: tuple enum variant {name}::{vname} has {n} fields; only newtype variants are supported"
+                    ),
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| f.name.clone().expect("named field"))
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nuse serde::ser::SerializeStruct as _;\nlet mut __s = serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {len}usize)?;\n",
+                            binds.join(", "),
+                            len = fields.len(),
+                        );
+                        for f in fields {
+                            let key = f.key();
+                            let b = f.name.as_ref().expect("named field");
+                            arm.push_str(&format!("__s.serialize_field(\"{key}\", {b})?;\n"));
+                        }
+                        arm.push_str("__s.end()\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: serde::ser::Serializer>(&self, __serializer: __S) \
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits the code that rebuilds named fields from collected
+/// `Option<Content>` slots `__f{i}`, as a struct-literal body.
+fn named_fields_literal(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let fname = f.name.as_ref().expect("named field");
+        let key = f.key();
+        let missing = if f.attrs.skip || f.attrs.default {
+            "::std::default::Default::default()".to_owned()
+        } else if f.is_option {
+            "::std::option::Option::None".to_owned()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(<__D::Error as serde::de::Error>::missing_field(\"{key}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{fname}: match __f{i} {{\n\
+                 ::std::option::Option::Some(__v) => serde::de::from_content::<_, __D::Error>(__v)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    out
+}
+
+/// Emits slot declarations plus the key-matching scan loop over `__entries`.
+fn named_fields_scan(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for (i, _) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "let mut __f{i}: ::std::option::Option<serde::de::Content> = ::std::option::Option::None;\n"
+        ));
+    }
+    out.push_str("for (__k, __v) in __entries {\nmatch __k.as_str() {\n");
+    for (i, f) in fields.iter().enumerate() {
+        if f.attrs.skip {
+            continue;
+        }
+        let key = f.key();
+        out.push_str(&format!(
+            "\"{key}\" => __f{i} = ::std::option::Option::Some(__v),\n"
+        ));
+    }
+    out.push_str("_ => {}\n}\n}\n");
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let scan = named_fields_scan(fields);
+            let build = named_fields_literal(fields);
+            format!(
+                "let __entries = match serde::de::Deserializer::take_content(__deserializer)? {{\n\
+                     serde::de::Content::Map(__m) => __m,\n\
+                     __other => return ::std::result::Result::Err(<__D::Error as serde::de::Error>::invalid_type(__other.kind(), \"struct {name}\")),\n\
+                 }};\n\
+                 {scan}\
+                 ::std::result::Result::Ok({name} {{\n{build}}})\n"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(serde::de::from_content::<_, __D::Error>(\
+                 serde::de::Deserializer::take_content(__deserializer)?)?))\n"
+        ),
+        Body::TupleStruct(n) => {
+            let mut build = String::new();
+            for _ in 0..*n {
+                build.push_str(
+                    "serde::de::from_content::<_, __D::Error>(__iter.next().expect(\"length checked\"))?,\n",
+                );
+            }
+            format!(
+                "let __items = match serde::de::Deserializer::take_content(__deserializer)? {{\n\
+                     serde::de::Content::Seq(__s) if __s.len() == {n} => __s,\n\
+                     __other => return ::std::result::Result::Err(<__D::Error as serde::de::Error>::invalid_type(__other.kind(), \"tuple struct {name}\")),\n\
+                 }};\n\
+                 let mut __iter = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({build}))\n"
+            )
+        }
+        Body::UnitStruct => format!(
+            "match serde::de::Deserializer::take_content(__deserializer)? {{\n\
+                 serde::de::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::invalid_type(__other.kind(), \"unit struct {name}\")),\n\
+             }}\n"
+        ),
+        Body::Enum(variants) => {
+            let expected: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let expected = expected.join(", ");
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Newtype => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(serde::de::from_content::<_, __D::Error>(__v)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => panic!(
+                        "serde_derive: tuple enum variant {name}::{vname} has {n} fields; only newtype variants are supported"
+                    ),
+                    VariantShape::Struct(fields) => {
+                        let scan = named_fields_scan(fields);
+                        let build = named_fields_literal(fields);
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __entries = match __v {{\n\
+                                     serde::de::Content::Map(__m) => __m,\n\
+                                     __other => return ::std::result::Result::Err(<__D::Error as serde::de::Error>::invalid_type(__other.kind(), \"struct variant {name}::{vname}\")),\n\
+                                 }};\n\
+                                 {scan}\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{build}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match serde::de::Deserializer::take_content(__deserializer)? {{\n\
+                     serde::de::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::unknown_variant(__other, &[{expected}])),\n\
+                     }},\n\
+                     serde::de::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __v) = __m.into_iter().next().expect(\"length checked\");\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::unknown_variant(__other, &[{expected}])),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(<__D::Error as serde::de::Error>::invalid_type(__other.kind(), \"enum {name}\")),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::de::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused)] use serde::de::Error as _;\n\
+                 {body}\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to tokenize")
+}
+
+/// Derives the vendored `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to tokenize")
+}
