@@ -221,8 +221,10 @@ mod tests {
     use super::*;
     use crate::Experiments;
 
-    fn exps() -> Experiments {
-        Experiments::run_fast(0.02, 77)
+    fn exps() -> std::sync::Arc<Experiments> {
+        // Shared fixture cache: one generation+clean per (scale, seed)
+        // per process instead of one per test.
+        Experiments::shared(0.02, 77)
     }
 
     #[test]

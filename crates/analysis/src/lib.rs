@@ -22,7 +22,9 @@
 //! ```
 //! use nvd_analysis::Experiments;
 //!
-//! let exps = Experiments::run_fast(0.005, 1);
+//! // `shared` caches the (scale, seed) fixture process-wide: the corpus is
+//! // generated and cleaned once, later callers get the same `Arc`.
+//! let exps = Experiments::shared(0.005, 1);
 //! let table9 = nvd_analysis::severity_study::severity_distribution(&exps);
 //! assert!(!table9.v2.is_empty());
 //! ```
@@ -37,6 +39,9 @@ pub mod render;
 pub mod severity_study;
 pub mod types_study;
 pub mod vendor_study;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use nvd_clean::cleaner::{CleanOptions, CleanReport, Cleaner};
 use nvd_clean::names::OracleVerifier;
@@ -82,6 +87,34 @@ impl Experiments {
     pub fn run_fast(scale: f64, seed: u64) -> Self {
         Self::run(scale, seed, TrainProfile::Fast)
     }
+
+    /// A process-wide cached [`Experiments::run_fast`] keyed by
+    /// `(scale, seed)`.
+    ///
+    /// The first caller for a key generates and cleans the corpus; every
+    /// later caller gets the same `Arc` back. This is the shared test
+    /// fixture: the `nvd-analysis` suite used to regenerate the full
+    /// experiment set per test (~4 min wall clock), now each distinct
+    /// `(scale, seed)` is computed once per process. Generation is a pure
+    /// function of the key, so a cache hit is indistinguishable from a
+    /// fresh run (asserted by `shared_cache_hit_matches_fresh_run`).
+    ///
+    /// Concurrent first callers for the *same* key block on one
+    /// computation (per-key `OnceLock`); different keys compute
+    /// independently.
+    pub fn shared(scale: f64, seed: u64) -> Arc<Self> {
+        type Slot = Arc<OnceLock<Arc<Experiments>>>;
+        static FIXTURES: OnceLock<Mutex<BTreeMap<(u64, u64), Slot>>> = OnceLock::new();
+        let slot: Slot = {
+            let map = FIXTURES.get_or_init(Mutex::default);
+            let mut map = map
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            map.entry((scale.to_bits(), seed)).or_default().clone()
+        };
+        slot.get_or_init(|| Arc::new(Self::run_fast(scale, seed)))
+            .clone()
+    }
 }
 
 #[cfg(test)]
@@ -90,9 +123,37 @@ mod tests {
 
     #[test]
     fn experiments_wire_everything_together() {
-        let e = Experiments::run_fast(0.005, 55);
+        let e = Experiments::shared(0.005, 55);
         assert_eq!(e.corpus.database.len(), e.cleaned.len());
         assert!(e.report.severity.is_some());
         assert_eq!(e.report.disclosure.len(), e.cleaned.len());
+    }
+
+    #[test]
+    fn shared_cache_returns_the_same_fixture() {
+        let a = Experiments::shared(0.005, 55);
+        let b = Experiments::shared(0.005, 55);
+        assert!(Arc::ptr_eq(&a, &b), "cache must hand back the same Arc");
+        let other = Experiments::shared(0.005, 56);
+        assert!(!Arc::ptr_eq(&a, &other), "distinct keys are distinct runs");
+    }
+
+    #[test]
+    fn shared_cache_hit_matches_fresh_run() {
+        // A cache hit must be indistinguishable from recomputing: same
+        // corpus digest, same cleaning outcome.
+        let cached = Experiments::shared(0.005, 55);
+        let fresh = Experiments::run_fast(0.005, 55);
+        assert_eq!(cached.corpus.digest(), fresh.corpus.digest());
+        assert_eq!(
+            cached.report.disclosure, fresh.report.disclosure,
+            "disclosure estimates must match"
+        );
+        let (c, f) = (
+            cached.report.severity.as_ref().unwrap(),
+            fresh.report.severity.as_ref().unwrap(),
+        );
+        assert_eq!(c.chosen, f.chosen);
+        assert_eq!(c.predictions, f.predictions);
     }
 }

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn tables_render_for_a_real_outcome() {
-        let e = Experiments::run_fast(0.01, 90);
+        // Invariant over the corpus: reuse the big shared fixture rather
+        // than paying for a dedicated (scale, seed) key.
+        let e = Experiments::shared(0.02, 77);
         let out = e.report.severity.as_ref().unwrap();
         let t4 = render_transition("Table 4", &out.ground_truth_transition);
         assert!(t4.contains("v2\\v3"));
@@ -89,7 +91,7 @@ mod tests {
 
     #[test]
     fn chosen_model_has_best_accuracy() {
-        let e = Experiments::run_fast(0.01, 91);
+        let e = Experiments::shared(0.02, 77);
         let out = e.report.severity.as_ref().unwrap();
         let best = out.reports[&out.chosen].overall_accuracy;
         for r in out.reports.values() {

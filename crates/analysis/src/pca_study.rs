@@ -190,7 +190,9 @@ mod tests {
 
     #[test]
     fn scatter_indices_are_sane_and_components_ordered() {
-        let e = Experiments::run_fast(0.02, 81);
+        // These assertions are corpus-invariant; all three tests share the
+        // disclosure fixture key so the cache computes nothing extra.
+        let e = Experiments::shared(0.02, 77);
         let study = pca_study(&e.cleaned).expect("enough ground truth");
         // Fig. 5's qualitative ordering (Low most scattered) stems from the
         // real NVD's feature geometry and is not guaranteed at reduced
@@ -209,7 +211,7 @@ mod tests {
 
     #[test]
     fn groups_cover_all_observed_transitions() {
-        let e = Experiments::run_fast(0.01, 82);
+        let e = Experiments::shared(0.02, 77);
         let study = pca_study(&e.cleaned).expect("enough ground truth");
         let total: usize = study.groups.iter().map(|g| g.count).sum();
         let ground = e
@@ -228,7 +230,7 @@ mod tests {
 
     #[test]
     fn renderer_does_not_panic() {
-        let e = Experiments::run_fast(0.01, 83);
+        let e = Experiments::shared(0.02, 77);
         let study = pca_study(&e.cleaned).unwrap();
         let s = render_pca(&study);
         assert!(s.contains("scatter index"));

@@ -160,8 +160,8 @@ pub fn render_yearly(y: &YearlySeverity) -> String {
 mod tests {
     use super::*;
 
-    fn exps() -> Experiments {
-        Experiments::run_fast(0.02, 78)
+    fn exps() -> std::sync::Arc<Experiments> {
+        Experiments::shared(0.02, 78)
     }
 
     #[test]

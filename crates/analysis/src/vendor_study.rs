@@ -303,8 +303,8 @@ pub fn render_case_samples(rows: &[CaseSample]) -> String {
 mod tests {
     use super::*;
 
-    fn exps() -> Experiments {
-        Experiments::run_fast(0.02, 80)
+    fn exps() -> std::sync::Arc<Experiments> {
+        Experiments::shared(0.02, 80)
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! 1-thread vs N-thread comparison for the pipeline's parallel stages.
+//!
+//! Run with `BENCH_JSON=BENCH_parallel.json cargo bench -p nvd-bench
+//! --bench parallel` to also emit the machine-readable per-PR perf
+//! artifact CI uploads. `minipar::with_jobs` pins the job count per
+//! measurement so one process compares both modes under identical
+//! conditions; outputs are asserted bit-identical before timing starts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_bench::{bench_corpus, BENCH_SCALE, BENCH_SEED};
+use nvd_clean::cleaner::Cleaner;
+use nvd_clean::disclosure::DisclosureEstimator;
+use nvd_clean::names::OracleVerifier;
+use nvd_synth::{generate, SynthConfig};
+
+/// Job counts compared by every bench in this file.
+const JOB_COUNTS: [usize; 2] = [1, 4];
+
+fn bench_generation(c: &mut Criterion) {
+    let config = SynthConfig::with_scale(BENCH_SCALE, BENCH_SEED);
+    // Determinism gate before timing: both widths must agree exactly.
+    let serial = minipar::with_jobs(1, || generate(&config).digest());
+    let wide = minipar::with_jobs(4, || generate(&config).digest());
+    assert_eq!(serial, wide, "corpus generation diverged across job counts");
+
+    let mut group = c.benchmark_group("parallel_generate");
+    for jobs in JOB_COUNTS {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| minipar::with_jobs(jobs, || generate(black_box(&config))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_disclosure(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("parallel_disclosure");
+    for jobs in JOB_COUNTS {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| {
+                minipar::with_jobs(jobs, || {
+                    DisclosureEstimator::new(&corpus.archive).estimate_all(&corpus.database)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_clean(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+    let mut group = c.benchmark_group("parallel_clean");
+    group.sample_size(3);
+    for jobs in JOB_COUNTS {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| {
+                minipar::with_jobs(jobs, || {
+                    Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = bench_generation, bench_disclosure, bench_full_clean
+);
+criterion_main!(benches);

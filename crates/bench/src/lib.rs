@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use nvd_analysis::Experiments;
 use nvd_synth::{generate, SynthConfig, SynthCorpus};
 
@@ -22,7 +24,9 @@ pub fn bench_corpus() -> SynthCorpus {
     generate(&SynthConfig::with_scale(BENCH_SCALE, BENCH_SEED))
 }
 
-/// Runs the full pipeline once (fast profile) for analysis benches.
-pub fn bench_experiments() -> Experiments {
-    Experiments::run_fast(BENCH_SCALE, BENCH_SEED)
+/// The full-pipeline fixture for analysis benches, via the shared
+/// `Experiments` cache: bench targets that need it more than once per
+/// process pay for one generation + clean.
+pub fn bench_experiments() -> Arc<Experiments> {
+    Experiments::shared(BENCH_SCALE, BENCH_SEED)
 }

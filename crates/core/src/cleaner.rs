@@ -120,8 +120,11 @@ impl Cleaner {
     /// Runs all four rectifications, returning the cleaned database and the
     /// report. The input database is not modified.
     ///
-    /// `verifier` stands in for the paper's manual pair vetting.
-    pub fn clean<V: Verifier>(
+    /// `verifier` stands in for the paper's manual pair vetting; it must be
+    /// `Sync` because the per-CVE stages (disclosure estimation, candidate
+    /// verification, severity feature extraction) fan out over the
+    /// `minipar` pool. Output is bit-identical at any `NVD_JOBS` setting.
+    pub fn clean<V: Verifier + Sync>(
         &self,
         db: &Database,
         archive: &WebArchive,
@@ -135,12 +138,12 @@ impl Cleaner {
             .with_rule(self.options.aggregation);
         let disclosure = estimator.estimate_all(&cleaned);
 
-        // §4.2 — vendor names.
+        // §4.2 — vendor names. Pair verification is the stand-in for the
+        // paper's manual review of every flagged pair: per-pair work with
+        // no cross-pair state, so it maps in candidate order.
         let vendor_candidates = find_vendor_candidates(&cleaned);
-        let confirmed_flags: Vec<bool> = vendor_candidates
-            .iter()
-            .map(|c| verifier.confirm(c))
-            .collect();
+        let confirmed_flags: Vec<bool> =
+            minipar::par_map(&vendor_candidates, |c| verifier.confirm(c));
         let confirmed: Vec<_> = vendor_candidates
             .iter()
             .zip(&confirmed_flags)

@@ -134,8 +134,15 @@ impl<'a> DisclosureEstimator<'a> {
     }
 
     /// Estimates every entry of a database.
+    ///
+    /// Entries are independent, so estimation fans out over the `minipar`
+    /// pool (`NVD_JOBS` controls the width); per-entry results are keyed by
+    /// CVE id, so the map is identical at any thread count.
     pub fn estimate_all(&self, db: &Database) -> BTreeMap<CveId, DisclosureEstimate> {
-        db.iter().map(|e| (e.id, self.estimate(e))).collect()
+        let entries: Vec<&CveEntry> = db.iter().collect();
+        minipar::par_map(&entries, |e| (e.id, self.estimate(e)))
+            .into_iter()
+            .collect()
     }
 }
 

@@ -114,16 +114,22 @@ pub fn backport_v3(db: &Database, options: &BackportOptions) -> BackportOutcome 
     // Target encoding must only see training data.
     let extractor = FeatureExtractor::fit(train_idx.iter().map(|&i| ground[i]));
 
+    // Feature extraction is per-CVE and pure; rows land in index order, so
+    // the assembled matrices are identical at any thread count.
     let assemble = |indices: &[usize]| -> (Dataset, Vec<Severity>) {
-        let mut rows = Vec::with_capacity(indices.len());
-        let mut y = Vec::with_capacity(indices.len());
-        let mut v2_bands = Vec::with_capacity(indices.len());
-        for &i in indices {
+        let extracted = minipar::par_map(indices, |&i| {
             let e = ground[i];
             let f = extractor.extract(e).expect("filtered for v2");
+            let y = e.cvss_v3.as_ref().expect("filtered").base_score;
+            (f, y, e.severity_v2().expect("filtered"))
+        });
+        let mut rows = Vec::with_capacity(indices.len() * super::features::FEATURE_DIM);
+        let mut y = Vec::with_capacity(indices.len());
+        let mut v2_bands = Vec::with_capacity(indices.len());
+        for (f, target, band) in extracted {
             rows.extend_from_slice(&f);
-            y.push(e.cvss_v3.as_ref().expect("filtered").base_score);
-            v2_bands.push(e.severity_v2().expect("filtered"));
+            y.push(target);
+            v2_bands.push(band);
         }
         (
             Dataset::new(
@@ -161,17 +167,23 @@ pub fn backport_v3(db: &Database, options: &BackportOptions) -> BackportOutcome 
     let winner = &models[&chosen];
 
     // --- backport the v2-only population ----------------------------------
-    let mut predictions = BTreeMap::new();
-    let mut v2_bands = Vec::new();
-    let mut pred_bands = Vec::new();
-    for e in db.iter() {
-        if e.cvss_v3.is_some() || e.cvss_v2.is_none() {
-            continue;
-        }
+    // The paper's ≈74K-CVE sweep: extract + predict per entry on the pool,
+    // then fold the ordered results into the report structures.
+    let v2_only: Vec<_> = db
+        .iter()
+        .filter(|e| e.cvss_v3.is_none() && e.cvss_v2.is_some())
+        .collect();
+    let scored = minipar::par_map(&v2_only, |e| {
         let f = extractor.extract(e).expect("has v2");
         let score = winner.predict_row(&f);
-        predictions.insert(e.id, score);
-        v2_bands.push(e.severity_v2().expect("has v2"));
+        (e.id, e.severity_v2().expect("has v2"), score)
+    });
+    let mut predictions = BTreeMap::new();
+    let mut v2_bands = Vec::with_capacity(scored.len());
+    let mut pred_bands = Vec::with_capacity(scored.len());
+    for (id, v2_band, score) in scored {
+        predictions.insert(id, score);
+        v2_bands.push(v2_band);
         pred_bands.push(Severity::from_v3_score(score));
     }
     let backport_transition = transition_matrix(&v2_bands, &pred_bands);
@@ -189,15 +201,22 @@ pub fn backport_v3(db: &Database, options: &BackportOptions) -> BackportOutcome 
 
     // --- Tables 13–15: sanity matrices on the ground truth ------------------
     let predict_bands = |indices: &[usize]| -> (Vec<Severity>, Vec<Severity>, Vec<Severity>) {
+        let triples = minipar::par_map(indices, |&i| {
+            let e = ground[i];
+            let f = extractor.extract(e).expect("has v2");
+            (
+                e.severity_v2().expect("v2"),
+                e.severity_v3().expect("v3"),
+                Severity::from_v3_score(winner.predict_row(&f)),
+            )
+        });
         let mut v2b = Vec::with_capacity(indices.len());
         let mut trueb = Vec::with_capacity(indices.len());
         let mut predb = Vec::with_capacity(indices.len());
-        for &i in indices {
-            let e = ground[i];
-            let f = extractor.extract(e).expect("has v2");
-            v2b.push(e.severity_v2().expect("v2"));
-            trueb.push(e.severity_v3().expect("v3"));
-            predb.push(Severity::from_v3_score(winner.predict_row(&f)));
+        for (v2, tru, pred) in triples {
+            v2b.push(v2);
+            trueb.push(tru);
+            predb.push(pred);
         }
         (v2b, trueb, predb)
     };

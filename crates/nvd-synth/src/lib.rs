@@ -207,6 +207,38 @@ pub struct SynthCorpus {
     pub security_tracker: SideDatabase,
 }
 
+impl SynthCorpus {
+    /// FNV-1a digest over a canonical rendering of the corpus: every entry
+    /// record plus the ground-truth disclosure timeline.
+    ///
+    /// This is the reproducibility fingerprint: equal configs must produce
+    /// equal digests at any `NVD_JOBS` setting (the seeded-repro tests and
+    /// the CI determinism gate both key on it).
+    pub fn digest(&self) -> u64 {
+        /// Streams `Debug`/`Display` output straight into the FNV state —
+        /// no intermediate `String` per entry.
+        struct Fnv(u64);
+        impl std::fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        use std::fmt::Write as _;
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        for entry in self.database.iter() {
+            let _ = writeln!(h, "{entry:?}");
+        }
+        for (id, date) in &self.truth.disclosure {
+            let _ = writeln!(h, "{id}={date}");
+        }
+        h.0
+    }
+}
+
 /// Per-year cumulative CWE sampling table.
 fn cwe_table(catalog: &CweCatalog, year: i32) -> (Vec<CweId>, Vec<f64>) {
     let mut ids = Vec::with_capacity(catalog.len());
@@ -229,9 +261,246 @@ fn sample_cum(rng: &mut StdRng, cum: &[f64]) -> usize {
     }
 }
 
+/// CVEs drafted per derived RNG stream. Fixed — never a function of the
+/// thread count — so chunk boundaries, and therefore every sampled value,
+/// are identical at any `NVD_JOBS` setting.
+const GEN_CHUNK: usize = 64;
+
+/// Stream tag for the v3-visibility pass (far outside the chunk-index
+/// range, so its RNG stream never collides with a drafting chunk's).
+const VISIBILITY_STREAM: u64 = 0x7669_7369_6269_6c69;
+
+/// One planned CVE: identity fixed up front so drafting can run in any
+/// order on any number of threads.
+struct EntryPlan {
+    year: i32,
+    id: CveId,
+}
+
+/// Everything one CVE contributes, minus the archive side effects: URLs
+/// are allocated at assembly time because [`WebArchive::publish`] numbers
+/// pages per host in publication order, which must stay thread-invariant.
+struct EntryDraft {
+    entry: CveEntry,
+    refs: Vec<RefDraft>,
+    disclosed: Date,
+    cwe: CweId,
+    v3: CvssV3Record,
+    mislabeled_vendor: bool,
+    mislabeled_product: bool,
+}
+
+/// A reference page to publish for an entry.
+struct RefDraft {
+    host: &'static str,
+    date: Date,
+    modified: u32,
+}
+
+/// Per-draft context shared read-only across worker threads.
+struct DraftContext<'a> {
+    config: &'a SynthConfig,
+    catalog: &'a CweCatalog,
+    universe: &'a NameUniverse,
+    vendor_alias_idx: &'a BTreeMap<&'a str, Vec<&'a VendorAlias>>,
+    product_alias_idx: &'a BTreeMap<(&'a str, &'a str), Vec<&'a ProductAlias>>,
+    domains: &'static [webarchive::DomainSpec],
+    domain_cum: &'a [f64],
+    cwe_tables: &'a BTreeMap<i32, (Vec<CweId>, Vec<f64>)>,
+}
+
+/// Drafts one CVE from its plan. Pure per-entry generation: all randomness
+/// comes from `rng` (the chunk's derived stream) and all output is returned,
+/// so drafts parallelise freely.
+fn draft_entry(ctx: &DraftContext<'_>, plan: &EntryPlan, rng: &mut StdRng) -> EntryDraft {
+    let config = ctx.config;
+    let (cwe_ids, cwe_cum) = &ctx.cwe_tables[&plan.year];
+
+    // --- type and severity ------------------------------------------------
+    let cwe = cwe_ids[sample_cum(rng, cwe_cum)];
+    let class = classify(cwe);
+    let v2 = sample_v2(rng, class);
+    let (v2_score, v2_band) = score_v2(&v2);
+    let latent: u64 = rng.gen();
+    let (v3_vec, v3_score, _) = derive_true_v3_scored(&v2, cwe, latent);
+
+    // --- dates --------------------------------------------------------------
+    let disclosed = sample_disclosure(rng, plan.year);
+    // The snapshot censors the lag distribution: a CVE disclosed near the
+    // snapshot date can only appear in it if its lag fits before the
+    // horizon. Sample from the truncated distribution (resample, then fall
+    // back to uniform) rather than clamping, which would fabricate a
+    // mass-insertion day on the snapshot date itself.
+    let available = snapshot_end().days_since(disclosed).max(0);
+    let mut lag = sample_lag(rng, v2_band);
+    let mut tries = 0;
+    while lag > available && tries < 8 {
+        lag = sample_lag(rng, v2_band);
+        tries += 1;
+    }
+    if lag > available {
+        lag = rng.gen_range(0..=available);
+    }
+    let published = apply_publication_batch(rng, disclosed.plus_days(lag));
+
+    // --- affected names -----------------------------------------------------
+    let mut mislabeled_vendor = false;
+    let mut mislabeled_product = false;
+    let vidx = ctx.universe.sample_vendor(rng);
+    let canonical_vendor = ctx.universe.vendors[vidx].name.clone();
+    let mut recorded_vendor = canonical_vendor.clone();
+    if let Some(aliases) = ctx.vendor_alias_idx.get(canonical_vendor.as_str()) {
+        for a in aliases {
+            if rng.gen::<f64>() < a.share {
+                recorded_vendor = a.alias.clone();
+                mislabeled_vendor = true;
+                break;
+            }
+        }
+    }
+    let n_cpes = 1 + (rng.gen::<f64>().powi(3) * 2.5) as usize;
+    let mut affected = Vec::with_capacity(n_cpes);
+    let mut first_product = None;
+    for _ in 0..n_cpes {
+        let canonical_product = ctx.universe.sample_product(rng, vidx);
+        let mut recorded_product = canonical_product.clone();
+        if let Some(aliases) = ctx
+            .product_alias_idx
+            .get(&(canonical_vendor.as_str(), canonical_product.as_str()))
+        {
+            for a in aliases {
+                if rng.gen::<f64>() < a.share {
+                    recorded_product = a.alias.clone();
+                    mislabeled_product = true;
+                    break;
+                }
+            }
+        }
+        if first_product.is_none() {
+            first_product = Some(recorded_product.clone());
+        }
+        let cpe = CpeName::application(recorded_vendor.clone(), recorded_product)
+            .with_version(texts::version(rng));
+        if !affected.contains(&cpe) {
+            affected.push(cpe);
+        }
+    }
+
+    // --- CWE field ----------------------------------------------------------
+    let r: f64 = rng.gen();
+    let label = if r < config.cwe_other_rate {
+        CweLabel::Other
+    } else if r < config.cwe_other_rate + config.cwe_noinfo_rate {
+        CweLabel::NoInfo
+    } else if r < config.cwe_other_rate + config.cwe_noinfo_rate + config.cwe_unassigned_rate {
+        CweLabel::Unassigned
+    } else {
+        CweLabel::Specific(cwe)
+    };
+
+    // --- descriptions -------------------------------------------------------
+    let product_str = first_product
+        .as_ref()
+        .map(|p| p.as_str().to_owned())
+        .unwrap_or_default();
+    let mut descriptions = vec![Description::analyst(texts::describe(
+        rng,
+        ctx.catalog,
+        cwe,
+        recorded_vendor.as_str(),
+        &product_str,
+        config.name_mention_probability,
+    ))];
+    let eval_p = match label {
+        CweLabel::Other => config.evaluator_cwe_given_other,
+        CweLabel::NoInfo | CweLabel::Unassigned => config.evaluator_cwe_given_missing,
+        CweLabel::Specific(_) => config.evaluator_cwe_given_typed,
+    };
+    if rng.gen::<f64>() < eval_p {
+        // Typed entries gain an *additional* relevant type (the paper:
+        // "CVEs that list additionally relevant CWE-IDs in the description
+        // beyond those listed in the CWE field"); degenerate entries embed
+        // their true type.
+        let mentioned = if matches!(label, CweLabel::Specific(_)) {
+            let extra = cwe_ids[sample_cum(rng, cwe_cum)];
+            if extra == cwe {
+                cwe_ids[(cwe_ids.iter().position(|c| *c == cwe).unwrap_or(0) + 1) % cwe_ids.len()]
+            } else {
+                extra
+            }
+        } else {
+            cwe
+        };
+        descriptions.push(Description::evaluator(texts::evaluator_comment(
+            ctx.catalog,
+            mentioned,
+        )));
+    }
+
+    // --- references ---------------------------------------------------------
+    let mut refs = Vec::new();
+    if rng.gen::<f64>() >= config.no_reference_fraction {
+        let extra = (rng.gen::<f64>().powf(1.2) * (config.mean_extra_references * 2.0)) as usize;
+        let mut hosts_used: BTreeSet<&str> = BTreeSet::new();
+        for k in 0..=extra.min(9) {
+            let d_idx = sample_cum(rng, ctx.domain_cum);
+            let host = ctx.domains[d_idx].host;
+            if !hosts_used.insert(host) {
+                continue;
+            }
+            let ref_date = if k == 0 {
+                disclosed
+            } else {
+                disclosed.plus_days(rng.gen_range(0..=45))
+            };
+            let modified = rng.gen_range(0..=90);
+            refs.push(RefDraft {
+                host,
+                date: ref_date,
+                modified,
+            });
+        }
+    }
+
+    // --- assemble -----------------------------------------------------------
+    let mut entry = CveEntry::new(plan.id, published);
+    entry.last_modified = {
+        let m = published.plus_days(rng.gen_range(0..=200));
+        if m > snapshot_end() {
+            snapshot_end()
+        } else {
+            m
+        }
+    };
+    entry.cwes = vec![label];
+    entry.cvss_v2 = Some(CvssV2Record {
+        vector: v2,
+        base_score: v2_score,
+    });
+    entry.affected = affected;
+    entry.descriptions = descriptions;
+
+    EntryDraft {
+        entry,
+        refs,
+        disclosed,
+        cwe,
+        v3: CvssV3Record {
+            vector: v3_vec,
+            base_score: v3_score,
+        },
+        mislabeled_vendor,
+        mislabeled_product,
+    }
+}
+
 /// Generates a complete corpus from the configuration.
 ///
-/// Deterministic: equal configs produce identical corpora.
+/// Deterministic: equal configs produce identical corpora, at any
+/// `NVD_JOBS` setting. Per-CVE drafting runs on the [`minipar`] pool with
+/// one derived RNG stream per [`GEN_CHUNK`]-sized chunk; the archive and
+/// ground truth are then assembled sequentially in plan order, so page URLs
+/// (numbered per host in publication order) never depend on scheduling.
 pub fn generate(config: &SynthConfig) -> SynthCorpus {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let catalog = CweCatalog::builtin();
@@ -262,7 +531,54 @@ pub fn generate(config: &SynthConfig) -> SynthCorpus {
         domain_cum.push(acc);
     }
 
+    // --- plan identities sequentially --------------------------------------
+    // CVE sequence numbers depend on plan order (years before 1999 share the
+    // CVE-1999 namespace), so identity assignment stays serial and cheap.
     let total = config.cve_count();
+    let mut plans: Vec<EntryPlan> = Vec::with_capacity(total);
+    let mut seq_by_year: BTreeMap<u16, u32> = BTreeMap::new();
+    let mut cwe_tables: BTreeMap<i32, (Vec<CweId>, Vec<f64>)> = BTreeMap::new();
+    for (year, n) in year_allocation(total) {
+        if n == 0 {
+            continue;
+        }
+        cwe_tables
+            .entry(year)
+            .or_insert_with(|| cwe_table(&catalog, year));
+        for _ in 0..n {
+            let id_year = year.max(1999) as u16;
+            let seq = seq_by_year.entry(id_year).or_insert(1);
+            plans.push(EntryPlan {
+                year,
+                id: CveId::new(id_year, *seq),
+            });
+            *seq += 1;
+        }
+    }
+
+    // --- draft in parallel ---------------------------------------------------
+    let ctx = DraftContext {
+        config,
+        catalog: &catalog,
+        universe: &universe,
+        vendor_alias_idx: &vendor_alias_idx,
+        product_alias_idx: &product_alias_idx,
+        domains,
+        domain_cum: &domain_cum,
+        cwe_tables: &cwe_tables,
+    };
+    let drafts: Vec<EntryDraft> = minipar::par_chunks(&plans, GEN_CHUNK, |ci, chunk| {
+        let mut chunk_rng = StdRng::seed_from_u64(minipar::derive_seed(config.seed, ci as u64));
+        chunk
+            .iter()
+            .map(|plan| draft_entry(&ctx, plan, &mut chunk_rng))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // --- assemble sequentially (archive URLs + ground truth) ----------------
     let mut entries: Vec<CveEntry> = Vec::with_capacity(total);
     let mut archive = WebArchive::new();
     let mut truth = GroundTruth {
@@ -270,200 +586,39 @@ pub fn generate(config: &SynthConfig) -> SynthCorpus {
         product_aliases: universe.product_aliases.clone(),
         ..GroundTruth::default()
     };
-    let mut seq_by_year: BTreeMap<u16, u32> = BTreeMap::new();
-
-    for (year, n) in year_allocation(total) {
-        if n == 0 {
-            continue;
+    for draft in drafts {
+        let EntryDraft {
+            mut entry,
+            refs,
+            disclosed,
+            cwe,
+            v3,
+            mislabeled_vendor,
+            mislabeled_product,
+        } = draft;
+        let id = entry.id;
+        for r in refs {
+            let url = archive
+                .publish(r.host, &id.to_string(), r.date, r.modified)
+                .expect("registry host");
+            entry.references.push(Reference::new(url));
         }
-        let (cwe_ids, cwe_cum) = cwe_table(&catalog, year);
-        for _ in 0..n {
-            // --- type and severity ------------------------------------
-            let cwe = cwe_ids[sample_cum(&mut rng, &cwe_cum)];
-            let class = classify(cwe);
-            let v2 = sample_v2(&mut rng, class);
-            let (v2_score, v2_band) = score_v2(&v2);
-            let latent: u64 = rng.gen();
-            let (v3_vec, v3_score, _) = derive_true_v3_scored(&v2, cwe, latent);
-
-            // --- dates ---------------------------------------------------
-            let disclosed = sample_disclosure(&mut rng, year);
-            // The snapshot censors the lag distribution: a CVE disclosed
-            // near the snapshot date can only appear in it if its lag fits
-            // before the horizon. Sample from the truncated distribution
-            // (resample, then fall back to uniform) rather than clamping,
-            // which would fabricate a mass-insertion day on the snapshot
-            // date itself.
-            let available = snapshot_end().days_since(disclosed).max(0);
-            let mut lag = sample_lag(&mut rng, v2_band);
-            let mut tries = 0;
-            while lag > available && tries < 8 {
-                lag = sample_lag(&mut rng, v2_band);
-                tries += 1;
-            }
-            if lag > available {
-                lag = rng.gen_range(0..=available);
-            }
-            let published = apply_publication_batch(&mut rng, disclosed.plus_days(lag));
-
-            // --- identity ---------------------------------------------------
-            let id_year = year.max(1999) as u16;
-            let seq = seq_by_year.entry(id_year).or_insert(1);
-            let id = CveId::new(id_year, *seq);
-            *seq += 1;
-
-            // --- affected names ---------------------------------------------
-            let vidx = universe.sample_vendor(&mut rng);
-            let canonical_vendor = universe.vendors[vidx].name.clone();
-            let mut recorded_vendor = canonical_vendor.clone();
-            if let Some(aliases) = vendor_alias_idx.get(canonical_vendor.as_str()) {
-                for a in aliases {
-                    if rng.gen::<f64>() < a.share {
-                        recorded_vendor = a.alias.clone();
-                        truth.mislabeled_vendor.insert(id);
-                        break;
-                    }
-                }
-            }
-            let n_cpes = 1 + (rng.gen::<f64>().powi(3) * 2.5) as usize;
-            let mut affected = Vec::with_capacity(n_cpes);
-            let mut first_product = None;
-            for _ in 0..n_cpes {
-                let canonical_product = universe.sample_product(&mut rng, vidx);
-                let mut recorded_product = canonical_product.clone();
-                if let Some(aliases) =
-                    product_alias_idx.get(&(canonical_vendor.as_str(), canonical_product.as_str()))
-                {
-                    for a in aliases {
-                        if rng.gen::<f64>() < a.share {
-                            recorded_product = a.alias.clone();
-                            truth.mislabeled_product.insert(id);
-                            break;
-                        }
-                    }
-                }
-                if first_product.is_none() {
-                    first_product = Some(recorded_product.clone());
-                }
-                let cpe = CpeName::application(recorded_vendor.clone(), recorded_product)
-                    .with_version(texts::version(&mut rng));
-                if !affected.contains(&cpe) {
-                    affected.push(cpe);
-                }
-            }
-
-            // --- CWE field ----------------------------------------------------
-            let r: f64 = rng.gen();
-            let label = if r < config.cwe_other_rate {
-                CweLabel::Other
-            } else if r < config.cwe_other_rate + config.cwe_noinfo_rate {
-                CweLabel::NoInfo
-            } else if r < config.cwe_other_rate
-                + config.cwe_noinfo_rate
-                + config.cwe_unassigned_rate
-            {
-                CweLabel::Unassigned
-            } else {
-                CweLabel::Specific(cwe)
-            };
-
-            // --- descriptions --------------------------------------------------
-            let product_str = first_product
-                .as_ref()
-                .map(|p| p.as_str().to_owned())
-                .unwrap_or_default();
-            let mut descriptions = vec![Description::analyst(texts::describe(
-                &mut rng,
-                &catalog,
-                cwe,
-                recorded_vendor.as_str(),
-                &product_str,
-                config.name_mention_probability,
-            ))];
-            let eval_p = match label {
-                CweLabel::Other => config.evaluator_cwe_given_other,
-                CweLabel::NoInfo | CweLabel::Unassigned => config.evaluator_cwe_given_missing,
-                CweLabel::Specific(_) => config.evaluator_cwe_given_typed,
-            };
-            if rng.gen::<f64>() < eval_p {
-                // Typed entries gain an *additional* relevant type (the
-                // paper: "CVEs that list additionally relevant CWE-IDs in
-                // the description beyond those listed in the CWE field");
-                // degenerate entries embed their true type.
-                let mentioned = if matches!(label, CweLabel::Specific(_)) {
-                    let extra = cwe_ids[sample_cum(&mut rng, &cwe_cum)];
-                    if extra == cwe {
-                        cwe_ids[(cwe_ids.iter().position(|c| *c == cwe).unwrap_or(0) + 1)
-                            % cwe_ids.len()]
-                    } else {
-                        extra
-                    }
-                } else {
-                    cwe
-                };
-                descriptions.push(Description::evaluator(texts::evaluator_comment(
-                    &catalog, mentioned,
-                )));
-            }
-
-            // --- references ------------------------------------------------------
-            let mut references = Vec::new();
-            if rng.gen::<f64>() >= config.no_reference_fraction {
-                let extra =
-                    (rng.gen::<f64>().powf(1.2) * (config.mean_extra_references * 2.0)) as usize;
-                let mut hosts_used: BTreeSet<&str> = BTreeSet::new();
-                for k in 0..=extra.min(9) {
-                    let d_idx = sample_cum(&mut rng, &domain_cum);
-                    let host = domains[d_idx].host;
-                    if !hosts_used.insert(host) {
-                        continue;
-                    }
-                    let ref_date = if k == 0 {
-                        disclosed
-                    } else {
-                        disclosed.plus_days(rng.gen_range(0..=45))
-                    };
-                    let modified = rng.gen_range(0..=90);
-                    let url = archive
-                        .publish(host, &id.to_string(), ref_date, modified)
-                        .expect("registry host");
-                    references.push(Reference::new(url));
-                }
-            }
-
-            // --- assemble --------------------------------------------------------
-            let mut entry = CveEntry::new(id, published);
-            entry.last_modified = {
-                let m = published.plus_days(rng.gen_range(0..=200));
-                if m > snapshot_end() {
-                    snapshot_end()
-                } else {
-                    m
-                }
-            };
-            entry.cwes = vec![label];
-            entry.cvss_v2 = Some(CvssV2Record {
-                vector: v2,
-                base_score: v2_score,
-            });
-            entry.affected = affected;
-            entry.descriptions = descriptions;
-            entry.references = references;
-
-            truth.disclosure.insert(id, disclosed);
-            truth.true_cwe.insert(id, cwe);
-            truth.true_v3.insert(
-                id,
-                CvssV3Record {
-                    vector: v3_vec,
-                    base_score: v3_score,
-                },
-            );
-            entries.push(entry);
+        if mislabeled_vendor {
+            truth.mislabeled_vendor.insert(id);
         }
+        if mislabeled_product {
+            truth.mislabeled_product.insert(id);
+        }
+        truth.disclosure.insert(id, disclosed);
+        truth.true_cwe.insert(id, cwe);
+        truth.true_v3.insert(id, v3);
+        entries.push(entry);
     }
 
-    assign_v3_visibility(&mut entries, &truth, config.scale, &mut rng);
+    // The visibility pass is stateful across entries (retroactive caps per
+    // year), so it stays serial on its own derived stream.
+    let mut vis_rng = StdRng::seed_from_u64(minipar::derive_seed(config.seed, VISIBILITY_STREAM));
+    assign_v3_visibility(&mut entries, &truth, config.scale, &mut vis_rng);
 
     let security_focus = build_side_database(
         &mut rng,

@@ -1,41 +1,24 @@
-//! Seeded-reproducibility test: generation is a pure function of the config,
-//! so the same seed must produce byte-identical corpora and different seeds
-//! must diverge.
+//! Seeded-reproducibility tests: generation is a pure function of the
+//! config, so the same seed must produce byte-identical corpora, different
+//! seeds must diverge, and — now that drafting runs on the `minipar`
+//! pool — the digest must not depend on the thread count.
 
+use minipar::with_jobs;
 use nvd_synth::{generate, SynthConfig};
-
-/// FNV-1a over a canonical rendering of the corpus: entry records plus the
-/// ground-truth disclosure timeline.
-fn corpus_digest(corpus: &nvd_synth::SynthCorpus) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |text: &str| {
-        for b in text.bytes() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for entry in corpus.database.iter() {
-        eat(&format!("{entry:?}\n"));
-    }
-    for (id, date) in &corpus.truth.disclosure {
-        eat(&format!("{id}={date}\n"));
-    }
-    hash
-}
 
 #[test]
 fn same_seed_same_digest() {
     let config = SynthConfig::with_scale(0.01, 42);
-    let first = corpus_digest(&generate(&config));
+    let first = generate(&config).digest();
     for _ in 0..2 {
-        assert_eq!(corpus_digest(&generate(&config)), first);
+        assert_eq!(generate(&config).digest(), first);
     }
 }
 
 #[test]
 fn different_seeds_diverge() {
-    let a = corpus_digest(&generate(&SynthConfig::with_scale(0.01, 1)));
-    let b = corpus_digest(&generate(&SynthConfig::with_scale(0.01, 2)));
+    let a = generate(&SynthConfig::with_scale(0.01, 1)).digest();
+    let b = generate(&SynthConfig::with_scale(0.01, 2)).digest();
     assert_ne!(a, b, "seeds 1 and 2 produced identical corpora");
 }
 
@@ -47,4 +30,23 @@ fn scale_controls_corpus_size() {
         large > small,
         "scale 0.02 ({large}) <= scale 0.01 ({small})"
     );
+}
+
+#[test]
+fn digest_is_thread_count_invariant() {
+    // The hard determinism constraint of the parallel pipeline: one worker
+    // and eight workers must produce bit-identical corpora (same chunked
+    // RNG streams, same archive URL numbering, same ground truth).
+    let config = SynthConfig::with_scale(0.01, 42);
+    let serial = with_jobs(1, || {
+        let c = generate(&config);
+        (c.digest(), c.archive.len(), c.security_focus.len())
+    });
+    for jobs in [2, 8] {
+        let parallel = with_jobs(jobs, || {
+            let c = generate(&config);
+            (c.digest(), c.archive.len(), c.security_focus.len())
+        });
+        assert_eq!(parallel, serial, "NVD_JOBS={jobs} diverged from serial");
+    }
 }

@@ -30,6 +30,35 @@ fn same_seed_same_corpus_and_cleaning() {
 }
 
 #[test]
+fn pipeline_is_bit_identical_across_job_counts() {
+    // End-to-end version of the minipar determinism contract: corpus
+    // generation AND the full cleaning pipeline must agree exactly between
+    // the inline path and a wide pool (the CI perf-smoke job re-checks the
+    // same property across processes via the NVD_JOBS env var).
+    let run = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            let corpus = generate(&SynthConfig::with_scale(0.01, 777));
+            let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+            let (db, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+            (
+                corpus.digest(),
+                db.iter().cloned().collect::<Vec<_>>(),
+                report.disclosure.clone(),
+                report.severity.as_ref().unwrap().predictions.clone(),
+                report.names.vendor_confirmed,
+            )
+        })
+    };
+    let serial = run(1);
+    let wide = run(6);
+    assert_eq!(serial.0, wide.0, "corpus digest diverged");
+    assert_eq!(serial.1, wide.1, "cleaned entries diverged");
+    assert_eq!(serial.2, wide.2, "disclosure estimates diverged");
+    assert_eq!(serial.3, wide.3, "severity predictions diverged");
+    assert_eq!(serial.4, wide.4, "name verification diverged");
+}
+
+#[test]
 fn different_seed_different_corpus() {
     let a = generate(&SynthConfig::with_scale(0.005, 1));
     let b = generate(&SynthConfig::with_scale(0.005, 2));

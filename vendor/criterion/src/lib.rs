@@ -61,8 +61,41 @@ fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
             "bench: {id:<50} {:>14.0} ns/iter (best of {samples})",
             b.best_ns
         );
+        append_json_record(id, b.best_ns, samples);
     } else {
         println!("bench: {id:<50} (no measurement)");
+    }
+}
+
+/// When `BENCH_JSON` names a file, appends one JSON line per measurement —
+/// `{"id": ..., "best_ns": ..., "samples": ...}` — so CI can upload a
+/// machine-readable perf artifact (e.g. `BENCH_parallel.json`) per run.
+fn append_json_record(id: &str, best_ns: f64, samples: usize) {
+    use std::io::Write as _;
+
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"id\": \"{escaped}\", \"best_ns\": {best_ns:.0}, \"samples\": {samples}}}\n");
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: BENCH_JSON={path} not writable: {e}");
     }
 }
 

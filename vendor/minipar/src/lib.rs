@@ -1,0 +1,559 @@
+//! Vendored, dependency-free parallel-execution substrate for the
+//! `nvd-clean` workspace.
+//!
+//! The cleaning pipeline (Anwar et al., DSN 2021) is embarrassingly
+//! parallel per CVE: disclosure estimation, severity feature extraction and
+//! name verification each visit every entry independently, and the corpus
+//! generator draws every synthetic CVE from its own derived RNG stream.
+//! This crate provides the minimal machinery to exploit that shape without
+//! any crates.io dependency (the build environment is offline):
+//!
+//! * a lazily-started **work-stealing thread pool** — one global injector
+//!   plus a per-worker deque; idle workers steal from the back of their
+//!   peers' deques;
+//! * [`scope`] — structured spawning of borrowed closures; the scope joins
+//!   every spawned task before returning and re-raises worker panics on the
+//!   caller thread;
+//! * [`par_map`] / [`par_chunks`] — ordered parallel maps: output order
+//!   always matches input order, regardless of how tasks interleave;
+//! * [`par_fold`] — deterministic ordered reduction: per-chunk
+//!   accumulators are merged left-to-right over a **caller-fixed** chunk
+//!   size, so the merge tree (and thus any non-associative rounding) is
+//!   identical whether one thread runs or sixteen;
+//! * an **`NVD_JOBS`** environment override plus a [`with_jobs`]
+//!   thread-local override for tests and benchmarks.
+//!
+//! # Determinism contract
+//!
+//! Given a pure per-item function, every primitive here returns
+//! bit-identical results for every thread count, including the `jobs = 1`
+//! inline path (which never touches the pool). The pipeline's end-to-end
+//! `NVD_JOBS=1` vs `NVD_JOBS≥4` equivalence tests build on this.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = minipar::par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // Same result at any thread count:
+//! let a = minipar::with_jobs(1, || minipar::par_map(&[1u64, 2, 3], |x| x + 1));
+//! let b = minipar::with_jobs(4, || minipar::par_map(&[1u64, 2, 3], |x| x + 1));
+//! assert_eq!(a, b);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A heap-allocated unit of work after lifetime erasure.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+// ---------------------------------------------------------------------------
+// Job-count resolution
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread override installed by [`with_jobs`].
+    static JOBS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_jobs() -> usize {
+    static ENV_JOBS: OnceLock<usize> = OnceLock::new();
+    *ENV_JOBS.get_or_init(|| {
+        match std::env::var("NVD_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// The effective degree of parallelism for the calling thread: a
+/// [`with_jobs`] override if one is active, else the `NVD_JOBS` environment
+/// variable, else the machine's available parallelism.
+pub fn jobs() -> usize {
+    JOBS_OVERRIDE.with(|c| c.get()).unwrap_or_else(env_jobs)
+}
+
+/// Runs `f` with the effective job count pinned to `n` on this thread
+/// (restored afterwards, even on panic). Benchmarks use this to compare
+/// `jobs = 1` against `jobs = N` inside one process; tests use it to pin
+/// the inline path.
+///
+/// The cap is honoured by [`par_map`], [`par_chunks`] and [`par_fold`]
+/// even when an earlier, wider caller already grew the pool: the ordered
+/// primitives spawn at most `n` runner tasks, so at most `n` workers can
+/// participate. Raw [`scope`] spawns are not capped — every spawn is a
+/// separate stealable task.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "with_jobs: job count must be at least 1");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            JOBS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = JOBS_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(Some(n));
+        Restore(prev)
+    });
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// Ignores lock poisoning: every task body runs under `catch_unwind`, so a
+/// poisoned pool lock only ever guards still-consistent plain data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct WorkerQueue {
+    deque: Mutex<VecDeque<Task>>,
+}
+
+struct Shared {
+    /// Global FIFO for tasks submitted from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Event counter, bumped on every submission and task completion.
+    /// Sleepers snapshot it before scanning for work and go to sleep only
+    /// if it has not moved since — a missed-notify-proof protocol that
+    /// needs no wait timeout, so an idle pool consumes zero CPU.
+    signal: Mutex<u64>,
+    /// Paired with `signal`.
+    wakeup: Condvar,
+    /// Grow-only list of per-worker deques (steal targets).
+    workers: Mutex<Vec<Arc<WorkerQueue>>>,
+}
+
+thread_local! {
+    /// Set on pool worker threads: this worker's own deque and index.
+    static CURRENT_WORKER: RefCell<Option<(usize, Arc<WorkerQueue>)>> =
+        const { RefCell::new(None) };
+}
+
+impl Shared {
+    /// Grabs one runnable task: own deque first (FIFO), then the injector,
+    /// then the back of a peer's deque (the stealing half of the protocol).
+    fn find_task(&self) -> Option<Task> {
+        let own = CURRENT_WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .and_then(|(_, q)| lock(&q.deque).pop_front())
+        });
+        if own.is_some() {
+            return own;
+        }
+        if let Some(t) = lock(&self.injector).pop_front() {
+            return Some(t);
+        }
+        let me = CURRENT_WORKER.with(|w| w.borrow().as_ref().map(|(i, _)| *i));
+        let peers = lock(&self.workers).clone();
+        for (i, q) in peers.iter().enumerate() {
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(t) = lock(&q.deque).pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Queues a task: onto the submitting worker's own deque when called
+    /// from inside the pool, else onto the global injector.
+    fn submit(&self, task: Task) {
+        let leftover = CURRENT_WORKER.with(|w| match w.borrow().as_ref() {
+            Some((_, q)) => {
+                lock(&q.deque).push_back(task);
+                None
+            }
+            None => Some(task),
+        });
+        if let Some(t) = leftover {
+            lock(&self.injector).push_back(t);
+        }
+        self.bump();
+    }
+
+    /// Records an event (submission or completion) and wakes sleepers.
+    fn bump(&self) {
+        *lock(&self.signal) += 1;
+        self.wakeup.notify_all();
+    }
+
+    /// Current event count; pass to [`Shared::sleep_unless_changed`].
+    fn snapshot(&self) -> u64 {
+        *lock(&self.signal)
+    }
+
+    /// Blocks until the event counter moves past `seen`. Returns
+    /// immediately if it already has — an event between the caller's
+    /// snapshot and this call is never lost.
+    fn sleep_unless_changed(&self, seen: u64) {
+        let guard = lock(&self.signal);
+        if *guard == seen {
+            drop(
+                self.wakeup
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            );
+        }
+    }
+
+    /// Ensures at least `n` worker threads exist.
+    fn ensure_workers(self: &Arc<Self>, n: usize) {
+        let mut workers = lock(&self.workers);
+        while workers.len() < n {
+            let idx = workers.len();
+            let queue = Arc::new(WorkerQueue {
+                deque: Mutex::new(VecDeque::new()),
+            });
+            workers.push(queue.clone());
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("minipar-{idx}"))
+                .spawn(move || worker_loop(shared, idx, queue))
+                .expect("spawn minipar worker");
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize, queue: Arc<WorkerQueue>) {
+    CURRENT_WORKER.with(|w| *w.borrow_mut() = Some((idx, queue)));
+    loop {
+        let seen = shared.snapshot();
+        if let Some(task) = shared.find_task() {
+            task();
+            continue;
+        }
+        // Nothing runnable anywhere. Any submission after the snapshot
+        // either showed up in the scan above or moved the counter, in
+        // which case this returns immediately instead of sleeping.
+        shared.sleep_unless_changed(seen);
+    }
+}
+
+fn pool() -> &'static Arc<Shared> {
+    static POOL: OnceLock<Arc<Shared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            signal: Mutex::new(0),
+            wakeup: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scoped spawning
+// ---------------------------------------------------------------------------
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = lock(&self.panic);
+        // First panic wins; later ones are dropped like rayon does.
+        slot.get_or_insert(payload);
+    }
+}
+
+/// Handle for spawning borrowed tasks inside a [`scope`] call.
+pub struct Scope<'env> {
+    state: Arc<ScopeState>,
+    inline: bool,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.state.pending.load(Ordering::Acquire))
+            .field("inline", &self.inline)
+            .finish()
+    }
+}
+
+impl<'env> Scope<'env> {
+    /// Spawns a task that may borrow from the enclosing scope. With an
+    /// effective job count of 1 the task runs immediately on the calling
+    /// thread (the no-thread fallback path); panics are still deferred to
+    /// the end of the scope so both modes observe the same set of tasks.
+    pub fn spawn<F: FnOnce() + Send + 'env>(&self, f: F) {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        if self.inline {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.record_panic(payload);
+            }
+            state.pending.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+        let run = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.record_panic(payload);
+            }
+            state.pending.fetch_sub(1, Ordering::AcqRel);
+            // Completion event: a scope join may be asleep waiting for this
+            // exact task to finish.
+            pool().bump();
+        };
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(run);
+        // SAFETY: `scope` does not return before `pending` reaches zero, so
+        // every spawned closure (and everything it borrows from `'env`) is
+        // done executing while the borrows are still live. Erasing `'env`
+        // to `'static` for storage in the pool is therefore sound; this is
+        // the same argument `std::thread::scope` makes.
+        let task: Task = unsafe { std::mem::transmute(task) };
+        pool().submit(task);
+    }
+}
+
+/// Runs `f` with a [`Scope`] for spawning borrowed tasks, joins every
+/// spawned task, then returns `f`'s result.
+///
+/// If any spawned task panicked, the first panic payload is re-raised on
+/// the calling thread after all tasks finished. While waiting, the calling
+/// thread executes queued tasks itself ("helping"), which also makes nested
+/// scopes on worker threads deadlock-free.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let j = jobs();
+    let inline = j <= 1;
+    if !inline {
+        pool().ensure_workers(j);
+    }
+    let sc = Scope {
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }),
+        inline,
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&sc)));
+    // Join barrier: help run tasks until every spawn completed. This must
+    // happen even when the scope body panicked, otherwise spawned tasks
+    // could outlive borrows they hold. The snapshot/sleep protocol mirrors
+    // the worker loop's: completions bump the pool signal, so the waiter
+    // never sleeps through the last task finishing.
+    loop {
+        if sc.state.pending.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        let seen = pool().snapshot();
+        if let Some(task) = pool().find_task() {
+            task();
+            continue;
+        }
+        if sc.state.pending.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        pool().sleep_unless_changed(seen);
+    }
+    match result {
+        Ok(r) => {
+            if let Some(payload) = lock(&sc.state.panic).take() {
+                resume_unwind(payload);
+            }
+            r
+        }
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered data-parallel primitives
+// ---------------------------------------------------------------------------
+
+/// Executes `run_chunk(0..n_chunks)` with at most `j` concurrent runners
+/// and returns the results ordered by chunk index.
+///
+/// Spawns `min(j, n_chunks)` runner tasks that drain a shared atomic chunk
+/// counter, rather than one task per chunk — this is what makes the
+/// effective job count a genuine *cap*: even if the pool has grown wider
+/// for an earlier caller, only `j` runners exist to be stolen, so at most
+/// `j` workers (counting the helping caller) touch this call's work.
+fn run_ordered<R: Send>(
+    n_chunks: usize,
+    j: usize,
+    run_chunk: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let slots: Vec<Mutex<Option<R>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    scope(|s| {
+        for _ in 0..j.min(n_chunks) {
+            let slots = &slots;
+            let next = &next;
+            let run_chunk = &run_chunk;
+            s.spawn(move || loop {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= n_chunks {
+                    break;
+                }
+                *lock(&slots[ci]) = Some(run_chunk(ci));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("scope joined every chunk")
+        })
+        .collect()
+}
+
+/// Maps `f` over `items` in parallel, returning outputs in input order.
+///
+/// The work is split into `4 × jobs` contiguous chunks for load balancing;
+/// because each output lands in its input's slot, the result is identical
+/// for every thread count. `jobs() == 1` maps inline without touching the
+/// pool; at higher counts at most `jobs()` workers run this call's chunks.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let j = jobs();
+    if j <= 1 || n == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(j * 4).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    run_ordered(n_chunks, j, |ci| {
+        let start = ci * chunk;
+        items[start..(start + chunk).min(n)]
+            .iter()
+            .map(&f)
+            .collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Applies `f` to fixed-size contiguous chunks of `items` in parallel,
+/// returning one output per chunk, ordered by chunk index.
+///
+/// Chunk boundaries depend only on `chunk_size`, never on the thread
+/// count — callers that derive per-chunk state (RNG streams, partial sums)
+/// from the chunk index therefore get bit-identical results at any
+/// parallelism. The final chunk may be shorter.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(chunk_size > 0, "par_chunks: chunk_size must be positive");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let j = jobs();
+    if j <= 1 || n <= chunk_size {
+        return items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, part)| f(ci, part))
+            .collect();
+    }
+    let n_chunks = n.div_ceil(chunk_size);
+    run_ordered(n_chunks, j, |ci| {
+        let start = ci * chunk_size;
+        f(ci, &items[start..(start + chunk_size).min(n)])
+    })
+}
+
+/// Deterministic ordered reduction: folds each fixed-size chunk
+/// sequentially with `fold` (starting from `init()`), then merges the
+/// per-chunk accumulators **left to right in chunk order** with `merge`.
+///
+/// Because the chunking is caller-fixed and the merge order is the chunk
+/// order, the exact sequence of operations — and therefore any
+/// floating-point rounding — is independent of the thread count. `merge`
+/// does not need to be associative with `fold`; it only needs to combine
+/// adjacent accumulators.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn par_fold<T: Sync, A: Send>(
+    items: &[T],
+    chunk_size: usize,
+    init: impl Fn() -> A + Sync,
+    fold: impl Fn(A, &T) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> A {
+    let partials = par_chunks(items, chunk_size, |_ci, part| {
+        part.iter().fold(init(), &fold)
+    });
+    partials.into_iter().reduce(merge).unwrap_or_else(init)
+}
+
+/// Derives an independent RNG seed for a parallel work unit.
+///
+/// SplitMix64 finalization over `(master, stream)`: statistically
+/// independent streams for adjacent indices, identical on every platform,
+/// and — unlike handing consecutive integers to a seed expander — robust to
+/// correlated low bits. The corpus generator keys this by chunk index; the
+/// pipeline keys auxiliary passes by fixed tags.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .rotate_left(17)
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0xA076_1D64_78BD_642F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_is_ordered_inline() {
+        let out = with_jobs(1, || par_map(&[3u32, 1, 2], |x| x * 10));
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+}
