@@ -76,28 +76,7 @@ pub fn pca_study(db: &Database) -> Option<PcaStudy> {
 
     let mut groups = Vec::new();
     for ((v2, v3), idx) in &members {
-        let mut centroid = [0.0f64; 3];
-        for &i in idx {
-            for (c, v) in centroid.iter_mut().zip(projected.row(i)) {
-                *c += v;
-            }
-        }
-        for c in &mut centroid {
-            *c /= idx.len() as f64;
-        }
-        let spread = idx
-            .iter()
-            .map(|&i| {
-                projected
-                    .row(i)
-                    .iter()
-                    .zip(&centroid)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
-            })
-            .sum::<f64>()
-            / idx.len() as f64;
+        let (centroid, spread) = group_stats(&projected, idx);
         groups.push(PcaGroup {
             v2: *v2,
             v3: *v3,
@@ -108,34 +87,8 @@ pub fn pca_study(db: &Database) -> Option<PcaStudy> {
     }
 
     // Scatter index per v2 band: band spread over global spread.
-    let spread_of = |idx: &[usize]| -> f64 {
-        if idx.is_empty() {
-            return 0.0;
-        }
-        let mut centroid = [0.0f64; 3];
-        for &i in idx {
-            for (c, v) in centroid.iter_mut().zip(projected.row(i)) {
-                *c += v;
-            }
-        }
-        for c in &mut centroid {
-            *c /= idx.len() as f64;
-        }
-        idx.iter()
-            .map(|&i| {
-                projected
-                    .row(i)
-                    .iter()
-                    .zip(&centroid)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
-            })
-            .sum::<f64>()
-            / idx.len() as f64
-    };
     let all_indices: Vec<usize> = (0..ground.len()).collect();
-    let global_spread = spread_of(&all_indices).max(1e-12);
+    let global_spread = group_stats(&projected, &all_indices).1.max(1e-12);
     let mut scatter_index = BTreeMap::new();
     for v2 in [Severity::Low, Severity::Medium, Severity::High] {
         let idx: Vec<usize> = ground
@@ -145,7 +98,7 @@ pub fn pca_study(db: &Database) -> Option<PcaStudy> {
             .map(|(i, _)| i)
             .collect();
         if idx.len() >= 3 {
-            scatter_index.insert(v2, spread_of(&idx) / global_spread);
+            scatter_index.insert(v2, group_stats(&projected, &idx).1 / global_spread);
         }
     }
 
@@ -155,6 +108,35 @@ pub fn pca_study(db: &Database) -> Option<PcaStudy> {
         groups,
         scatter_index,
     })
+}
+
+/// Centroid and mean member distance of the selected rows of a 3-column
+/// projection: one gather into a member sub-matrix, a batched
+/// `column_means`, and a single distance pass. Empty selections yield
+/// zeros.
+fn group_stats(projected: &Matrix, idx: &[usize]) -> ([f64; 3], f64) {
+    if idx.is_empty() {
+        return ([0.0; 3], 0.0);
+    }
+    let mut data = Vec::with_capacity(idx.len() * 3);
+    for &i in idx {
+        data.extend_from_slice(projected.row(i));
+    }
+    let sub = Matrix::from_vec(idx.len(), 3, data);
+    let means = sub.column_means();
+    let centroid = [means[0], means[1], means[2]];
+    let spread = (0..sub.rows())
+        .map(|r| {
+            sub.row(r)
+                .iter()
+                .zip(&centroid)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum::<f64>()
+        / idx.len() as f64;
+    (centroid, spread)
 }
 
 /// Renders the Fig. 5 skeleton.

@@ -1,0 +1,315 @@
+//! Batched vs legacy-shape training-kernel comparison.
+//!
+//! Run with `BENCH_JSON=BENCH_mlkit.json cargo bench -p nvd-bench --bench
+//! mlkit` to emit the machine-readable artifact CI uploads. Two questions
+//! are answered per run:
+//!
+//! 1. **Does batching win on its own?** `fit/batched/jobs_1` vs
+//!    `fit/legacy_per_sample` compares the matrix-form minibatch trainer
+//!    against a faithful replica of the pre-refactor per-sample
+//!    forward/backward loop, both pinned to one job — the kernel win must
+//!    not depend on thread count.
+//! 2. **Does the matrix layer scale?** `fit/batched/jobs_4` and the raw
+//!    `matmul` group compare 1 vs 4 jobs through `minipar::with_jobs`
+//!    (outputs are asserted bit-identical before timing starts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mlkit::matrix::Matrix;
+use mlkit::nn::{Activation, Network, NetworkBuilder, TrainConfig};
+
+/// Severity-sized synthetic regression task: FEATURE_DIM-wide rows, the
+/// ground-truth scale of a 2% corpus, nonlinear target.
+const FEATURES: usize = 13;
+const SAMPLES: usize = 1024;
+
+fn severity_sized_data() -> (Matrix, Vec<f64>) {
+    let mut data = Vec::with_capacity(SAMPLES * FEATURES);
+    let mut y = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let mut row = [0.0; FEATURES];
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = (((i * 31 + j * 17) % 97) as f64) / 97.0;
+        }
+        y.push(((3.0 + 4.0 * row[0] + 3.0 * row[3] * row[4] + 2.0 * row[12]) / 10.0).min(1.0));
+        data.extend_from_slice(&row);
+    }
+    (Matrix::from_vec(SAMPLES, FEATURES, data), y)
+}
+
+/// The paper's fast-profile DNN shape (what every severity clean trains).
+fn dnn() -> Network {
+    NetworkBuilder::input_1d(FEATURES)
+        .dense(16, Activation::Relu)
+        .dense(16, Activation::Relu)
+        .dense(32, Activation::Relu)
+        .dense(32, Activation::Relu)
+        .dense(1, Activation::Sigmoid)
+        .build(7)
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-shape reference: the pre-refactor per-sample trainer.
+// ---------------------------------------------------------------------------
+
+/// A faithful replica of the per-sample dense trainer this PR deleted:
+/// `Vec<Vec<f64>>` activation/gradient scratch, one forward/backward per
+/// sample, identical Adam updates and shuffle stream. Lives only in this
+/// bench as the baseline the batched kernels must beat.
+mod legacy {
+    use super::TrainConfig;
+    use mlkit::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    pub struct LegacyDense {
+        sizes: Vec<usize>,
+        /// Per layer: `units × fan_in` row-major weights.
+        weights: Vec<Vec<f64>>,
+        biases: Vec<Vec<f64>>,
+        /// Sigmoid on the last layer, ReLU elsewhere.
+        n_layers: usize,
+    }
+
+    impl LegacyDense {
+        pub fn new(input: usize, widths: &[usize], seed: u64) -> Self {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sizes = vec![input];
+            sizes.extend_from_slice(widths);
+            let n_layers = widths.len();
+            let mut weights = Vec::new();
+            let mut biases = Vec::new();
+            for li in 0..n_layers {
+                let (fan_in, fan_out) = (sizes[li], sizes[li + 1]);
+                let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                weights.push(
+                    (0..fan_in * fan_out)
+                        .map(|_| rng.gen_range(-limit..limit))
+                        .collect(),
+                );
+                biases.push(vec![0.0; fan_out]);
+            }
+            Self {
+                sizes,
+                weights,
+                biases,
+                n_layers,
+            }
+        }
+
+        fn activate(&self, li: usize, x: f64) -> f64 {
+            if li + 1 == self.n_layers {
+                1.0 / (1.0 + (-x).exp())
+            } else {
+                x.max(0.0)
+            }
+        }
+
+        fn derivative(&self, li: usize, out: f64) -> f64 {
+            if li + 1 == self.n_layers {
+                out * (1.0 - out)
+            } else if out > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+
+        /// Per-sample minibatch SGD/Adam exactly as the old `Network::fit`
+        /// ran it: per-sample forward with `Vec<Vec<f64>>` caches, scalar
+        /// accumulation into per-layer gradient vectors.
+        pub fn fit(&mut self, x: &Matrix, y: &[f64], cfg: &TrainConfig) -> f64 {
+            let n = x.rows();
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let mut adam_m: Vec<Vec<f64>> =
+                self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+            let mut adam_v: Vec<Vec<f64>> =
+                self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+            let mut adam_bm: Vec<Vec<f64>> =
+                self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+            let mut adam_bv: Vec<Vec<f64>> =
+                self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+            let mut grad_w: Vec<Vec<f64>> =
+                self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+            let mut grad_b: Vec<Vec<f64>> =
+                self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+            let mut acts: Vec<Vec<f64>> = vec![Vec::new(); self.n_layers + 1];
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut step = 0.0f64;
+            let mut last_loss = 0.0;
+
+            for _ in 0..cfg.epochs {
+                for i in (1..order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                let mut epoch_loss = 0.0;
+                for batch in order.chunks(cfg.batch_size.max(1)) {
+                    for g in &mut grad_w {
+                        g.iter_mut().for_each(|v| *v = 0.0);
+                    }
+                    for g in &mut grad_b {
+                        g.iter_mut().for_each(|v| *v = 0.0);
+                    }
+                    let scale = 1.0 / batch.len() as f64;
+                    for &s in batch {
+                        acts[0].clear();
+                        acts[0].extend_from_slice(x.row(s));
+                        for li in 0..self.n_layers {
+                            let fan_in = self.sizes[li];
+                            let units = self.sizes[li + 1];
+                            let (head, tail) = acts.split_at_mut(li + 1);
+                            let input = &head[li];
+                            let out = &mut tail[0];
+                            out.clear();
+                            for u in 0..units {
+                                let w = &self.weights[li][u * fan_in..(u + 1) * fan_in];
+                                let mut acc = self.biases[li][u];
+                                for (wi, xi) in w.iter().zip(input) {
+                                    acc += wi * xi;
+                                }
+                                out.push(self.activate(li, acc));
+                            }
+                        }
+                        let e = acts[self.n_layers][0] - y[s];
+                        epoch_loss += e * e * scale;
+                        let mut grad_cur = vec![2.0 * e * scale];
+                        for li in (0..self.n_layers).rev() {
+                            let fan_in = self.sizes[li];
+                            let units = self.sizes[li + 1];
+                            let mut grad_next = vec![0.0; fan_in];
+                            for u in 0..units {
+                                let d = grad_cur[u] * self.derivative(li, acts[li + 1][u]);
+                                if d == 0.0 {
+                                    continue;
+                                }
+                                grad_b[li][u] += d;
+                                let w = &self.weights[li][u * fan_in..(u + 1) * fan_in];
+                                let gw = &mut grad_w[li][u * fan_in..(u + 1) * fan_in];
+                                for i in 0..fan_in {
+                                    gw[i] += d * acts[li][i];
+                                    grad_next[i] += d * w[i];
+                                }
+                            }
+                            grad_cur = grad_next;
+                        }
+                    }
+                    step += 1.0;
+                    for li in 0..self.n_layers {
+                        adam(
+                            &mut self.weights[li],
+                            &grad_w[li],
+                            &mut adam_m[li],
+                            &mut adam_v[li],
+                            cfg,
+                            step,
+                        );
+                        adam(
+                            &mut self.biases[li],
+                            &grad_b[li],
+                            &mut adam_bm[li],
+                            &mut adam_bv[li],
+                            cfg,
+                            step,
+                        );
+                    }
+                }
+                last_loss = epoch_loss;
+            }
+            last_loss
+        }
+    }
+
+    fn adam(
+        params: &mut [f64],
+        grads: &[f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        cfg: &TrainConfig,
+        t: f64,
+    ) {
+        let bc1 = 1.0 - cfg.beta1.powf(t);
+        let bc2 = 1.0 - cfg.beta2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g;
+            v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g * g;
+            params[i] -= cfg.learning_rate * (m[i] / bc1) / ((v[i] / bc2).sqrt() + cfg.epsilon);
+        }
+    }
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (x, y) = severity_sized_data();
+    let cfg = train_cfg();
+
+    // Determinism gate before timing: batched training must agree exactly
+    // across job counts.
+    let fit_at = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            let mut net = dnn();
+            net.fit_scalar(&x, &y, &cfg);
+            net.predict(&x)
+        })
+    };
+    assert_eq!(fit_at(1), fit_at(4), "batched fit diverged across jobs");
+
+    let mut group = c.benchmark_group("mlkit_fit");
+    group.sample_size(5);
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("batched/jobs_{jobs}"), |b| {
+            b.iter(|| {
+                minipar::with_jobs(jobs, || {
+                    let mut net = dnn();
+                    net.fit_scalar(black_box(&x), black_box(&y), &cfg)
+                })
+            })
+        });
+    }
+    group.bench_function("legacy_per_sample", |b| {
+        b.iter(|| {
+            let mut net = legacy::LegacyDense::new(FEATURES, &[16, 16, 32, 32, 1], 7);
+            net.fit(black_box(&x), black_box(&y), &cfg)
+        })
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_vec(
+        512,
+        256,
+        (0..512 * 256).map(|i| ((i % 89) as f64) / 89.0).collect(),
+    );
+    let b_mat = Matrix::from_vec(
+        256,
+        128,
+        (0..256 * 128).map(|i| ((i % 83) as f64) / 83.0).collect(),
+    );
+    let serial = minipar::with_jobs(1, || a.matmul(&b_mat));
+    let wide = minipar::with_jobs(4, || a.matmul(&b_mat));
+    assert_eq!(serial, wide, "matmul diverged across jobs");
+
+    let mut group = c.benchmark_group("mlkit_matmul_512x256x128");
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| minipar::with_jobs(jobs, || black_box(&a).matmul(black_box(&b_mat))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fit, bench_matmul
+);
+criterion_main!(benches);

@@ -167,24 +167,34 @@ pub fn backport_v3(db: &Database, options: &BackportOptions) -> BackportOutcome 
     let winner = &models[&chosen];
 
     // --- backport the v2-only population ----------------------------------
-    // The paper's ≈74K-CVE sweep: extract + predict per entry on the pool,
-    // then fold the ordered results into the report structures.
+    // The paper's ≈74K-CVE sweep: extract features per entry on the pool,
+    // assemble one flat design matrix, and predict the whole population
+    // through the winner's batched kernels.
     let v2_only: Vec<_> = db
         .iter()
         .filter(|e| e.cvss_v3.is_none() && e.cvss_v2.is_some())
         .collect();
-    let scored = minipar::par_map(&v2_only, |e| {
-        let f = extractor.extract(e).expect("has v2");
-        let score = winner.predict_row(&f);
-        (e.id, e.severity_v2().expect("has v2"), score)
-    });
     let mut predictions = BTreeMap::new();
-    let mut v2_bands = Vec::with_capacity(scored.len());
-    let mut pred_bands = Vec::with_capacity(scored.len());
-    for (id, v2_band, score) in scored {
-        predictions.insert(id, score);
-        v2_bands.push(v2_band);
-        pred_bands.push(Severity::from_v3_score(score));
+    let mut v2_bands = Vec::with_capacity(v2_only.len());
+    let mut pred_bands = Vec::with_capacity(v2_only.len());
+    if !v2_only.is_empty() {
+        let extracted = minipar::par_map(&v2_only, |e| {
+            (
+                extractor.extract(e).expect("has v2"),
+                e.severity_v2().expect("has v2"),
+            )
+        });
+        let mut rows = Vec::with_capacity(v2_only.len() * super::features::FEATURE_DIM);
+        for (f, band) in &extracted {
+            rows.extend_from_slice(f);
+            v2_bands.push(*band);
+        }
+        let x = Matrix::from_vec(v2_only.len(), super::features::FEATURE_DIM, rows);
+        let scores = winner.predict(&x);
+        for (e, &score) in v2_only.iter().zip(&scores) {
+            predictions.insert(e.id, score);
+            pred_bands.push(Severity::from_v3_score(score));
+        }
     }
     let backport_transition = transition_matrix(&v2_bands, &pred_bands);
 
@@ -200,24 +210,30 @@ pub fn backport_v3(db: &Database, options: &BackportOptions) -> BackportOutcome 
     let ground_truth_transition = transition_matrix(&gt_v2, &gt_v3);
 
     // --- Tables 13–15: sanity matrices on the ground truth ------------------
+    // Same shape as the main sweep: parallel extraction, batched predict.
     let predict_bands = |indices: &[usize]| -> (Vec<Severity>, Vec<Severity>, Vec<Severity>) {
-        let triples = minipar::par_map(indices, |&i| {
+        let extracted = minipar::par_map(indices, |&i| {
             let e = ground[i];
-            let f = extractor.extract(e).expect("has v2");
             (
+                extractor.extract(e).expect("has v2"),
                 e.severity_v2().expect("v2"),
                 e.severity_v3().expect("v3"),
-                Severity::from_v3_score(winner.predict_row(&f)),
             )
         });
+        let mut rows = Vec::with_capacity(indices.len() * super::features::FEATURE_DIM);
         let mut v2b = Vec::with_capacity(indices.len());
         let mut trueb = Vec::with_capacity(indices.len());
-        let mut predb = Vec::with_capacity(indices.len());
-        for (v2, tru, pred) in triples {
-            v2b.push(v2);
-            trueb.push(tru);
-            predb.push(pred);
+        for (f, v2, tru) in &extracted {
+            rows.extend_from_slice(f);
+            v2b.push(*v2);
+            trueb.push(*tru);
         }
+        let x = Matrix::from_vec(indices.len(), super::features::FEATURE_DIM, rows);
+        let predb = winner
+            .predict(&x)
+            .into_iter()
+            .map(Severity::from_v3_score)
+            .collect();
         (v2b, trueb, predb)
     };
     let all_idx: Vec<usize> = (0..ground.len()).collect();

@@ -180,20 +180,26 @@ impl SeverityModel {
         self.kind
     }
 
-    /// Predicts the v3 base score for one feature row, clamped to [0, 10].
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
-        let scaled = self.scaler.transform_row(row);
-        let raw = match &self.inner {
-            Inner::Lr(m) => m.predict_row(&scaled),
-            Inner::Svr(m) => m.predict_row(&scaled),
-            Inner::Nn(m) => m.predict_row(&scaled) * 10.0,
-        };
-        raw.clamp(0.0, 10.0)
-    }
-
-    /// Predicts every row of a feature matrix.
+    /// Predicts v3 base scores for every row of a feature matrix, clamped
+    /// to [0, 10]. The whole batch runs through the scaler and the model's
+    /// batched kernels in one pass — there is no per-sample entry point.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+        let xs = self.scaler.transform(x);
+        let mut raw = match &self.inner {
+            Inner::Lr(m) => m.predict(&xs),
+            Inner::Svr(m) => m.predict(&xs),
+            Inner::Nn(m) => {
+                let mut p = m.predict(&xs);
+                for v in &mut p {
+                    *v *= 10.0;
+                }
+                p
+            }
+        };
+        for v in &mut raw {
+            *v = v.clamp(0.0, 10.0);
+        }
+        raw
     }
 }
 

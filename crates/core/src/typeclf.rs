@@ -57,21 +57,51 @@ pub struct TypeClassifier {
 }
 
 impl TypeClassifier {
-    /// Predicts the CWE type of a description.
+    /// Predicts the CWE type of a description (a one-row batch through the
+    /// classifier's batched distance sweep).
     pub fn classify(&self, description: &str) -> CweId {
-        let v = self.embed(description);
-        self.classes[self.knn.predict_row(&v)]
+        self.classify_batch(&[description])[0]
+    }
+
+    /// Predicts the CWE type of every description at once: embeddings fan
+    /// out over the `minipar` pool and the k-NN sweep runs as one batched
+    /// Gram product.
+    pub fn classify_batch(&self, descriptions: &[&str]) -> Vec<CweId> {
+        if descriptions.is_empty() {
+            return Vec::new();
+        }
+        let x = embed_matrix(&self.encoder, descriptions.iter().copied());
+        self.knn
+            .predict(&x)
+            .into_iter()
+            .map(|c| self.classes[c])
+            .collect()
     }
 
     /// Number of distinct types the classifier can emit.
     pub fn class_count(&self) -> usize {
         self.classes.len()
     }
+}
 
-    fn embed(&self, text: &str) -> Vec<f64> {
-        let terms = preprocess(text);
-        self.encoder.encode_terms(&terms)
+/// Embeds every description into one flat `n × dim` matrix; per-text work
+/// shards over the `minipar` pool (pure per-item, so job-count invariant).
+///
+/// # Panics
+///
+/// Panics on an empty iterator (callers guard).
+fn embed_matrix<'a>(
+    encoder: &SentenceEncoder,
+    descriptions: impl Iterator<Item = &'a str>,
+) -> Matrix {
+    let texts: Vec<&str> = descriptions.collect();
+    let embedded = minipar::par_map(&texts, |text| encoder.encode_terms(&preprocess(text)));
+    let dim = embedded.first().map(Vec::len).expect("non-empty batch");
+    let mut rows = Vec::with_capacity(texts.len() * dim);
+    for e in &embedded {
+        rows.extend_from_slice(e);
     }
+    Matrix::from_vec(texts.len(), dim, rows)
 }
 
 /// Evaluation of the classifier on its held-out split.
@@ -125,25 +155,23 @@ pub fn train_type_classifier(
             .filter_map(|&i| typed[i].0.primary_description()),
     );
 
-    let embed = |entry: &CveEntry| -> Vec<f64> {
-        let text = entry.primary_description().unwrap_or_default();
-        encoder.encode_terms(&preprocess(text))
-    };
-
-    let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| embed(typed[i].0)).collect();
+    // Embeddings fan out over the pool and land in flat design matrices;
+    // the held-out evaluation is one batched k-NN sweep.
+    let text_of = |i: usize| typed[i].0.primary_description().unwrap_or_default();
+    let train_x = embed_matrix(&encoder, train_idx.iter().map(|&i| text_of(i)));
     let train_y: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
-    let knn = KnnClassifier::fit(Matrix::from_vectors(&train_x), train_y, options.k);
+    let knn = KnnClassifier::fit(train_x, train_y, options.k);
 
-    let mut correct = 0usize;
-    for &i in &test_idx {
-        let pred = knn.predict_row(&embed(typed[i].0));
-        if pred == labels[i] {
-            correct += 1;
-        }
-    }
     let accuracy = if test_idx.is_empty() {
         0.0
     } else {
+        let test_x = embed_matrix(&encoder, test_idx.iter().map(|&i| text_of(i)));
+        let pred = knn.predict(&test_x);
+        let correct = test_idx
+            .iter()
+            .zip(&pred)
+            .filter(|(&i, &p)| p == labels[i])
+            .count();
         correct as f64 / test_idx.len() as f64
     };
 

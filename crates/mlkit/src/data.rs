@@ -173,15 +173,6 @@ impl StandardScaler {
         out
     }
 
-    /// Applies the learned transform to a single row.
-    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
-        assert_eq!(row.len(), self.means.len(), "column count mismatch");
-        row.iter()
-            .enumerate()
-            .map(|(c, &v)| self.scale_value(c, v))
-            .collect()
-    }
-
     fn scale_value(&self, col: usize, v: f64) -> f64 {
         let s = self.stds[col];
         if s > 1e-12 {
@@ -269,12 +260,13 @@ mod tests {
     }
 
     #[test]
-    fn scaler_row_matches_matrix_transform() {
+    fn scaler_single_row_matrix_matches_full_transform() {
         let d = toy();
         let scaler = StandardScaler::fit(&d.x);
         let t = scaler.transform(&d.x);
         for r in 0..d.x.rows() {
-            assert_eq!(scaler.transform_row(d.x.row(r)), t.row(r));
+            let one = scaler.transform(&Matrix::from_rows(&[d.x.row(r)]));
+            assert_eq!(one.row(0), t.row(r));
         }
     }
 }

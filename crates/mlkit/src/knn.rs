@@ -1,10 +1,24 @@
-//! Brute-force k-nearest-neighbour classification.
+//! Brute-force k-nearest-neighbour classification on batched matrix
+//! kernels.
 //!
 //! §4.4 of the paper classifies 512-d description embeddings into CWE types
 //! and finds "k-NN (k = 1) provides the best results, predicting 151
 //! different types with 65.60% accuracy".
+//!
+//! The distance sweep is one Gram product per query chunk:
+//! `‖q − t‖² = ‖q‖² − 2·q·t + ‖t‖²`, with `q·t` computed by the blocked
+//! parallel [`Matrix::matmul_transposed`] kernel and the norms precomputed
+//! once. All three terms reduce their feature dimension in ascending order
+//! with the same [`dot`] kernel, so a query identical to a stored sample
+//! yields a distance of exactly `0.0` and results are bit-identical at any
+//! `NVD_JOBS` setting.
 
-use crate::matrix::{squared_distance, Matrix};
+use crate::matrix::{dot, Matrix};
+
+/// Query rows per Gram-product chunk: bounds the `chunk × train` distance
+/// buffer while keeping the matmul large enough to amortise. Chunking never
+/// changes values — every query row is independent.
+const QUERY_CHUNK: usize = 256;
 
 /// A k-NN classifier over dense feature rows with `usize` class labels.
 ///
@@ -15,11 +29,13 @@ use crate::matrix::{squared_distance, Matrix};
 pub struct KnnClassifier {
     k: usize,
     x: Matrix,
+    /// Precomputed `‖t‖²` per training row.
+    norms: Vec<f64>,
     labels: Vec<usize>,
 }
 
 impl KnnClassifier {
-    /// Stores the training set.
+    /// Stores the training set and precomputes its row norms.
     ///
     /// # Panics
     ///
@@ -28,7 +44,13 @@ impl KnnClassifier {
         assert!(k > 0, "k must be positive");
         assert!(x.rows() > 0, "empty training set");
         assert_eq!(x.rows(), labels.len(), "feature/label length mismatch");
-        Self { k, x, labels }
+        let norms = (0..x.rows()).map(|i| dot(x.row(i), x.row(i))).collect();
+        Self {
+            k,
+            x,
+            norms,
+            labels,
+        }
     }
 
     /// The `k` this classifier votes with.
@@ -46,40 +68,78 @@ impl KnnClassifier {
         self.labels.is_empty()
     }
 
-    /// Indices and squared distances of the k nearest training samples,
-    /// ordered by increasing distance (then index).
-    pub fn kneighbors(&self, row: &[f64]) -> Vec<(usize, f64)> {
-        let mut dists: Vec<(usize, f64)> = (0..self.x.rows())
-            .map(|i| (i, squared_distance(self.x.row(i), row)))
-            .collect();
-        let k = self.k.min(dists.len());
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-        dists.truncate(k);
-        dists
-    }
-
-    /// Predicts the class of a single sample.
-    pub fn predict_row(&self, row: &[f64]) -> usize {
-        let neigh = self.kneighbors(row);
-        // Majority vote; first (nearest) occurrence wins ties.
-        let mut votes: Vec<(usize, usize, usize)> = Vec::new(); // (label, count, first_rank)
-        for (rank, (idx, _)) in neigh.iter().enumerate() {
-            let label = self.labels[*idx];
-            match votes.iter_mut().find(|(l, _, _)| *l == label) {
-                Some((_, c, _)) => *c += 1,
-                None => votes.push((label, 1, rank)),
+    /// For every query row: indices and squared distances of the k nearest
+    /// training samples, ordered by increasing distance (then index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.cols()` differs from the training width.
+    pub fn kneighbors(&self, queries: &Matrix) -> Vec<Vec<(usize, f64)>> {
+        assert_eq!(
+            queries.cols(),
+            self.x.cols(),
+            "query width mismatch: {} vs trained {}",
+            queries.cols(),
+            self.x.cols()
+        );
+        let k = self.k.min(self.x.rows());
+        let mut out = Vec::with_capacity(queries.rows());
+        let mut start = 0;
+        while start < queries.rows() {
+            let len = QUERY_CHUNK.min(queries.rows() - start);
+            // One flat chunk × train Gram product on the blocked kernels.
+            let chunk = Matrix::from_vec(
+                len,
+                queries.cols(),
+                queries.as_slice()[start * queries.cols()..(start + len) * queries.cols()].to_vec(),
+            );
+            let mut gram = chunk.matmul_transposed(&self.x);
+            // In place: gram[r][i] ← ‖q_r‖² − 2·q_r·t_i + ‖t_i‖², clamped
+            // at zero against negative rounding residue.
+            let norms = &self.norms;
+            gram.par_rows_mut(|r, row| {
+                let qn = dot(chunk.row(r), chunk.row(r));
+                for (d, &tn) in row.iter_mut().zip(norms) {
+                    *d = (qn - 2.0 * *d + tn).max(0.0);
+                }
+            });
+            for r in 0..len {
+                let mut dists: Vec<(usize, f64)> = gram
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| (i, d))
+                    .collect();
+                dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                dists.truncate(k);
+                out.push(dists);
             }
+            start += len;
         }
-        votes
-            .into_iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(b.0.cmp(&a.0)))
-            .map(|(l, _, _)| l)
-            .expect("non-empty neighbours")
+        out
     }
 
-    /// Predicts every row of a matrix.
-    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    /// Predicts the class of every query row by majority vote.
+    pub fn predict(&self, queries: &Matrix) -> Vec<usize> {
+        self.kneighbors(queries)
+            .into_iter()
+            .map(|neigh| {
+                // Majority vote; first (nearest) occurrence wins ties.
+                let mut votes: Vec<(usize, usize, usize)> = Vec::new(); // (label, count, first_rank)
+                for (rank, (idx, _)) in neigh.iter().enumerate() {
+                    let label = self.labels[*idx];
+                    match votes.iter_mut().find(|(l, _, _)| *l == label) {
+                        Some((_, c, _)) => *c += 1,
+                        None => votes.push((label, 1, rank)),
+                    }
+                }
+                votes
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(b.0.cmp(&a.0)))
+                    .map(|(l, _, _)| l)
+                    .expect("non-empty neighbours")
+            })
+            .collect()
     }
 }
 
@@ -104,16 +164,16 @@ mod tests {
     fn one_nn_returns_nearest_label() {
         let (x, labels) = clusters();
         let knn = KnnClassifier::fit(x, labels, 1);
-        assert_eq!(knn.predict_row(&[0.05, 0.05]), 0);
-        assert_eq!(knn.predict_row(&[9.0, 9.0]), 1);
+        let q = Matrix::from_rows(&[&[0.05, 0.05], &[9.0, 9.0]]);
+        assert_eq!(knn.predict(&q), vec![0, 1]);
     }
 
     #[test]
     fn majority_vote_with_k3() {
         let (x, labels) = clusters();
         let knn = KnnClassifier::fit(x, labels, 3);
-        assert_eq!(knn.predict_row(&[1.0, 1.0]), 0);
-        assert_eq!(knn.predict_row(&[8.0, 8.0]), 1);
+        let q = Matrix::from_rows(&[&[1.0, 1.0], &[8.0, 8.0]]);
+        assert_eq!(knn.predict(&q), vec![0, 1]);
     }
 
     #[test]
@@ -121,22 +181,22 @@ mod tests {
         // k=2 with one vote each: nearest neighbour should win.
         let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
         let knn = KnnClassifier::fit(x, vec![7, 3], 2);
-        assert_eq!(knn.predict_row(&[0.1]), 7);
-        assert_eq!(knn.predict_row(&[0.9]), 3);
+        let q = Matrix::from_rows(&[&[0.1], &[0.9]]);
+        assert_eq!(knn.predict(&q), vec![7, 3]);
     }
 
     #[test]
     fn k_larger_than_dataset_is_clamped() {
         let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
         let knn = KnnClassifier::fit(x, vec![0, 1], 10);
-        assert_eq!(knn.kneighbors(&[0.4]).len(), 2);
+        assert_eq!(knn.kneighbors(&Matrix::from_rows(&[&[0.4]]))[0].len(), 2);
     }
 
     #[test]
     fn kneighbors_sorted_by_distance() {
         let (x, labels) = clusters();
         let knn = KnnClassifier::fit(x, labels, 6);
-        let n = knn.kneighbors(&[0.0, 0.0]);
+        let n = &knn.kneighbors(&Matrix::from_rows(&[&[0.0, 0.0]]))[0];
         for w in n.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
@@ -144,11 +204,24 @@ mod tests {
 
     #[test]
     fn exact_training_point_is_own_neighbour() {
+        // The ‖q‖² − 2·q·t + ‖t‖² identity must still yield an *exact* zero
+        // for q == t: all three reductions share the same kernel and order,
+        // so the cancellation is exact in floating point.
         let (x, labels) = clusters();
-        let probe = x.row(3).to_vec();
+        let probe = Matrix::from_rows(&[x.row(3)]);
         let knn = KnnClassifier::fit(x, labels, 1);
-        let n = knn.kneighbors(&probe);
+        let n = &knn.kneighbors(&probe)[0];
         assert_eq!(n[0].0, 3);
         assert_eq!(n[0].1, 0.0);
+    }
+
+    #[test]
+    fn sweep_is_job_count_invariant() {
+        let (x, labels) = clusters();
+        let knn = KnnClassifier::fit(x, labels, 3);
+        let q = Matrix::from_rows(&[&[0.3, 0.2], &[5.0, 5.0], &[9.7, 10.3]]);
+        let serial = minipar::with_jobs(1, || knn.kneighbors(&q));
+        let wide = minipar::with_jobs(4, || knn.kneighbors(&q));
+        assert_eq!(serial, wide, "distance sweep diverged across job counts");
     }
 }

@@ -10,7 +10,10 @@
 //! (Fig. 5). §4.4 classifies description embeddings with k-NN. None of that
 //! tooling exists offline, so this crate provides it from scratch:
 //!
-//! * [`matrix`] — dense row-major matrices and vector helpers;
+//! * [`matrix`] — dense row-major matrices plus the blocked,
+//!   `minipar`-sharded batched kernels (`matmul`, `matmul_transposed`,
+//!   `transpose_matmul`, broadcasts) every model trains on — bit-identical
+//!   output at any `NVD_JOBS` setting;
 //! * [`linalg`] — Cholesky solves and Jacobi symmetric eigendecomposition;
 //! * [`data`] — datasets, stratified train/test splits, standard scaling;
 //! * [`metrics`] — AE, AER, accuracy, confusion matrices (paper Tables 5, 7);
@@ -22,7 +25,9 @@
 //!   Adam, MSE) matching the paper's two architectures;
 //! * [`pca`] — principal component analysis (paper Fig. 5).
 //!
-//! Everything is deterministic under a caller-supplied seed.
+//! Everything is deterministic under a caller-supplied seed, and every
+//! model exposes **batched** entry points only — training and prediction
+//! take whole matrices, never one sample at a time.
 //!
 //! ## Example
 //!
@@ -34,7 +39,10 @@
 //! let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
 //! let y = [1.0, 3.0, 5.0, 7.0];
 //! let model = RidgeRegression::fit(&x, &y, 1e-9)?;
-//! assert!((model.predict_row(&[4.0]) - 9.0).abs() < 1e-6);
+//! let probes = Matrix::from_rows(&[&[4.0], &[10.0]]);
+//! let pred = model.predict(&probes);
+//! assert!((pred[0] - 9.0).abs() < 1e-6);
+//! assert!((pred[1] - 21.0).abs() < 1e-6);
 //! # Ok::<(), mlkit::linalg::LinalgError>(())
 //! ```
 

@@ -36,29 +36,21 @@ impl RidgeRegression {
         let x_means = x.column_means();
         let y_mean: f64 = y.iter().sum::<f64>() / n as f64;
 
-        // Gram matrix of the centred design, plus ridge.
-        let mut gram = Matrix::zeros(d, d);
-        let mut xty = vec![0.0; d];
-        for r in 0..n {
-            let row = x.row(r);
-            let yc = y[r] - y_mean;
-            for i in 0..d {
-                let xi = row[i] - x_means[i];
-                xty[i] += xi * yc;
-                for j in i..d {
-                    let xj = row[j] - x_means[j];
-                    gram[(i, j)] += xi * xj;
-                }
-            }
-        }
+        // Centre the design once, then both normal-equation products are
+        // single calls into the blocked parallel kernels: the Gram matrix
+        // is XcᵀXc and the moment vector Xcᵀyc (both reduce the sample
+        // dimension in ascending order, so the solve sees the same floats
+        // at every job count).
+        let mut xc = x.clone();
+        xc.sub_broadcast(&x_means);
+        let yc = Matrix::from_vec(n, 1, y.iter().map(|&v| v - y_mean).collect());
+        let mut gram = xc.transpose_matmul(&xc);
+        let xty = xc.transpose_matmul(&yc);
         for i in 0..d {
-            for j in 0..i {
-                gram[(i, j)] = gram[(j, i)];
-            }
             gram[(i, i)] += lambda;
         }
 
-        let weights = solve_spd(&gram, &xty)?;
+        let weights = solve_spd(&gram, xty.as_slice())?;
         let intercept = y_mean - dot(&weights, &x_means);
         Ok(Self { weights, intercept })
     }
@@ -73,19 +65,18 @@ impl RidgeRegression {
         self.intercept
     }
 
-    /// Predicts a single sample.
+    /// Predicts every row of a matrix (`X·w + b`).
     ///
     /// # Panics
     ///
     /// Panics if the feature count differs from the fitted data.
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
-        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
-        dot(&self.weights, row) + self.intercept
-    }
-
-    /// Predicts every row of a matrix.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+        assert_eq!(x.cols(), self.weights.len(), "feature count mismatch");
+        let mut out = x.matvec(&self.weights);
+        for v in &mut out {
+            *v += self.intercept;
+        }
+        out
     }
 }
 
@@ -100,7 +91,7 @@ mod tests {
         let m = RidgeRegression::fit(&x, &y, 1e-10).unwrap();
         assert!((m.weights()[0] - 2.0).abs() < 1e-6);
         assert!((m.intercept() - 1.0).abs() < 1e-6);
-        assert!((m.predict_row(&[10.0]) - 21.0).abs() < 1e-5);
+        assert!((m.predict(&Matrix::from_rows(&[&[10.0]]))[0] - 21.0).abs() < 1e-5);
     }
 
     #[test]
@@ -125,7 +116,7 @@ mod tests {
         let y = [2.0, 4.0, 6.0, 8.0];
         let m = RidgeRegression::fit(&x, &y, 1e-6).unwrap();
         assert!((m.weights()[0] - m.weights()[1]).abs() < 1e-4);
-        assert!((m.predict_row(&[5.0, 5.0]) - 10.0).abs() < 1e-3);
+        assert!((m.predict(&Matrix::from_rows(&[&[5.0, 5.0]]))[0] - 10.0).abs() < 1e-3);
     }
 
     #[test]

@@ -1,9 +1,33 @@
-//! Dense row-major matrices and the small set of operations the model zoo
-//! needs. No BLAS, no unsafe — sizes here are thousands × dozens, where a
-//! straightforward triple loop is plenty.
+//! Dense row-major matrices and the matrix kernels the model zoo trains on.
+//!
+//! The three product kernels ([`Matrix::matmul`], [`Matrix::matmul_transposed`],
+//! [`Matrix::transpose_matmul`]) and the broadcast helpers are the batched
+//! substrate every training loop in this crate runs on. They are blocked for
+//! cache reuse and sharded over the `minipar` pool, with a determinism
+//! contract the whole pipeline relies on:
+//!
+//! * **Row-band sharding.** Output rows are split into contiguous bands and
+//!   each band is computed by exactly one task. No output element is ever
+//!   touched by two tasks, so there is nothing to merge and no merge order
+//!   to get wrong.
+//! * **Fixed accumulation order.** Every output element accumulates its
+//!   reduction dimension in ascending index order, regardless of banding or
+//!   thread count. Results are therefore bit-identical at every `NVD_JOBS`
+//!   setting, including the inline `jobs = 1` path.
+//! * **Register blocking.** Within a band, [`Matrix::matmul`] processes
+//!   [`ROW_BLOCK`] output rows per pass over the right-hand operand, so each
+//!   B row loaded into L1 is reused `ROW_BLOCK` times. The j dimension
+//!   streams whole rows — every matrix in this workload fits L2, so tiling
+//!   j would only add loop overhead.
+//!
+//! No BLAS, no unsafe.
 
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+
+/// Output rows computed per pass over the right-hand operand in
+/// [`Matrix::matmul`] — the register-blocking factor.
+pub const ROW_BLOCK: usize = 4;
 
 /// A dense, row-major `rows × cols` matrix of `f64`.
 ///
@@ -138,6 +162,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the underlying row-major data (e.g. for optimizer
+    /// updates over a weight matrix).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
@@ -149,32 +179,268 @@ impl Matrix {
         t
     }
 
+    /// Runs `f(row_index, row)` over every row, sharding contiguous row
+    /// bands across the `minipar` pool.
+    ///
+    /// Each row is visited by exactly one task, so as long as `f` is a pure
+    /// per-row function the result is bit-identical at every job count.
+    /// Band boundaries only affect scheduling, never values. Assumes
+    /// roughly `cols` work per row; kernels with heavier rows use
+    /// [`Matrix::par_rows_mut_cost`].
+    pub fn par_rows_mut(&mut self, f: impl Fn(usize, &mut [f64]) + Sync) {
+        let cols = self.cols;
+        self.par_rows_mut_cost(cols, f);
+    }
+
+    /// [`Matrix::par_rows_mut`] with an explicit per-row work estimate (in
+    /// flop-ish units). Small workloads run inline: below
+    /// [`MIN_TASK_WORK`] per would-be band, forking costs more than it
+    /// saves — the threshold only changes scheduling, never values.
+    pub fn par_rows_mut_cost(&mut self, work_per_row: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+        let cols = self.cols;
+        let rows = self.rows;
+        let bands = band_count(rows, work_per_row);
+        if bands <= 1 {
+            for (r, row) in self.data.chunks_mut(cols).enumerate() {
+                f(r, row);
+            }
+            return;
+        }
+        let band_rows = rows.div_ceil(bands);
+        minipar::scope(|s| {
+            for (bi, band) in self.data.chunks_mut(band_rows * cols).enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    for (i, row) in band.chunks_mut(cols).enumerate() {
+                        f(bi * band_rows + i, row);
+                    }
+                });
+            }
+        });
+    }
+
     /// Matrix product `self · other`.
+    ///
+    /// Blocked and parallel: row bands shard over `minipar`, and within a
+    /// band [`ROW_BLOCK`] output rows share each pass over `other`'s rows.
+    /// Every output element accumulates `k` in ascending order, so the
+    /// result is bit-identical at any job count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned output (overwritten), so hot
+    /// loops can reuse a preallocated workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()` or `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == 0.0 {
-                    continue;
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        let n = other.cols;
+        let k_dim = self.cols;
+        // One pool task per large band; register blocking inside the band.
+        let bands = band_count(self.rows, k_dim.saturating_mul(n));
+        let band_rows = self.rows.div_ceil(bands).div_ceil(ROW_BLOCK) * ROW_BLOCK;
+        out.par_rows_band_mut(band_rows, |r0, band| {
+            for (qi, quad) in band.chunks_mut(ROW_BLOCK * n).enumerate() {
+                let q0 = r0 + qi * ROW_BLOCK;
+                let mut out_rows: Vec<&mut [f64]> = quad.chunks_mut(n).collect();
+                for row in out_rows.iter_mut() {
+                    row.fill(0.0);
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(r);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
+                for k in 0..k_dim {
+                    let b_row = other.row(k);
+                    for (i, out_row) in out_rows.iter_mut().enumerate() {
+                        let a = self.data[(q0 + i) * k_dim + k];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Product with a transposed right-hand side: `self · otherᵀ`, where
+    /// `other` is `n × k` row-major and `self` is `m × k`.
+    ///
+    /// This is the natural layout for dense-layer forward passes
+    /// (`X · Wᵀ` with `W` stored `units × fan_in`) and for Gram/distance
+    /// sweeps: both operands stream row-major, so every dot product is a
+    /// pair of contiguous loads. Row bands shard over `minipar`; each
+    /// element reduces `k` ascending — bit-identical at any job count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transposed_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_transposed`] into a caller-owned output
+    /// (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()` or `out` is not
+    /// `self.rows() × other.rows()`.
+    pub fn matmul_transposed_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed shape mismatch {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.rows),
+            "matmul_transposed output shape mismatch"
+        );
+        out.par_rows_mut_cost(self.cols.saturating_mul(other.rows), |r, out_row| {
+            let a_row = self.row(r);
+            for (c, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, other.row(c));
+            }
+        });
+    }
+
+    /// Product with a transposed left-hand side: `selfᵀ · other`, where
+    /// `self` is `s × m` and `other` is `s × n` (both row-major), giving
+    /// `m × n`.
+    ///
+    /// This is the gradient-accumulation kernel (`∂L/∂W = Dᵀ · X` with both
+    /// `D` and `X` batch-major). Each output row is owned by one task and
+    /// reduces the batch dimension `s` in ascending order — bit-identical
+    /// at any job count, and identical to a per-sample accumulation loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.transpose_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::transpose_matmul`] into a caller-owned output
+    /// (overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()` or `out` is not
+    /// `self.cols() × other.cols()`.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, other.cols),
+            "transpose_matmul output shape mismatch"
+        );
+        let s_dim = self.rows;
+        let m = self.cols;
+        out.par_rows_mut_cost(s_dim.saturating_mul(other.cols), |i, out_row| {
+            out_row.fill(0.0);
+            for s in 0..s_dim {
+                let a = self.data[s * m + i];
+                for (o, &b) in out_row.iter_mut().zip(other.row(s)) {
                     *o += a * b;
                 }
             }
+        });
+    }
+
+    /// Adds `row` to every row of the matrix in place (bias broadcast),
+    /// sharded over `minipar`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn add_broadcast(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "add_broadcast shape mismatch: {} columns vs row of {}",
+            self.cols,
+            row.len()
+        );
+        self.par_rows_mut(|_, out_row| {
+            for (o, &b) in out_row.iter_mut().zip(row) {
+                *o += b;
+            }
+        });
+    }
+
+    /// Subtracts `row` from every row of the matrix in place (e.g. mean
+    /// centring), sharded over `minipar`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn sub_broadcast(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "sub_broadcast shape mismatch: {} columns vs row of {}",
+            self.cols,
+            row.len()
+        );
+        self.par_rows_mut(|_, out_row| {
+            for (o, &b) in out_row.iter_mut().zip(row) {
+                *o -= b;
+            }
+        });
+    }
+
+    /// Column sums, e.g. bias gradients over a batch. Each column reduces
+    /// the rows in ascending order.
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &x) in sums.iter_mut().zip(self.row(r)) {
+                *s += x;
+            }
         }
-        out
+        sums
+    }
+
+    /// Like [`Matrix::par_rows_mut_cost`] but hands each task a whole band
+    /// (`f(first_row_index, band_slice)`) of `band_rows` rows, where
+    /// `band_rows` was sized by the caller from [`band_count`].
+    fn par_rows_band_mut(&mut self, band_rows: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+        let cols = self.cols;
+        let rows = self.rows;
+        if minipar::jobs() <= 1 || rows <= band_rows {
+            f(0, &mut self.data);
+            return;
+        }
+        minipar::scope(|s| {
+            for (bi, band) in self.data.chunks_mut(band_rows * cols).enumerate() {
+                let f = &f;
+                s.spawn(move || f(bi * band_rows, band));
+            }
+        });
     }
 
     /// Matrix–vector product `self · v`.
@@ -187,6 +453,16 @@ impl Matrix {
         (0..self.rows)
             .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
             .collect()
+    }
+
+    /// Applies `f` to every element in place, sharding row bands over
+    /// `minipar` (element-wise, so trivially job-count invariant).
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        self.par_rows_mut(|_, row| {
+            for v in row.iter_mut() {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -320,6 +596,26 @@ impl Mul for &Matrix {
     }
 }
 
+/// Minimum estimated work (flop-ish units) a parallel band must carry
+/// before forking it onto the pool beats running it inline. Tiny kernels —
+/// a 32-row minibatch through a 16-unit layer — stay inline at any job
+/// count; the backport-scale sweeps fork. Purely a scheduling decision:
+/// values never depend on it.
+pub const MIN_TASK_WORK: usize = 1 << 16;
+
+/// How many parallel bands to cut `rows` into for a kernel doing
+/// `work_per_row` work per row: at most ~4 bands per worker for load
+/// balancing, each band carrying at least [`MIN_TASK_WORK`], and 1 (run
+/// inline) when the whole job is small or only one job is allowed.
+fn band_count(rows: usize, work_per_row: usize) -> usize {
+    let jobs = minipar::jobs();
+    if jobs <= 1 {
+        return 1;
+    }
+    let total = rows.saturating_mul(work_per_row.max(1));
+    (total / MIN_TASK_WORK).min(jobs * 4).min(rows).max(1)
+}
+
 /// Dot product of two equal-length slices.
 ///
 /// # Panics
@@ -418,5 +714,175 @@ mod tests {
     fn dot_and_distance() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dependency needed).
+    fn probe(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let mut z = (i as u64)
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z ^= z >> 29;
+                ((z % 2000) as f64 - 1000.0) / 500.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Reference triple loop, no blocking, no parallelism.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(r, k)] * b[(k, c)];
+                }
+                out[(r, c)] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_oracle_non_square() {
+        // Deliberately awkward shapes: not multiples of ROW_BLOCK, not
+        // square, odd reduction length.
+        let a = probe(37, 23, 1);
+        let b = probe(23, 41, 2);
+        let blocked = a.matmul(&b);
+        let oracle = naive_matmul(&a, &b);
+        assert_eq!(blocked.rows(), 37);
+        assert_eq!(blocked.cols(), 41);
+        for r in 0..37 {
+            for c in 0..41 {
+                assert!(
+                    (blocked[(r, c)] - oracle[(r, c)]).abs() < 1e-9,
+                    "({r},{c}): {} vs {}",
+                    blocked[(r, c)],
+                    oracle[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_kernels_match_explicit_transpose() {
+        let a = probe(17, 9, 3);
+        let b = probe(29, 9, 4);
+        assert_eq!(a.matmul_transposed(&b), a.matmul(&b.transpose()));
+        let c = probe(17, 11, 5);
+        let tm = a.transpose_matmul(&c);
+        let explicit = a.transpose().matmul(&c);
+        for r in 0..tm.rows() {
+            for j in 0..tm.cols() {
+                assert!((tm[(r, j)] - explicit[(r, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_one_by_n_and_n_by_one() {
+        // 1×N · N×1 → 1×1 dot product.
+        let row = probe(1, 23, 6);
+        let col = probe(23, 1, 7);
+        let d = row.matmul(&col);
+        assert_eq!((d.rows(), d.cols()), (1, 1));
+        let expect: f64 = (0..23).map(|k| row[(0, k)] * col[(k, 0)]).sum();
+        assert!((d[(0, 0)] - expect).abs() < 1e-12);
+        // N×1 · 1×N → rank-1 outer product.
+        let outer = col.matmul(&row);
+        assert_eq!((outer.rows(), outer.cols()), (23, 23));
+        assert!((outer[(4, 9)] - col[(4, 0)] * row[(0, 9)]).abs() < 1e-12);
+        // Transposed kernels on single-row operands.
+        assert_eq!(
+            row.matmul_transposed(&row)[(0, 0)],
+            dot(row.row(0), row.row(0))
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_products_are_bit_identical() {
+        let a = probe(53, 31, 8);
+        let b = probe(31, 37, 9);
+        let bt = b.transpose();
+        let serial = minipar::with_jobs(1, || {
+            (
+                a.matmul(&b),
+                a.matmul_transposed(&bt),
+                a.transpose_matmul(&a),
+            )
+        });
+        let wide = minipar::with_jobs(4, || {
+            (
+                a.matmul(&b),
+                a.matmul_transposed(&bt),
+                a.transpose_matmul(&a),
+            )
+        });
+        // PartialEq on Matrix compares every f64 exactly: bit-identity.
+        assert_eq!(serial.0, wide.0, "matmul diverged across job counts");
+        assert_eq!(serial.1, wide.1, "matmul_transposed diverged");
+        assert_eq!(serial.2, wide.2, "transpose_matmul diverged");
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.add_broadcast(&[10.0, 20.0]);
+        assert_eq!(m, Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(m.column_sums(), vec![24.0, 46.0]);
+        let serial = minipar::with_jobs(1, || {
+            let mut x = probe(19, 7, 10);
+            x.add_broadcast(&[0.5; 7]);
+            x
+        });
+        let wide = minipar::with_jobs(4, || {
+            let mut x = probe(19, 7, 10);
+            x.add_broadcast(&[0.5; 7]);
+            x
+        });
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch 2x3 · 2x2")]
+    fn matmul_dimension_mismatch_names_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transposed shape mismatch 2x3 · (4x2)ᵀ")]
+    fn matmul_transposed_dimension_mismatch_names_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul_transposed(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose_matmul shape mismatch (2x3)ᵀ · 4x2")]
+    fn transpose_matmul_dimension_mismatch_names_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.transpose_matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_broadcast shape mismatch")]
+    fn add_broadcast_dimension_mismatch_panics() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_broadcast(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output shape mismatch")]
+    fn matmul_into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
     }
 }

@@ -1,4 +1,5 @@
-//! Sequential neural networks: Dense / Conv1D layers, Adam, MSE.
+//! Sequential neural networks: Dense / Conv1D layers, Adam, MSE — in
+//! **batched matrix form**.
 //!
 //! §4.3 of the paper trains two deep models to backport CVSS v3 scores:
 //!
@@ -12,8 +13,16 @@
 //! Both are "trained … over 100 epochs using mean squared error loss … and
 //! Adam optimizer with a learning rate of 0.001". The feature vector is
 //! one-dimensional, so the 3×3 convolution degenerates to a kernel-3 Conv1D.
-//! This module implements exactly those ingredients with per-sample
-//! backpropagation, deterministic under a seed.
+//!
+//! Training works on whole minibatches at once: a dense layer's forward pass
+//! is one `X · Wᵀ` [`Matrix::matmul_transposed`] plus a bias broadcast, its
+//! backward pass one `Dᵀ · X` [`Matrix::transpose_matmul`] for the weight
+//! gradient and one `D · W` [`Matrix::matmul`] for the input gradient — all
+//! running on the blocked, `minipar`-sharded kernels of [`crate::matrix`].
+//! Activations and deltas live in preallocated [`Matrix`] workspaces that
+//! are reused across every batch of an epoch. Weight-gradient reductions
+//! accumulate the batch dimension in ascending sample order, so training is
+//! deterministic under a seed and bit-identical at any `NVD_JOBS` setting.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,13 +72,18 @@ enum LayerKind {
 }
 
 /// One layer: parameters plus fixed input/output shapes `(channels, len)`.
+///
+/// Weights are a [`Matrix`]: `units × fan_in` for dense layers (so the
+/// batched forward pass is a single `matmul_transposed`), and
+/// `filters × (c_in · kernel)` for convolutions (row `f` holds filter `f`'s
+/// taps for every input channel).
 #[derive(Debug, Clone, PartialEq)]
 struct Layer {
     kind: LayerKind,
     activation: Activation,
     in_shape: (usize, usize),
     out_shape: (usize, usize),
-    weights: Vec<f64>,
+    weights: Matrix,
     biases: Vec<f64>,
 }
 
@@ -81,7 +95,7 @@ impl Layer {
             activation,
             in_shape,
             out_shape: (1, units),
-            weights: vec![0.0; units * fan_in],
+            weights: Matrix::zeros(units, fan_in),
             biases: vec![0.0; units],
         }
     }
@@ -102,7 +116,7 @@ impl Layer {
             activation,
             in_shape,
             out_shape: (filters, l - kernel + 1),
-            weights: vec![0.0; filters * c * kernel],
+            weights: Matrix::zeros(filters, c * kernel),
             biases: vec![0.0; filters],
         }
     }
@@ -113,7 +127,7 @@ impl Layer {
             LayerKind::Conv1d { filters, kernel } => (self.in_shape.0 * kernel, filters * kernel),
         };
         let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
-        for w in &mut self.weights {
+        for w in self.weights.as_mut_slice() {
             *w = rng.gen_range(-limit..limit);
         }
         // Biases start at zero.
@@ -123,93 +137,109 @@ impl Layer {
         self.out_shape.0 * self.out_shape.1
     }
 
-    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
-        output.clear();
+    /// Forward pass over a whole minibatch: `input` is `batch × in_size`,
+    /// `output` (overwritten) is `batch × out_size`.
+    fn forward_batch(&self, input: &Matrix, output: &mut Matrix) {
         match self.kind {
-            LayerKind::Dense { units } => {
-                let fan_in = self.in_shape.0 * self.in_shape.1;
-                debug_assert_eq!(input.len(), fan_in);
-                for u in 0..units {
-                    let w = &self.weights[u * fan_in..(u + 1) * fan_in];
-                    let mut acc = self.biases[u];
-                    for (wi, xi) in w.iter().zip(input) {
-                        acc += wi * xi;
-                    }
-                    output.push(self.activation.apply(acc));
-                }
+            LayerKind::Dense { .. } => {
+                input.matmul_transposed_into(&self.weights, output);
+                output.add_broadcast(&self.biases);
+                let act = self.activation;
+                output.map_in_place(|x| act.apply(x));
             }
-            LayerKind::Conv1d { filters, kernel } => {
-                let (c_in, l_in) = self.in_shape;
-                let l_out = self.out_shape.1;
-                debug_assert_eq!(input.len(), c_in * l_in);
-                for f in 0..filters {
-                    for p in 0..l_out {
-                        let mut acc = self.biases[f];
-                        for c in 0..c_in {
-                            let w = &self.weights[(f * c_in + c) * kernel..][..kernel];
-                            let x = &input[c * l_in + p..][..kernel];
-                            for (wi, xi) in w.iter().zip(x) {
-                                acc += wi * xi;
-                            }
-                        }
-                        output.push(self.activation.apply(acc));
-                    }
-                }
+            LayerKind::Conv1d { .. } => {
+                // Rows are independent samples; the row-band sharding makes
+                // this the conv analogue of the dense matmul path.
+                output.par_rows_mut(|s, out_row| {
+                    self.conv_forward_row(input.row(s), out_row);
+                });
             }
         }
     }
 
-    /// Backpropagates `grad_out` (∂L/∂activated-output) through the layer.
-    ///
-    /// Accumulates parameter gradients into `grad_w`/`grad_b` and writes
-    /// ∂L/∂input into `grad_in`.
-    #[allow(clippy::too_many_arguments)]
-    fn backward(
-        &self,
-        input: &[f64],
-        output: &[f64],
-        grad_out: &[f64],
-        grad_w: &mut [f64],
-        grad_b: &mut [f64],
-        grad_in: &mut Vec<f64>,
-    ) {
-        grad_in.clear();
-        grad_in.resize(input.len(), 0.0);
-        match self.kind {
-            LayerKind::Dense { units } => {
-                let fan_in = input.len();
-                for u in 0..units {
-                    let d = grad_out[u] * self.activation.derivative_from_output(output[u]);
-                    if d == 0.0 {
-                        continue;
-                    }
-                    grad_b[u] += d;
-                    let w = &self.weights[u * fan_in..(u + 1) * fan_in];
-                    let gw = &mut grad_w[u * fan_in..(u + 1) * fan_in];
-                    for i in 0..fan_in {
-                        gw[i] += d * input[i];
-                        grad_in[i] += d * w[i];
+    /// One sample's convolution forward pass on raw slices.
+    fn conv_forward_row(&self, input: &[f64], output: &mut [f64]) {
+        let LayerKind::Conv1d { filters, kernel } = self.kind else {
+            unreachable!("conv kernel on a dense layer");
+        };
+        let (c_in, l_in) = self.in_shape;
+        let l_out = self.out_shape.1;
+        debug_assert_eq!(input.len(), c_in * l_in);
+        for f in 0..filters {
+            let w_row = self.weights.row(f);
+            for p in 0..l_out {
+                let mut acc = self.biases[f];
+                for c in 0..c_in {
+                    let w = &w_row[c * kernel..(c + 1) * kernel];
+                    let x = &input[c * l_in + p..][..kernel];
+                    for (wi, xi) in w.iter().zip(x) {
+                        acc += wi * xi;
                     }
                 }
+                output[f * l_out + p] = self.activation.apply(acc);
+            }
+        }
+    }
+
+    /// Backpropagates a whole minibatch.
+    ///
+    /// On entry `delta` holds ∂L/∂(activated output); this routine folds the
+    /// activation derivative in place, then overwrites `grad_w`/`grad_b`
+    /// with the batch-summed parameter gradients and `grad_in` with
+    /// ∂L/∂input. The weight-gradient reduction runs over samples in
+    /// ascending order (one `transpose_matmul` for dense layers), keeping
+    /// the float stream independent of the job count.
+    fn backward_batch(
+        &self,
+        input: &Matrix,
+        output: &Matrix,
+        delta: &mut Matrix,
+        grad_in: &mut Matrix,
+        grad_w: &mut Matrix,
+        grad_b: &mut [f64],
+    ) {
+        // δ ← δ ⊙ act'(out), elementwise per row.
+        let act = self.activation;
+        delta.par_rows_mut(|s, d_row| {
+            for (d, &o) in d_row.iter_mut().zip(output.row(s)) {
+                *d *= act.derivative_from_output(o);
+            }
+        });
+        match self.kind {
+            LayerKind::Dense { .. } => {
+                grad_b.copy_from_slice(&delta.column_sums());
+                delta.transpose_matmul_into(input, grad_w);
+                delta.matmul_into(&self.weights, grad_in);
             }
             LayerKind::Conv1d { filters, kernel } => {
                 let (c_in, l_in) = self.in_shape;
                 let l_out = self.out_shape.1;
-                for f in 0..filters {
-                    for p in 0..l_out {
-                        let o_idx = f * l_out + p;
-                        let d =
-                            grad_out[o_idx] * self.activation.derivative_from_output(output[o_idx]);
-                        if d == 0.0 {
-                            continue;
-                        }
-                        grad_b[f] += d;
-                        for c in 0..c_in {
-                            let base_w = (f * c_in + c) * kernel;
-                            let base_x = c * l_in + p;
-                            for j in 0..kernel {
-                                grad_w[base_w + j] += d * input[base_x + j];
-                                grad_in[base_x + j] += d * self.weights[base_w + j];
+                grad_w.as_mut_slice().fill(0.0);
+                grad_b.fill(0.0);
+                // Parameter gradients accumulate serially in ascending
+                // sample order (the conv layers are tiny next to the dense
+                // ones); input gradients are per-row.
+                for s in 0..delta.rows() {
+                    let d_row = delta.row(s);
+                    let x_row = input.row(s);
+                    let gi_row = grad_in.row_mut(s);
+                    gi_row.fill(0.0);
+                    for f in 0..filters {
+                        let w_row = self.weights.row(f);
+                        let gw_row = grad_w.row_mut(f);
+                        for p in 0..l_out {
+                            let d = d_row[f * l_out + p];
+                            if d == 0.0 {
+                                continue;
+                            }
+                            grad_b[f] += d;
+                            for c in 0..c_in {
+                                let base_w = c * kernel;
+                                let base_x = c * l_in + p;
+                                for j in 0..kernel {
+                                    gw_row[base_w + j] += d * x_row[base_x + j];
+                                    gi_row[base_x + j] += d * w_row[base_w + j];
+                                }
                             }
                         }
                     }
@@ -343,12 +373,40 @@ impl AdamState {
     }
 }
 
+/// Preallocated per-batch matrices: `acts[0]` is the gathered input batch,
+/// `acts[i + 1]` the activations of layer `i`; `deltas` mirrors `acts`
+/// (`deltas[i + 1]` holds ∂L/∂(activated output of layer `i`), `deltas[0]`
+/// receives the unused input gradient). One workspace exists per distinct
+/// batch length — at most two per fit (full batches plus the tail).
+#[derive(Debug)]
+struct Workspace {
+    acts: Vec<Matrix>,
+    deltas: Vec<Matrix>,
+}
+
+impl Workspace {
+    fn new(layers: &[Layer], input_len: usize, batch: usize) -> Self {
+        let mut sizes = vec![input_len];
+        sizes.extend(layers.iter().map(Layer::out_size));
+        Self {
+            acts: sizes.iter().map(|&s| Matrix::zeros(batch, s)).collect(),
+            deltas: sizes.iter().map(|&s| Matrix::zeros(batch, s)).collect(),
+        }
+    }
+}
+
 /// A feed-forward network of [`NetworkBuilder`]-assembled layers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     input: (usize, usize),
     layers: Vec<Layer>,
 }
+
+/// Rows per inference chunk in [`Network::forward`] — bounds workspace
+/// memory when predicting over very large populations (the ≈74K-CVE
+/// backport sweep) while keeping each chunk large enough for the matrix
+/// kernels to amortise.
+const PREDICT_CHUNK: usize = 512;
 
 impl Network {
     /// Expected input feature count.
@@ -365,34 +423,62 @@ impl Network {
     pub fn num_parameters(&self) -> usize {
         self.layers
             .iter()
-            .map(|l| l.weights.len() + l.biases.len())
+            .map(|l| l.weights.as_slice().len() + l.biases.len())
             .sum()
     }
 
-    /// Runs a forward pass, returning the output activations.
+    /// Runs the batched forward pass over every row of `x`, returning the
+    /// `x.rows() × output_len()` activation matrix. Large inputs are
+    /// processed in [`PREDICT_CHUNK`]-row chunks so workspace memory stays
+    /// bounded; chunking never changes values (rows are independent).
     ///
     /// # Panics
     ///
-    /// Panics if the input length is wrong.
-    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), self.input_len(), "input length mismatch");
-        let mut cur = input.to_vec();
-        let mut next = Vec::new();
-        for layer in &self.layers {
-            layer.forward(&cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
+    /// Panics if `x.cols() != input_len()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.input_len(), "input width mismatch");
+        let out_len = self.output_len();
+        let mut out = Matrix::zeros(x.rows(), out_len);
+        // Activation matrices only (inference needs no deltas), allocated
+        // once per distinct chunk length: the full-size set is reused for
+        // every chunk but the possibly-shorter tail.
+        let acts_for = |len: usize| -> Vec<Matrix> {
+            let mut sizes = vec![self.input_len()];
+            sizes.extend(self.layers.iter().map(Layer::out_size));
+            sizes.into_iter().map(|s| Matrix::zeros(len, s)).collect()
+        };
+        let mut acts_full: Option<Vec<Matrix>> = None;
+        let mut start = 0;
+        while start < x.rows() {
+            let len = PREDICT_CHUNK.min(x.rows() - start);
+            let mut acts_tail;
+            let acts = if len == PREDICT_CHUNK.min(x.rows()) {
+                acts_full.get_or_insert_with(|| acts_for(len))
+            } else {
+                acts_tail = acts_for(len);
+                &mut acts_tail
+            };
+            for bi in 0..len {
+                acts[0].row_mut(bi).copy_from_slice(x.row(start + bi));
+            }
+            for (li, layer) in self.layers.iter().enumerate() {
+                let (head, tail) = acts.split_at_mut(li + 1);
+                layer.forward_batch(&head[li], &mut tail[0]);
+            }
+            for bi in 0..len {
+                out.row_mut(start + bi)
+                    .copy_from_slice(acts[self.layers.len()].row(bi));
+            }
+            start += len;
         }
-        cur
+        out
     }
 
-    /// Predicts the scalar output for one sample (first output unit).
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
-        self.forward(row)[0]
-    }
-
-    /// Predicts the scalar output for every row of a matrix.
+    /// Predicts the scalar output (first output unit) for every row of a
+    /// matrix.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+        let out = self.forward(x);
+        (0..out.rows()).map(|r| out.row(r)[0]).collect()
     }
 
     /// Trains with minibatch Adam on the MSE loss; returns per-epoch mean
@@ -417,7 +503,7 @@ impl Network {
         let mut adam_w: Vec<AdamState> = self
             .layers
             .iter()
-            .map(|l| AdamState::sized(l.weights.len()))
+            .map(|l| AdamState::sized(l.weights.as_slice().len()))
             .collect();
         let mut adam_b: Vec<AdamState> = self
             .layers
@@ -425,10 +511,10 @@ impl Network {
             .map(|l| AdamState::sized(l.biases.len()))
             .collect();
 
-        let mut grad_w: Vec<Vec<f64>> = self
+        let mut grad_w: Vec<Matrix> = self
             .layers
             .iter()
-            .map(|l| vec![0.0; l.weights.len()])
+            .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
             .collect();
         let mut grad_b: Vec<Vec<f64>> = self
             .layers
@@ -436,10 +522,12 @@ impl Network {
             .map(|l| vec![0.0; l.biases.len()])
             .collect();
 
-        // Per-layer activation caches for one sample.
-        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
-        let mut grad_cur = Vec::new();
-        let mut grad_next = Vec::new();
+        // Preallocated activation/delta workspaces: one for full batches,
+        // one (lazily sized) for the shorter tail batch.
+        let full = cfg.batch_size.max(1).min(n);
+        let mut ws_full = Workspace::new(&self.layers, self.input_len(), full);
+        let tail = n % full;
+        let mut ws_tail = (tail != 0).then(|| Workspace::new(&self.layers, self.input_len(), tail));
 
         let mut order: Vec<usize> = (0..n).collect();
         let mut step = 0.0f64;
@@ -451,51 +539,57 @@ impl Network {
                 order.swap(i, j);
             }
             let mut epoch_loss = 0.0;
-            for batch in order.chunks(cfg.batch_size.max(1)) {
-                for g in &mut grad_w {
-                    g.iter_mut().for_each(|v| *v = 0.0);
+            for batch in order.chunks(full) {
+                let ws = if batch.len() == full {
+                    &mut ws_full
+                } else {
+                    ws_tail.as_mut().expect("tail workspace sized at entry")
+                };
+                // Gather the shuffled batch into the input workspace.
+                for (bi, &s) in batch.iter().enumerate() {
+                    ws.acts[0].row_mut(bi).copy_from_slice(x.row(s));
                 }
-                for g in &mut grad_b {
-                    g.iter_mut().for_each(|v| *v = 0.0);
+                // Forward through every layer.
+                for (li, layer) in self.layers.iter().enumerate() {
+                    let (head, tail) = ws.acts.split_at_mut(li + 1);
+                    layer.forward_batch(&head[li], &mut tail[0]);
                 }
+                // MSE gradient at the output (ascending batch order).
                 let scale = 1.0 / batch.len() as f64;
-                for &s in batch {
-                    // Forward with caches.
-                    acts[0].clear();
-                    acts[0].extend_from_slice(x.row(s));
-                    for (li, layer) in self.layers.iter().enumerate() {
-                        let (head, tail) = acts.split_at_mut(li + 1);
-                        layer.forward(&head[li], &mut tail[0]);
-                    }
-                    // MSE gradient at the output.
-                    let out = &acts[n_layers];
-                    let target = y.row(s);
-                    grad_cur.clear();
-                    for (o, t) in out.iter().zip(target) {
+                let out_act = &ws.acts[n_layers];
+                let delta_out = &mut ws.deltas[n_layers];
+                for (bi, &s) in batch.iter().enumerate() {
+                    let d_row = delta_out.row_mut(bi);
+                    for ((d, &o), &t) in d_row.iter_mut().zip(out_act.row(bi)).zip(y.row(s)) {
                         let e = o - t;
                         epoch_loss += e * e * scale;
-                        grad_cur.push(2.0 * e * scale);
+                        *d = 2.0 * e * scale;
                     }
-                    // Backward.
-                    for li in (0..n_layers).rev() {
-                        self.layers[li].backward(
-                            &acts[li],
-                            &acts[li + 1],
-                            &grad_cur,
-                            &mut grad_w[li],
-                            &mut grad_b[li],
-                            &mut grad_next,
-                        );
-                        std::mem::swap(&mut grad_cur, &mut grad_next);
-                    }
+                }
+                // Backward through every layer.
+                for li in (0..n_layers).rev() {
+                    let (d_head, d_tail) = ws.deltas.split_at_mut(li + 1);
+                    self.layers[li].backward_batch(
+                        &ws.acts[li],
+                        &ws.acts[li + 1],
+                        &mut d_tail[0],
+                        &mut d_head[li],
+                        &mut grad_w[li],
+                        &mut grad_b[li],
+                    );
                 }
                 step += 1.0;
                 for (li, layer) in self.layers.iter_mut().enumerate() {
-                    adam_w[li].update(&mut layer.weights, &grad_w[li], cfg, step);
+                    adam_w[li].update(
+                        layer.weights.as_mut_slice(),
+                        grad_w[li].as_slice(),
+                        cfg,
+                        step,
+                    );
                     adam_b[li].update(&mut layer.biases, &grad_b[li], cfg, step);
                 }
             }
-            epoch_losses.push(epoch_loss / (n as f64 / cfg.batch_size.max(1) as f64).max(1.0));
+            epoch_losses.push(epoch_loss / (n as f64 / full as f64).max(1.0));
         }
         epoch_losses
     }
@@ -526,15 +620,45 @@ mod tests {
     }
 
     #[test]
-    fn forward_is_deterministic() {
+    fn forward_is_deterministic_and_job_count_invariant() {
         let net = NetworkBuilder::input_1d(5)
             .dense(8, Activation::Relu)
             .dense(1, Activation::Sigmoid)
             .build(42);
-        let a = net.forward(&[0.1, 0.2, 0.3, 0.4, 0.5]);
-        let b = net.forward(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4, 0.5]]);
+        let a = net.forward(&x);
+        let b = net.forward(&x);
         assert_eq!(a, b);
-        assert!(a[0] > 0.0 && a[0] < 1.0, "sigmoid output in (0,1)");
+        let serial = minipar::with_jobs(1, || net.forward(&x));
+        let wide = minipar::with_jobs(4, || net.forward(&x));
+        assert_eq!(serial, wide, "forward diverged across job counts");
+        assert!(
+            a[(0, 0)] > 0.0 && a[(0, 0)] < 1.0,
+            "sigmoid output in (0,1)"
+        );
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_job_counts() {
+        let (x, y) = batch_dataset();
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let run = || {
+            let mut net = NetworkBuilder::input_1d(6)
+                .conv1d(4, 3, Activation::Relu)
+                .dense(8, Activation::Relu)
+                .dense(1, Activation::Linear)
+                .build(9);
+            let losses = net.fit_scalar(&x, &y, &cfg);
+            (losses, net.predict(&x))
+        };
+        let serial = minipar::with_jobs(1, run);
+        let wide = minipar::with_jobs(4, run);
+        assert_eq!(serial.0, wide.0, "losses diverged across job counts");
+        assert_eq!(serial.1, wide.1, "predictions diverged across job counts");
     }
 
     #[test]
@@ -555,17 +679,17 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
+        let pred = net.predict(&x);
         for (i, &target) in y.iter().enumerate() {
-            let p = net.predict_row(x.row(i));
             assert!(
-                (p - target).abs() < 0.25,
-                "sample {i}: predicted {p}, want {target}"
+                (pred[i] - target).abs() < 0.25,
+                "sample {i}: predicted {}, want {target}",
+                pred[i]
             );
         }
     }
 
-    #[test]
-    fn conv_net_learns_simple_function() {
+    fn batch_dataset() -> (Matrix, Vec<f64>) {
         // Target: mean of the 6 inputs (a linear function a conv can express).
         let mut rows = Vec::new();
         let mut y = Vec::new();
@@ -576,8 +700,12 @@ mod tests {
             y.push(row.iter().sum::<f64>() / 6.0);
             rows.push(row);
         }
-        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-        let x = Matrix::from_rows(&refs);
+        (Matrix::from_vectors(&rows), y)
+    }
+
+    #[test]
+    fn conv_net_learns_simple_function() {
+        let (x, y) = batch_dataset();
         let mut net = NetworkBuilder::input_1d(6)
             .conv1d(4, 3, Activation::Relu)
             .dense(8, Activation::Relu)
@@ -619,11 +747,13 @@ mod tests {
         assert!(losses.last().unwrap() < &(losses[0] * 0.5));
     }
 
-    /// Numerical gradient check on a tiny conv+dense network.
+    /// Numerical gradient check on a tiny conv+dense network, through the
+    /// batched backward path (a 2-sample batch exercises the batch-summed
+    /// reductions).
     #[test]
     fn analytic_gradients_match_numerical() {
-        let x = Matrix::from_rows(&[&[0.3, -0.2, 0.8, 0.1]]);
-        let y = Matrix::from_vec(1, 1, vec![0.7]);
+        let x = Matrix::from_rows(&[&[0.3, -0.2, 0.8, 0.1], &[-0.5, 0.4, 0.2, 0.9]]);
+        let y = Matrix::from_vec(2, 1, vec![0.7, 0.2]);
         let build = || {
             NetworkBuilder::input_1d(4)
                 .conv1d(2, 3, Activation::Sigmoid)
@@ -632,55 +762,61 @@ mod tests {
                 .build(17)
         };
 
-        // Analytic gradients: replicate one backward pass by hand via fit
-        // machinery — instead run a single Adam-free finite-difference probe.
+        // Batch-mean squared error, the loss `fit` differentiates.
         let loss_of = |net: &Network| {
-            let o = net.forward(x.row(0));
-            (o[0] - y.row(0)[0]).powi(2)
+            let o = net.forward(&x);
+            (0..x.rows())
+                .map(|s| (o[(s, 0)] - y[(s, 0)]).powi(2) / x.rows() as f64)
+                .sum::<f64>()
         };
 
         let net = build();
-        // Collect analytic grads with a manual forward/backward.
-        let mut acts: Vec<Vec<f64>> = vec![Vec::new(); net.layers.len() + 1];
-        acts[0] = x.row(0).to_vec();
-        for (li, layer) in net.layers.iter().enumerate() {
-            let (head, tail) = acts.split_at_mut(li + 1);
-            layer.forward(&head[li], &mut tail[0]);
+        let n_layers = net.layers.len();
+        let mut ws = Workspace::new(&net.layers, net.input_len(), x.rows());
+        for s in 0..x.rows() {
+            ws.acts[0].row_mut(s).copy_from_slice(x.row(s));
         }
-        let mut grad_w: Vec<Vec<f64>> = net
+        for (li, layer) in net.layers.iter().enumerate() {
+            let (head, tail) = ws.acts.split_at_mut(li + 1);
+            layer.forward_batch(&head[li], &mut tail[0]);
+        }
+        let scale = 1.0 / x.rows() as f64;
+        for s in 0..x.rows() {
+            ws.deltas[n_layers].row_mut(s)[0] =
+                2.0 * (ws.acts[n_layers].row(s)[0] - y[(s, 0)]) * scale;
+        }
+        let mut grad_w: Vec<Matrix> = net
             .layers
             .iter()
-            .map(|l| vec![0.0; l.weights.len()])
+            .map(|l| Matrix::zeros(l.weights.rows(), l.weights.cols()))
             .collect();
         let mut grad_b: Vec<Vec<f64>> = net
             .layers
             .iter()
             .map(|l| vec![0.0; l.biases.len()])
             .collect();
-        let mut grad_cur = vec![2.0 * (acts[net.layers.len()][0] - y.row(0)[0])];
-        let mut grad_next = Vec::new();
-        for li in (0..net.layers.len()).rev() {
-            net.layers[li].backward(
-                &acts[li],
-                &acts[li + 1],
-                &grad_cur,
+        for li in (0..n_layers).rev() {
+            let (d_head, d_tail) = ws.deltas.split_at_mut(li + 1);
+            net.layers[li].backward_batch(
+                &ws.acts[li],
+                &ws.acts[li + 1],
+                &mut d_tail[0],
+                &mut d_head[li],
                 &mut grad_w[li],
                 &mut grad_b[li],
-                &mut grad_next,
             );
-            std::mem::swap(&mut grad_cur, &mut grad_next);
         }
 
         // Compare against central differences for a sample of weights.
         let eps = 1e-6;
-        for li in 0..net.layers.len() {
-            for wi in (0..net.layers[li].weights.len()).step_by(3) {
+        for li in 0..n_layers {
+            for wi in (0..net.layers[li].weights.as_slice().len()).step_by(3) {
                 let mut plus = net.clone();
-                plus.layers[li].weights[wi] += eps;
+                plus.layers[li].weights.as_mut_slice()[wi] += eps;
                 let mut minus = net.clone();
-                minus.layers[li].weights[wi] -= eps;
+                minus.layers[li].weights.as_mut_slice()[wi] -= eps;
                 let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
-                let ana = grad_w[li][wi];
+                let ana = grad_w[li].as_slice()[wi];
                 assert!(
                     (num - ana).abs() < 1e-5 * (1.0 + num.abs().max(ana.abs())),
                     "layer {li} w{wi}: numerical {num} vs analytic {ana}"
@@ -690,11 +826,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "input length mismatch")]
-    fn wrong_input_length_panics() {
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
         let net = NetworkBuilder::input_1d(3)
             .dense(1, Activation::Linear)
             .build(0);
-        net.forward(&[1.0]);
+        net.forward(&Matrix::from_rows(&[&[1.0]]));
     }
 }

@@ -5,7 +5,7 @@
 //! how v2 severity classes transform under v3.
 
 use crate::linalg::{symmetric_eigen, LinalgError};
-use crate::matrix::{dot, Matrix};
+use crate::matrix::Matrix;
 
 /// A fitted PCA transform keeping the top `k` components.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,23 +34,14 @@ impl Pca {
         let d = x.cols();
         let means = x.column_means();
 
-        // Covariance matrix of centred data.
-        let mut cov = Matrix::zeros(d, d);
-        for r in 0..n {
-            let row = x.row(r);
-            for i in 0..d {
-                let xi = row[i] - means[i];
-                for j in i..d {
-                    cov[(i, j)] += xi * (row[j] - means[j]);
-                }
-            }
-        }
+        // Covariance of centred data: one XcᵀXc on the blocked parallel
+        // kernel (each entry reduces samples in ascending order — job-count
+        // invariant).
+        let xc = centred(x, &means);
+        let mut cov = xc.transpose_matmul(&xc);
         let denom = (n.max(2) - 1) as f64;
-        for i in 0..d {
-            for j in i..d {
-                cov[(i, j)] /= denom;
-                cov[(j, i)] = cov[(i, j)];
-            }
+        for v in cov.as_mut_slice() {
+            *v /= denom;
         }
 
         let (eigenvalues, eigenvectors) = symmetric_eigen(&cov)?;
@@ -98,27 +89,23 @@ impl Pca {
         &self.explained_variance
     }
 
-    /// Projects one sample into the component space.
+    /// Projects every row of a matrix; output is `n × k`. One centring pass
+    /// plus one `Xc · Cᵀ` on the blocked parallel kernels.
     ///
     /// # Panics
     ///
     /// Panics if the feature count differs from the fitted data.
-    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
-        assert_eq!(row.len(), self.means.len(), "feature count mismatch");
-        let centred: Vec<f64> = row.iter().zip(&self.means).map(|(v, m)| v - m).collect();
-        (0..self.k())
-            .map(|c| dot(self.components.row(c), &centred))
-            .collect()
-    }
-
-    /// Projects every row of a matrix; output is `n × k`.
     pub fn transform(&self, x: &Matrix) -> Matrix {
-        let mut data = Vec::with_capacity(x.rows() * self.k());
-        for r in 0..x.rows() {
-            data.extend(self.transform_row(x.row(r)));
-        }
-        Matrix::from_vec(x.rows(), self.k(), data)
+        assert_eq!(x.cols(), self.means.len(), "feature count mismatch");
+        centred(x, &self.means).matmul_transposed(&self.components)
     }
+}
+
+/// Subtracts the column means from every row (batched, in one pass).
+fn centred(x: &Matrix, means: &[f64]) -> Matrix {
+    let mut xc = x.clone();
+    xc.sub_broadcast(means);
+    xc
 }
 
 #[cfg(test)]

@@ -84,11 +84,18 @@ impl FourierMap {
         }
     }
 
-    fn transform(&self, x: &[f64]) -> Vec<f64> {
-        let mut z = self.w.matvec(x);
-        for (zi, &p) in z.iter_mut().zip(&self.phase) {
-            *zi = self.scale * (*zi + p).cos();
-        }
+    /// Lifts every row of `x` at once: `Z = cos(X · Wᵀ + u) · √(2/D)`,
+    /// emitted straight into one flat `n × features` [`Matrix`] buffer on
+    /// the blocked parallel kernels (no per-row `Vec` allocations).
+    fn transform_batch(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul_transposed(&self.w);
+        let phase = &self.phase;
+        let scale = self.scale;
+        z.par_rows_mut(|_, row| {
+            for (zi, &p) in row.iter_mut().zip(phase) {
+                *zi = scale * (*zi + p).cos();
+            }
+        });
         z
     }
 }
@@ -125,10 +132,11 @@ impl Svr {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let map = FourierMap::sample(x.cols(), config.features, config.gamma, &mut rng);
 
-        // Pre-transform once; the lifted design is features-wide.
-        let z: Vec<Vec<f64>> = (0..x.rows()).map(|r| map.transform(x.row(r))).collect();
+        // Pre-transform once; the lifted design is one flat n × features
+        // matrix, built by the batched kernel.
+        let z = map.transform_batch(x);
 
-        let n = z.len();
+        let n = z.rows();
         let d = config.features;
         let mut w = vec![0.0; d];
         let mut b = 0.0;
@@ -147,7 +155,8 @@ impl Svr {
             for &i in &order {
                 t += 1;
                 let lr = config.learning_rate / (1.0 + (t as f64).sqrt() * 0.01);
-                let pred = dot(&w, &z[i]) + b;
+                let zi = z.row(i);
+                let pred = dot(&w, zi) + b;
                 let resid = y[i] - pred;
                 // L2 shrinkage (from ½‖w‖², scaled by 1/(nC) per sample).
                 let shrink = 1.0 - lr / (config.c * n as f64);
@@ -156,7 +165,7 @@ impl Svr {
                 }
                 if resid.abs() > config.epsilon {
                     let sign = resid.signum();
-                    for (wj, &zj) in w.iter_mut().zip(&z[i]) {
+                    for (wj, &zj) in w.iter_mut().zip(zi) {
                         *wj += lr * sign * zj;
                     }
                     b += lr * sign;
@@ -194,14 +203,12 @@ impl Svr {
         &self.config
     }
 
-    /// Predicts a single sample.
-    pub fn predict_row(&self, row: &[f64]) -> f64 {
-        dot(&self.weights, &self.map.transform(row)) + self.bias
-    }
-
-    /// Predicts every row of a matrix.
+    /// Predicts every row of a matrix through the batched feature map.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+        let z = self.map.transform_batch(x);
+        (0..z.rows())
+            .map(|r| dot(&self.weights, z.row(r)) + self.bias)
+            .collect()
     }
 }
 
@@ -264,8 +271,7 @@ mod tests {
                 ..SvrConfig::default()
             },
         );
-        for r in 0..x.rows() {
-            let p = svr.predict_row(x.row(r));
+        for &p in &svr.predict(&x) {
             assert!((p - 5.0).abs() < 0.5, "predicted {p}");
         }
     }
@@ -277,14 +283,22 @@ mod tests {
         let map = FourierMap::sample(3, 2048, gamma, &mut rng);
         let a = [0.2, -0.4, 0.9];
         let b = [-0.1, 0.3, 0.5];
-        let za = map.transform(&a);
-        let zb = map.transform(&b);
-        let approx = dot(&za, &zb);
+        let z = map.transform_batch(&Matrix::from_rows(&[&a, &b]));
+        let approx = dot(z.row(0), z.row(1));
         let d2: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum();
         let exact = (-gamma * d2).exp();
         assert!(
             (approx - exact).abs() < 0.08,
             "approx {approx} vs exact {exact}"
         );
+    }
+
+    #[test]
+    fn batched_transform_is_job_count_invariant() {
+        let (x, y) = grid_dataset(|a, b| a * b);
+        let cfg = SvrConfig::default();
+        let serial = minipar::with_jobs(1, || Svr::fit(&x, &y, cfg).predict(&x));
+        let wide = minipar::with_jobs(4, || Svr::fit(&x, &y, cfg).predict(&x));
+        assert_eq!(serial, wide, "SVR diverged across job counts");
     }
 }

@@ -1,0 +1,75 @@
+//! The batched severity-model training API on a small synthetic corpus.
+//!
+//! Shows the mlkit kernel layer end to end: a severity-sized design matrix
+//! is assembled once, every §4.3 model trains through the batched
+//! matrix kernels (`X·Wᵀ` forwards, `Dᵀ·X` gradient reductions), and the
+//! whole corpus is scored in one batched predict call — there is no
+//! per-sample entry point anywhere. Training is bit-identical at any
+//! `NVD_JOBS` setting; rerun under different values to check.
+//!
+//! ```text
+//! cargo run --release -p nvd-examples --example train_severity_model [-- --scale 0.01 --seed 9]
+//! ```
+
+use mlkit::matrix::Matrix;
+use nvd_clean::severity::{FeatureExtractor, ModelKind, SeverityModel, TrainProfile, FEATURE_DIM};
+use nvd_examples::scale_and_seed;
+use nvd_synth::{generate, SynthConfig};
+
+fn main() {
+    let (scale, seed) = scale_and_seed(0.01, 9);
+    let corpus = generate(&SynthConfig::with_scale(scale, seed));
+
+    // Ground truth: every dual-scored CVE, exactly like the backport.
+    let ground: Vec<_> = corpus
+        .database
+        .iter()
+        .filter(|e| e.cvss_v2.is_some() && e.cvss_v3.is_some())
+        .collect();
+    let extractor = FeatureExtractor::fit(ground.iter().copied());
+
+    // One flat design matrix; rows fan out per CVE on the minipar pool.
+    let extracted = minipar::par_map(&ground, |e| {
+        (
+            extractor.extract(e).expect("has v2"),
+            e.cvss_v3.as_ref().expect("has v3").base_score,
+        )
+    });
+    let mut rows = Vec::with_capacity(ground.len() * FEATURE_DIM);
+    let mut y = Vec::with_capacity(ground.len());
+    for (f, target) in &extracted {
+        rows.extend_from_slice(f);
+        y.push(*target);
+    }
+    let x = Matrix::from_vec(ground.len(), FEATURE_DIM, rows);
+    println!(
+        "training corpus: {} dual-scored CVEs × {FEATURE_DIM} features (NVD_JOBS={})\n",
+        x.rows(),
+        minipar::jobs()
+    );
+
+    println!("model   train-AE  batched predictions in [0,10]");
+    println!("----------------------------------------------");
+    for kind in ModelKind::ALL {
+        let start = std::time::Instant::now();
+        let model = SeverityModel::train(kind, &x, &y, TrainProfile::Fast, seed);
+        // The whole corpus scores in one batched call.
+        let pred = model.predict(&x);
+        let ae = mlkit::metrics::average_error(&y, &pred);
+        let in_range = pred.iter().all(|p| (0.0..=10.0).contains(p));
+        println!(
+            "{:<7} {:<9.3} {} ({} rows in {:.0?})",
+            kind.label(),
+            ae,
+            if in_range { "yes" } else { "NO" },
+            pred.len(),
+            start.elapsed()
+        );
+    }
+
+    println!(
+        "\nevery fit above ran on the blocked matrix kernels: dense forward\n\
+         passes are one X·Wᵀ per minibatch, weight gradients one Dᵀ·X, and\n\
+         the row-band sharding keeps results bit-identical at any NVD_JOBS."
+    );
+}
