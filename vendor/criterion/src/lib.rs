@@ -3,9 +3,11 @@
 //! Supports the subset the bench targets use: [`Criterion::bench_function`],
 //! [`Criterion::benchmark_group`] (with per-group `sample_size`),
 //! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros
-//! (both the simple and the `name/config/targets` forms). Timing is a plain
-//! best-of-N wall-clock measurement printed to stdout — enough to compare
-//! runs by hand, with none of real Criterion's statistics.
+//! (both the simple and the `name/config/targets` forms). Every measurement
+//! keeps all N wall-clock samples and reports **mean ± stddev** alongside
+//! the best observation, both on stdout and in the `BENCH_JSON` line
+//! artifact — enough to tell a real regression from scheduler noise without
+//! real Criterion's full statistics machinery.
 
 use std::time::Instant;
 
@@ -18,23 +20,53 @@ pub fn black_box<T>(x: T) -> T {
 #[derive(Debug)]
 pub struct Bencher {
     samples: usize,
-    /// Best observed nanoseconds per iteration.
-    best_ns: f64,
+    /// Every observed nanoseconds-per-iteration sample.
+    observed_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times the closure, keeping the fastest sample.
+    /// Times the closure, recording every sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One untimed warm-up run.
         black_box(f());
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(f());
-            let ns = start.elapsed().as_nanos() as f64;
-            if ns < self.best_ns {
-                self.best_ns = ns;
-            }
+            self.observed_ns.push(start.elapsed().as_nanos() as f64);
         }
+    }
+}
+
+/// Summary statistics over one benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    best_ns: f64,
+    mean_ns: f64,
+    stddev_ns: f64,
+    samples: usize,
+}
+
+impl Stats {
+    /// Mean, sample standard deviation (N−1 denominator; 0 for a single
+    /// sample), and best over the observations. `None` when nothing was
+    /// measured.
+    fn from_samples(ns: &[f64]) -> Option<Self> {
+        if ns.is_empty() {
+            return None;
+        }
+        let n = ns.len() as f64;
+        let mean = ns.iter().sum::<f64>() / n;
+        let var = if ns.len() > 1 {
+            ns.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Some(Self {
+            best_ns: ns.iter().cloned().fold(f64::INFINITY, f64::min),
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            samples: ns.len(),
+        })
     }
 }
 
@@ -53,24 +85,27 @@ impl Default for Criterion {
 fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         samples,
-        best_ns: f64::INFINITY,
+        observed_ns: Vec::with_capacity(samples),
     };
     f(&mut b);
-    if b.best_ns.is_finite() {
+    if let Some(stats) = Stats::from_samples(&b.observed_ns) {
         println!(
-            "bench: {id:<50} {:>14.0} ns/iter (best of {samples})",
-            b.best_ns
+            "bench: {id:<50} {:>14.0} ns/iter ± {:>10.0} (best {:.0}, n={})",
+            stats.mean_ns, stats.stddev_ns, stats.best_ns, stats.samples
         );
-        append_json_record(id, b.best_ns, samples);
+        append_json_record(id, stats);
     } else {
         println!("bench: {id:<50} (no measurement)");
     }
 }
 
 /// When `BENCH_JSON` names a file, appends one JSON line per measurement —
-/// `{"id": ..., "best_ns": ..., "samples": ...}` — so CI can upload a
-/// machine-readable perf artifact (e.g. `BENCH_parallel.json`) per run.
-fn append_json_record(id: &str, best_ns: f64, samples: usize) {
+/// `{"id": ..., "mean_ns": ..., "stddev_ns": ..., "best_ns": ...,
+/// "samples": ...}` — so CI can upload a machine-readable perf artifact
+/// (e.g. `BENCH_parallel.json`, `BENCH_mlkit.json`) per run. `best_ns`
+/// stays in the record so older tooling that read the best-of-N format
+/// keeps working.
+fn append_json_record(id: &str, stats: Stats) {
     use std::io::Write as _;
 
     let Ok(path) = std::env::var("BENCH_JSON") else {
@@ -87,8 +122,10 @@ fn append_json_record(id: &str, best_ns: f64, samples: usize) {
             c => vec![c],
         })
         .collect();
-    let line =
-        format!("{{\"id\": \"{escaped}\", \"best_ns\": {best_ns:.0}, \"samples\": {samples}}}\n");
+    let line = format!(
+        "{{\"id\": \"{escaped}\", \"mean_ns\": {:.0}, \"stddev_ns\": {:.0}, \"best_ns\": {:.0}, \"samples\": {}}}\n",
+        stats.mean_ns, stats.stddev_ns, stats.best_ns, stats.samples
+    );
     let written = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
