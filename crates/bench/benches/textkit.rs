@@ -1,0 +1,203 @@
+//! Text-pipeline throughput: buffer-reuse preprocessing vs the legacy
+//! allocate-per-token replica, corpus-level encoding vs the per-call path,
+//! and the parallel CWE rectification pass.
+//!
+//! Run with `BENCH_JSON=BENCH_textkit.json cargo bench -p nvd-bench --bench
+//! textkit` to emit the machine-readable artifact CI uploads. Three
+//! questions are answered per run:
+//!
+//! 1. **Does buffer reuse win on its own?** `textkit_preprocess/new/jobs_1`
+//!    vs `textkit_preprocess/legacy` compares the single-pass
+//!    scratch-buffer pipeline against a faithful replica of the
+//!    pre-refactor composition (full-text lowercase `String`, expanded
+//!    `String`, one `String` per token, one per stem), both pinned to one
+//!    job — the win must not depend on thread count.
+//! 2. **Does the corpus API pay off?** `textkit_corpus_encode/new/*` builds
+//!    one `PreprocessedCorpus` (preprocess once, intern once) and feeds
+//!    both the IDF fit and the encoding, vs `legacy` which re-preprocesses
+//!    per call exactly like the old `with_idf_corpus` + `encode` pair.
+//! 3. **Does `rectify_cwe` scale?** `textkit_rectify_cwe/jobs_{1,4}` times
+//!    the parallel mine + serial apply pass (outputs asserted bit-identical
+//!    across widths before timing starts).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_bench::bench_corpus;
+use nvd_clean::rectify_cwe;
+use nvd_model::cwe::CweCatalog;
+use textkit::encoder::{Idf, PreprocessedCorpus, SentenceEncoder};
+use textkit::preprocess::Preprocessor;
+
+/// The legacy preprocessing composition this PR deleted, replicated from
+/// the old `preprocess` body: expand-contractions `String` (which itself
+/// lowercases the full text first), a `Vec<String>` of tokens, and one more
+/// `String` per stem. Lives only in this bench as the baseline the
+/// buffer-reuse pipeline must beat.
+mod legacy {
+    use textkit::preprocess::expand_contractions;
+    use textkit::{is_stopword, stem, tokenize};
+
+    pub fn preprocess(text: &str) -> Vec<String> {
+        let expanded = expand_contractions(text);
+        tokenize(&expanded)
+            .into_iter()
+            .filter(|t| !is_stopword(t))
+            .map(|t| stem(&t))
+            .collect()
+    }
+}
+
+/// Every description in the benchmark corpus (analyst and evaluator text).
+fn corpus_texts() -> Vec<String> {
+    bench_corpus()
+        .database
+        .iter()
+        .flat_map(|e| e.descriptions.iter().map(|d| d.text.clone()))
+        .collect()
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let texts = corpus_texts();
+    assert!(texts.len() > 500, "bench corpus too small: {}", texts.len());
+
+    // Parity gate before timing: the buffer-reuse pipeline must match the
+    // legacy replica token-for-token on every description.
+    let mut pre = Preprocessor::new();
+    for t in &texts {
+        let mut new_terms: Vec<String> = Vec::new();
+        pre.for_each_term(t, |term| new_terms.push(term.to_owned()));
+        assert_eq!(new_terms, legacy::preprocess(t), "term stream diverged");
+    }
+
+    let mut group = c.benchmark_group("textkit_preprocess");
+    group.bench_function("new/jobs_1", |b| {
+        b.iter(|| {
+            minipar::with_jobs(1, || {
+                let mut hash = 0usize;
+                for t in &texts {
+                    pre.for_each_term(black_box(t), |term| hash ^= term.len());
+                }
+                hash
+            })
+        })
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            minipar::with_jobs(1, || {
+                let mut hash = 0usize;
+                for t in &texts {
+                    for term in legacy::preprocess(black_box(t)) {
+                        hash ^= term.len();
+                    }
+                }
+                hash
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_corpus_encode(c: &mut Criterion) {
+    // A slice of the corpus keeps the 512-wide scatter affordable per
+    // sample while still exercising thousands of term occurrences.
+    let texts = corpus_texts();
+    let texts: Vec<&str> = texts.iter().take(256).map(String::as_str).collect();
+    const DIM: usize = 256;
+    const SEED: u64 = 0x5e17;
+
+    // Determinism gates: corpus encodings must be bit-identical across job
+    // counts AND bit-identical to the per-call encode path.
+    let encode_corpus_at = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            let corpus = PreprocessedCorpus::build(texts.iter().copied(), SEED);
+            let enc = SentenceEncoder::new(DIM, SEED).with_idf(Idf::fit_corpus(&corpus));
+            enc.encode_corpus(&corpus)
+        })
+    };
+    let serial = encode_corpus_at(1);
+    assert_eq!(
+        serial,
+        encode_corpus_at(4),
+        "corpus encode diverged across jobs"
+    );
+    let legacy_enc = SentenceEncoder::new(DIM, SEED).with_idf_corpus(texts.iter().copied());
+    for (i, t) in texts.iter().enumerate() {
+        assert_eq!(
+            serial[i],
+            legacy_enc.encode(t),
+            "doc {i} diverged from per-call path"
+        );
+    }
+
+    let mut group = c.benchmark_group("textkit_corpus_encode");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("new/jobs_{jobs}"), |b| {
+            b.iter(|| {
+                minipar::with_jobs(jobs, || {
+                    let corpus = PreprocessedCorpus::build(black_box(&texts).iter().copied(), SEED);
+                    let enc = SentenceEncoder::new(DIM, SEED).with_idf(Idf::fit_corpus(&corpus));
+                    enc.encode_corpus(&corpus)
+                })
+            })
+        });
+    }
+    group.bench_function("legacy", |b| {
+        // The old shape: with_idf_corpus preprocesses every text for the
+        // IDF fit, then encode() preprocesses each text again.
+        b.iter(|| {
+            minipar::with_jobs(1, || {
+                let enc = SentenceEncoder::new(DIM, SEED)
+                    .with_idf_corpus(black_box(&texts).iter().copied());
+                texts.iter().map(|t| enc.encode(t)).collect::<Vec<_>>()
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_rectify_cwe(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let catalog = CweCatalog::builtin();
+
+    // Determinism gate: corrections and rectified databases must agree
+    // exactly between the inline path and a wide pool.
+    let rectify_at = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            let mut db = corpus.database.clone();
+            let out = rectify_cwe(&mut db, &catalog);
+            (
+                out.corrections,
+                out.stats,
+                db.iter().cloned().collect::<Vec<_>>(),
+            )
+        })
+    };
+    assert_eq!(
+        rectify_at(1),
+        rectify_at(4),
+        "rectify_cwe diverged across jobs"
+    );
+
+    let mut group = c.benchmark_group("textkit_rectify_cwe");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| {
+                minipar::with_jobs(jobs, || {
+                    let mut db = corpus.database.clone();
+                    rectify_cwe(black_box(&mut db), &catalog)
+                        .stats
+                        .total_corrected()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_preprocess, bench_corpus_encode, bench_rectify_cwe
+);
+criterion_main!(benches);

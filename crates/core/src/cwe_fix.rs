@@ -84,17 +84,14 @@ pub struct CweFixOutcome {
 /// IDs not present in the catalog are discarded (the paper matches against
 /// "the CWE list from their website"). Degenerate labels are kept alongside
 /// the mined concrete types, as the paper *adds* to the CWE field.
+///
+/// The mining half — scanning every description of every entry — is pure
+/// per CVE, so it fans out over the `minipar` pool; the mutation and
+/// statistics half then applies the mined IDs serially in entry order.
+/// Output is bit-identical at every `NVD_JOBS` setting.
 pub fn rectify_cwe(db: &mut Database, catalog: &CweCatalog) -> CweFixOutcome {
-    let mut outcome = CweFixOutcome::default();
-    for entry in db.iter_mut() {
-        let effective = entry.effective_cwe();
-        match effective {
-            CweLabel::Other => outcome.stats.other_count += 1,
-            CweLabel::NoInfo => outcome.stats.noinfo_count += 1,
-            CweLabel::Unassigned => outcome.stats.unassigned_count += 1,
-            CweLabel::Specific(_) => {}
-        }
-
+    // Parallel mine: per-entry catalog-validated IDs in appearance order.
+    let mined_per_entry: Vec<Vec<CweId>> = minipar::par_map(db.iter().as_slice(), |entry| {
         let mut mined: Vec<CweId> = Vec::new();
         for d in &entry.descriptions {
             for id in extract_cwe_ids(&d.text) {
@@ -103,6 +100,20 @@ pub fn rectify_cwe(db: &mut Database, catalog: &CweCatalog) -> CweFixOutcome {
                 }
             }
         }
+        mined
+    });
+
+    // Serial apply: mutate entries and accumulate statistics in entry order.
+    let mut outcome = CweFixOutcome::default();
+    for (entry, mined) in db.iter_mut().zip(mined_per_entry) {
+        let effective = entry.effective_cwe();
+        match effective {
+            CweLabel::Other => outcome.stats.other_count += 1,
+            CweLabel::NoInfo => outcome.stats.noinfo_count += 1,
+            CweLabel::Unassigned => outcome.stats.unassigned_count += 1,
+            CweLabel::Specific(_) => {}
+        }
+
         let additions: Vec<CweId> = mined
             .into_iter()
             .filter(|id| !entry.cwes.contains(&CweLabel::Specific(*id)))

@@ -17,8 +17,7 @@ use mlkit::knn::KnnClassifier;
 use mlkit::matrix::Matrix;
 use nvd_model::cwe::CweId;
 use nvd_model::prelude::{CveEntry, Database};
-use textkit::encoder::SentenceEncoder;
-use textkit::preprocess::preprocess;
+use textkit::encoder::{Idf, PreprocessedCorpus, SentenceEncoder};
 
 /// Options for [`train_type_classifier`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,14 +62,16 @@ impl TypeClassifier {
         self.classify_batch(&[description])[0]
     }
 
-    /// Predicts the CWE type of every description at once: embeddings fan
-    /// out over the `minipar` pool and the k-NN sweep runs as one batched
+    /// Predicts the CWE type of every description at once: the batch is
+    /// preprocessed once into a [`PreprocessedCorpus`], embeddings fan out
+    /// over the `minipar` pool, and the k-NN sweep runs as one batched
     /// Gram product.
     pub fn classify_batch(&self, descriptions: &[&str]) -> Vec<CweId> {
         if descriptions.is_empty() {
             return Vec::new();
         }
-        let x = embed_matrix(&self.encoder, descriptions.iter().copied());
+        let corpus = PreprocessedCorpus::build(descriptions.iter().copied(), self.encoder.seed());
+        let x = embed_corpus(&self.encoder, &corpus);
         self.knn
             .predict(&x)
             .into_iter()
@@ -84,24 +85,22 @@ impl TypeClassifier {
     }
 }
 
-/// Embeds every description into one flat `n × dim` matrix; per-text work
-/// shards over the `minipar` pool (pure per-item, so job-count invariant).
+/// Embeds an already-preprocessed corpus into one flat `n × dim` matrix;
+/// per-document scatter work shards over the `minipar` pool (pure per-item,
+/// so job-count invariant).
 ///
 /// # Panics
 ///
-/// Panics on an empty iterator (callers guard).
-fn embed_matrix<'a>(
-    encoder: &SentenceEncoder,
-    descriptions: impl Iterator<Item = &'a str>,
-) -> Matrix {
-    let texts: Vec<&str> = descriptions.collect();
-    let embedded = minipar::par_map(&texts, |text| encoder.encode_terms(&preprocess(text)));
-    let dim = embedded.first().map(Vec::len).expect("non-empty batch");
-    let mut rows = Vec::with_capacity(texts.len() * dim);
+/// Panics on an empty corpus (callers guard).
+fn embed_corpus(encoder: &SentenceEncoder, corpus: &PreprocessedCorpus) -> Matrix {
+    assert!(!corpus.is_empty(), "non-empty batch");
+    let embedded = encoder.encode_corpus(corpus);
+    let dim = encoder.dim();
+    let mut rows = Vec::with_capacity(corpus.len() * dim);
     for e in &embedded {
         rows.extend_from_slice(e);
     }
-    Matrix::from_vec(texts.len(), dim, rows)
+    Matrix::from_vec(corpus.len(), dim, rows)
 }
 
 /// Evaluation of the classifier on its held-out split.
@@ -148,24 +147,35 @@ pub fn train_type_classifier(
     let (train_idx, test_idx) =
         stratified_split_indices(&labels, options.test_fraction, options.seed);
 
-    // Build the encoder with IDF statistics from the training corpus only.
-    let encoder = SentenceEncoder::new(options.dim, options.seed).with_idf_corpus(
-        train_idx
-            .iter()
-            .filter_map(|&i| typed[i].0.primary_description()),
-    );
+    // Preprocess each training description exactly once: the same
+    // PreprocessedCorpus feeds the IDF fit (deterministic parallel
+    // par_fold) and the design-matrix encoding. Entries without a primary
+    // description embed as empty documents but are excluded from the IDF
+    // document population, matching the historical fit.
+    let text_of = |i: usize| typed[i].0.primary_description().unwrap_or_default();
+    let train_corpus =
+        PreprocessedCorpus::build(train_idx.iter().map(|&i| text_of(i)), options.seed);
+    let idf_docs: Vec<usize> = train_idx
+        .iter()
+        .enumerate()
+        .filter(|&(_, &i)| typed[i].0.primary_description().is_some())
+        .map(|(doc, _)| doc)
+        .collect();
+    let encoder = SentenceEncoder::new(options.dim, options.seed)
+        .with_idf(Idf::fit_corpus_docs(&train_corpus, &idf_docs));
 
     // Embeddings fan out over the pool and land in flat design matrices;
     // the held-out evaluation is one batched k-NN sweep.
-    let text_of = |i: usize| typed[i].0.primary_description().unwrap_or_default();
-    let train_x = embed_matrix(&encoder, train_idx.iter().map(|&i| text_of(i)));
+    let train_x = embed_corpus(&encoder, &train_corpus);
     let train_y: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
     let knn = KnnClassifier::fit(train_x, train_y, options.k);
 
     let accuracy = if test_idx.is_empty() {
         0.0
     } else {
-        let test_x = embed_matrix(&encoder, test_idx.iter().map(|&i| text_of(i)));
+        let test_corpus =
+            PreprocessedCorpus::build(test_idx.iter().map(|&i| text_of(i)), options.seed);
+        let test_x = embed_corpus(&encoder, &test_corpus);
         let pred = knn.predict(&test_x);
         let correct = test_idx
             .iter()

@@ -10,10 +10,14 @@
 //!   prefix tests, plus CPE-name tokenisation and abbreviation extraction in
 //!   [`tokenize`];
 //! * **§4.4 type classification** needs the description-preprocessing
-//!   pipeline ([`preprocess`]: case folding, contraction expansion,
-//!   stop-word removal via [`stopwords`], Porter stemming via [`stemmer`])
-//!   and a 512-dimensional sentence embedding ([`encoder::SentenceEncoder`],
-//!   the from-scratch substitute for the Universal Sentence Encoder).
+//!   pipeline ([`preprocess::Preprocessor`], a single-pass, buffer-reusing
+//!   implementation of case folding, contraction expansion, stop-word
+//!   removal via [`stopwords`], and in-place Porter stemming via
+//!   [`stemmer`]) and a 512-dimensional sentence embedding
+//!   ([`encoder::SentenceEncoder`], the from-scratch substitute for the
+//!   Universal Sentence Encoder). Corpus-scale work goes through
+//!   [`encoder::PreprocessedCorpus`]: preprocess once, intern every unique
+//!   term once, then fit IDF and encode off cached hashes in parallel.
 //!
 //! Everything is deterministic and dependency-free, so encodings and
 //! similarity scores are reproducible across runs and platforms.
@@ -45,8 +49,8 @@ pub mod stopwords;
 pub mod tokenize;
 
 pub use distance::{levenshtein, longest_common_substring, longest_common_substring_len};
-pub use encoder::{cosine, SentenceEncoder};
-pub use preprocess::preprocess;
-pub use stemmer::stem;
+pub use encoder::{cosine, Idf, PreprocessedCorpus, SentenceEncoder, TermInterner};
+pub use preprocess::{preprocess, Preprocessor};
+pub use stemmer::{stem, stem_in_place};
 pub use stopwords::is_stopword;
 pub use tokenize::{abbreviation, name_components, strip_specials, tokenize};

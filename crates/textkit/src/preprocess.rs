@@ -2,13 +2,34 @@
 //!
 //! "we unified the cases …, removed the stop words and special characters …,
 //! replaced contractions (e.g., *identifier's* is changed to *identifier*),
-//! and tense (past tense is changed to present tense …)". The pipeline here
-//! is: tokenize (case-folds and drops specials) → expand contractions → drop
-//! stop words → Porter-stem.
+//! and tense (past tense is changed to present tense …)". The pipeline is:
+//! case-fold → expand contractions → tokenize (drop specials) → drop stop
+//! words → Porter-stem.
+//!
+//! # The buffer-reuse design
+//!
+//! The original implementation materialised four generations of strings per
+//! call: a full-text lowercase `String`, a second contraction-expanded
+//! `String`, one `String` per token, and one more per stem. [`Preprocessor`]
+//! runs the same pipeline in a single pass over the input with **one**
+//! reusable token scratch buffer: words are scanned in place, contractions
+//! are matched against the raw (case-insensitively compared) word, tokens
+//! are lowercased byte-by-byte into the scratch, stop words are rejected by
+//! binary search over the sorted [`crate::stopwords::STOPWORDS`] slice, and
+//! Porter stemming mutates the scratch in place
+//! ([`crate::stemmer::stem_in_place`]). Pure-ASCII text — essentially all
+//! NVD descriptions — allocates nothing at all; non-ASCII text pays a single
+//! `str::to_lowercase` so that locale-free but *context-sensitive* mappings
+//! (final sigma) stay byte-identical with the original pipeline.
+//!
+//! The term stream is **guaranteed identical** to the historical
+//! allocate-per-token pipeline; `reference_preprocess` in this module's
+//! tests keeps the old composition alive as a property-test oracle.
 
-use crate::stemmer::stem;
+use std::cell::RefCell;
+
+use crate::stemmer::stem_in_place;
 use crate::stopwords::is_stopword;
-use crate::tokenize::tokenize;
 
 /// Common English contractions expanded before stemming. Possessive `'s` is
 /// handled structurally (tokenisation splits it off and `s` is dropped as a
@@ -44,6 +65,10 @@ const CONTRACTIONS: &[(&str, &[&str])] = &[
 
 /// Expands contractions in raw text (before tokenisation strips the
 /// apostrophes). Matching is case-insensitive; replacements are lowercase.
+///
+/// Retained as a standalone (allocating) utility; the hot path in
+/// [`Preprocessor`] performs the same expansion inline without building the
+/// intermediate string.
 ///
 /// ```
 /// use textkit::preprocess::expand_contractions;
@@ -84,9 +109,200 @@ fn split_trailing_ws(word: &str) -> (&str, &str) {
     word.split_at(end)
 }
 
+/// ASCII whitespace as `char::is_whitespace` sees it — including vertical
+/// tab (`0x0B`), which `u8::is_ascii_whitespace` omits.
+fn is_ws_byte(b: u8) -> bool {
+    matches!(b, b'\t' | b'\n' | b'\x0b' | b'\x0c' | b'\r' | b' ')
+}
+
+/// A reusable preprocessing pipeline: one scratch token buffer, reused
+/// across calls, with an allocation-free ASCII fast path.
+///
+/// Construct once and feed it many descriptions; the scratch grows to the
+/// longest token ever seen and stays there. Terms are handed to a callback
+/// as `&str` views into the scratch — collect them, intern them, or hash
+/// them without the pipeline ever allocating on your behalf.
+///
+/// ```
+/// use textkit::preprocess::Preprocessor;
+/// let mut pre = Preprocessor::new();
+/// let mut terms = Vec::new();
+/// pre.for_each_term("This capability can be accessed", |t| terms.push(t.to_owned()));
+/// assert_eq!(terms, vec!["capabl", "access"]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Preprocessor {
+    /// Current token: lowercased UTF-8 bytes, stemmed in place.
+    token: Vec<u8>,
+}
+
+impl Preprocessor {
+    /// Creates a preprocessor with an empty scratch buffer.
+    pub fn new() -> Self {
+        Self {
+            token: Vec::with_capacity(32),
+        }
+    }
+
+    /// Runs the full pipeline over `text`, invoking `emit` once per final
+    /// (stemmed, non-stop-word) term, in order. The `&str` argument is only
+    /// valid for the duration of the call.
+    pub fn for_each_term(&mut self, text: &str, mut emit: impl FnMut(&str)) {
+        if text.is_ascii() {
+            self.ascii_text(text.as_bytes(), &mut emit);
+        } else {
+            // Unicode fallback: `str::to_lowercase` is context-sensitive
+            // (e.g. Greek final sigma), which per-char folding cannot
+            // reproduce — pay one allocation to keep the term stream
+            // byte-identical with the reference pipeline.
+            let lowered = text.to_lowercase();
+            self.unicode_text(&lowered, &mut emit);
+        }
+    }
+
+    /// Convenience wrapper collecting the terms into owned `String`s.
+    pub fn preprocess(&mut self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each_term(text, |t| out.push(t.to_owned()));
+        out
+    }
+
+    // -- ASCII fast path ----------------------------------------------------
+
+    fn ascii_text(&mut self, bytes: &[u8], emit: &mut impl FnMut(&str)) {
+        let mut i = 0;
+        while i < bytes.len() {
+            if is_ws_byte(bytes[i]) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && !is_ws_byte(bytes[i]) {
+                i += 1;
+            }
+            self.ascii_word(&bytes[start..i], emit);
+        }
+    }
+
+    /// One whitespace-delimited word: contraction handling, then
+    /// tokenisation of the (possibly rewritten) pieces.
+    fn ascii_word(&mut self, word: &[u8], emit: &mut impl FnMut(&str)) {
+        for (pat, exp) in CONTRACTIONS {
+            if word.eq_ignore_ascii_case(pat.as_bytes()) {
+                for replacement in *exp {
+                    self.ascii_tokens(replacement.as_bytes(), emit);
+                }
+                return;
+            }
+        }
+        let n = word.len();
+        if n >= 3 && word[n - 3..].eq_ignore_ascii_case(b"n't") {
+            // Generic -n't: "doesn't" → "does not".
+            self.ascii_tokens(&word[..n - 3], emit);
+            self.ascii_tokens(b"not", emit);
+        } else if n >= 2 && word[n - 2..].eq_ignore_ascii_case(b"'s") {
+            // Possessive / clitic: keep the owner word only.
+            self.ascii_tokens(&word[..n - 2], emit);
+        } else {
+            self.ascii_tokens(word, emit);
+        }
+    }
+
+    /// Maximal alphanumeric runs of `bytes`, lowercased into the scratch.
+    fn ascii_tokens(&mut self, bytes: &[u8], emit: &mut impl FnMut(&str)) {
+        let mut i = 0;
+        while i < bytes.len() {
+            if !bytes[i].is_ascii_alphanumeric() {
+                i += 1;
+                continue;
+            }
+            self.token.clear();
+            while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                self.token.push(bytes[i].to_ascii_lowercase());
+                i += 1;
+            }
+            self.finish_token(emit);
+        }
+    }
+
+    // -- Unicode fallback (operates on already str-lowercased text) --------
+
+    fn unicode_text(&mut self, lowered: &str, emit: &mut impl FnMut(&str)) {
+        let mut rest = lowered;
+        while let Some(start) = rest.find(|c: char| !c.is_whitespace()) {
+            let tail = &rest[start..];
+            let end = tail.find(char::is_whitespace).unwrap_or(tail.len());
+            self.unicode_word(&tail[..end], emit);
+            rest = &tail[end..];
+        }
+    }
+
+    fn unicode_word(&mut self, word: &str, emit: &mut impl FnMut(&str)) {
+        for (pat, exp) in CONTRACTIONS {
+            if word == *pat {
+                for replacement in *exp {
+                    self.unicode_tokens(replacement, emit);
+                }
+                return;
+            }
+        }
+        if let Some(prefix) = word.strip_suffix("n't") {
+            self.unicode_tokens(prefix, emit);
+            self.unicode_tokens("not", emit);
+        } else if let Some(owner) = word.strip_suffix("'s") {
+            self.unicode_tokens(owner, emit);
+        } else {
+            self.unicode_tokens(word, emit);
+        }
+    }
+
+    fn unicode_tokens(&mut self, piece: &str, emit: &mut impl FnMut(&str)) {
+        self.token.clear();
+        for ch in piece.chars() {
+            if ch.is_alphanumeric() {
+                // Mirror `tokenize`: per-char fold (a no-op on text already
+                // lowercased by `str::to_lowercase`, but kept for parity).
+                let mut buf = [0u8; 4];
+                for lc in ch.to_lowercase() {
+                    self.token
+                        .extend_from_slice(lc.encode_utf8(&mut buf).as_bytes());
+                }
+            } else if !self.token.is_empty() {
+                self.finish_token(emit);
+                self.token.clear();
+            }
+        }
+        if !self.token.is_empty() {
+            self.finish_token(emit);
+        }
+    }
+
+    /// Stop-word filter + in-place stem + emit for the scratch token.
+    fn finish_token(&mut self, emit: &mut impl FnMut(&str)) {
+        let tok = std::str::from_utf8(&self.token).expect("tokens are valid UTF-8");
+        if is_stopword(tok) {
+            return;
+        }
+        stem_in_place(&mut self.token);
+        emit(std::str::from_utf8(&self.token).expect("stemmer preserves UTF-8"));
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the free [`preprocess`] function, so the
+    /// historical API stays allocation-free internally even when called
+    /// from `minipar` worker threads.
+    static SCRATCH: RefCell<Preprocessor> = RefCell::new(Preprocessor::new());
+}
+
 /// Fully preprocesses a description into normalised terms: contraction
 /// expansion, tokenisation with case folding and special-character removal,
 /// stop-word removal, Porter stemming.
+///
+/// Runs on a per-thread reusable [`Preprocessor`]; only the returned
+/// `Vec<String>` is allocated. For corpus-scale work prefer
+/// [`crate::encoder::PreprocessedCorpus`], which interns terms instead of
+/// materialising owned strings per occurrence.
 ///
 /// ```
 /// use textkit::preprocess::preprocess;
@@ -94,17 +310,25 @@ fn split_trailing_ws(word: &str) -> (&str, &str) {
 /// assert_eq!(preprocess("This capability can be accessed"), vec!["capabl", "access"]);
 /// ```
 pub fn preprocess(text: &str) -> Vec<String> {
-    let expanded = expand_contractions(text);
-    tokenize(&expanded)
-        .into_iter()
-        .filter(|t| !is_stopword(t))
-        .map(|t| stem(&t))
-        .collect()
+    SCRATCH.with(|pre| pre.borrow_mut().preprocess(text))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use proptest::sample::select;
+
+    /// The original allocate-per-token pipeline, kept verbatim as the
+    /// oracle the buffer-reuse implementation must match token-for-token.
+    fn reference_preprocess(text: &str) -> Vec<String> {
+        let expanded = expand_contractions(text);
+        crate::tokenize::tokenize(&expanded)
+            .into_iter()
+            .filter(|t| !is_stopword(t))
+            .map(|t| crate::stemmer::stem(&t))
+            .collect()
+    }
 
     #[test]
     fn contraction_expansion() {
@@ -147,5 +371,108 @@ mod tests {
         assert!(terms.iter().any(|t| t == "cwe"));
         assert!(terms.iter().any(|t| t == "89"));
         assert!(terms.iter().any(|t| t == "sql"));
+    }
+
+    #[test]
+    fn matches_reference_on_tricky_fixed_cases() {
+        let cases = [
+            "",
+            "   \t \n ",
+            "This capability can be accessed!",
+            "can't. won't, doesn'T shan't CANNOT",
+            "identifier's O'Reilly's n't 's xn't",
+            "CWE-89: SQL injection (login form) — crafted requests",
+            "脆弱性 情報 identifiers' flaw",
+            "Σίσυφος ΑΣ ΟΔΥΣΣΕΥΣ naïve İstanbul",
+            "mixed\u{00A0}nbsp\u{000B}vtab\u{000C}ff",
+            "they're you've it'll we'd LET'S",
+            "a-bn't c_d's e.f'g 1234n't 5's",
+            "ﬁle ﬂaw ǅungla ß",
+        ];
+        for text in cases {
+            let mut pre = Preprocessor::new();
+            let mut got = Vec::new();
+            pre.for_each_term(text, |t| got.push(t.to_owned()));
+            assert_eq!(got, reference_preprocess(text), "input {text:?}");
+            // And the free function (thread-local scratch) agrees too.
+            assert_eq!(preprocess(text), got, "input {text:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_calls() {
+        // One Preprocessor fed many different texts must behave exactly
+        // like a fresh instance per text.
+        let texts = [
+            "Buffer overflow in the TIFF decoder",
+            "can't access",
+            "",
+            "Σ sigma ΑΣ",
+            "SQL injection via the id parameter",
+        ];
+        let mut shared = Preprocessor::new();
+        for text in texts {
+            let mut reused = Vec::new();
+            shared.for_each_term(text, |t| reused.push(t.to_owned()));
+            let mut fresh = Preprocessor::new();
+            let mut once = Vec::new();
+            fresh.for_each_term(text, |t| once.push(t.to_owned()));
+            assert_eq!(reused, once, "input {text:?}");
+        }
+    }
+
+    /// One fragment of generated text: plain words, contraction forms,
+    /// possessives, punctuation runs, unicode snippets, odd whitespace.
+    fn arb_fragment() -> impl Strategy<Value = String> {
+        prop_oneof![
+            "[a-zA-Z0-9]{0,10}",
+            "[a-zA-Z]{0,6}n't",
+            "[a-zA-Z]{0,6}'s",
+            "[-!?.,;:'\"(){}_/]{0,4}",
+            " {0,3}",
+            select(vec![
+                "can't", "CAN'T", "won't", "cannot", "it's", "LET'S", "n't", "'s", "i'm",
+                "they're", "we've", "it'll", "we'd", "shan't",
+            ])
+            .prop_map(str::to_owned),
+            select(vec![
+                "脆弱性",
+                "Σίσυφος",
+                "ΑΣ",
+                "ΟΔΥΣΣΕΥΣ",
+                "İstanbul",
+                "naïve",
+                "ÅNGSTRÖM",
+                "αβγ",
+                "ß",
+                "ﬁle",
+                "Ǆungla",
+                "\u{00A0}",
+                "\u{000B}",
+                "\t",
+                "\n",
+            ])
+            .prop_map(str::to_owned),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn pipeline_matches_reference_on_arbitrary_text(
+            a in arb_fragment(),
+            b in arb_fragment(),
+            c in arb_fragment(),
+            d in arb_fragment(),
+            e in arb_fragment(),
+            f in arb_fragment(),
+            g in arb_fragment(),
+            h in arb_fragment(),
+        ) {
+            let text = format!("{a}{b}{c} {d}{e} {f}{g}{h}");
+            let mut pre = Preprocessor::new();
+            let mut got = Vec::new();
+            pre.for_each_term(&text, |t| got.push(t.to_owned()));
+            prop_assert_eq!(&got, &reference_preprocess(&text), "input {:?}", text);
+        }
     }
 }

@@ -22,15 +22,26 @@ pub fn stem(word: &str) -> String {
         return word.to_owned();
     }
     let mut w: Vec<u8> = word.bytes().collect();
-    step_1a(&mut w);
-    step_1b(&mut w);
-    step_1c(&mut w);
-    step_2(&mut w);
-    step_3(&mut w);
-    step_4(&mut w);
-    step_5a(&mut w);
-    step_5b(&mut w);
+    stem_in_place(&mut w);
     String::from_utf8(w).expect("ascii in, ascii out")
+}
+
+/// Stems a word in place on its UTF-8 byte buffer — the zero-allocation
+/// entry point the preprocessing pipeline runs on its reusable token
+/// scratch. Words that are too short or not pure lowercase ASCII are left
+/// untouched, exactly like [`stem`].
+pub fn stem_in_place(w: &mut Vec<u8>) {
+    if w.len() <= 2 || !w.iter().all(|b| b.is_ascii_lowercase()) {
+        return;
+    }
+    step_1a(w);
+    step_1b(w);
+    step_1c(w);
+    step_2(w);
+    step_3(w);
+    step_4(w);
+    step_5a(w);
+    step_5b(w);
 }
 
 /// Whether `w[i]` acts as a consonant under Porter's rules (`y` is a
@@ -353,6 +364,26 @@ mod tests {
         // "vulnerabilities" -> ies->i -> biliti->ble -> able stripped.
         assert_eq!(stem("vulnerabilities"), "vulner");
         assert_eq!(stem("vulnerabilities"), stem("vulnerable"));
+    }
+
+    #[test]
+    fn in_place_matches_allocating_stem() {
+        for word in [
+            "caresses",
+            "vulnerabilities",
+            "exploited",
+            "a",
+            "xss",
+            "sql2",
+            "Mixed",
+            "脆弱性",
+            "controll",
+            "relational",
+        ] {
+            let mut buf = word.as_bytes().to_vec();
+            stem_in_place(&mut buf);
+            assert_eq!(String::from_utf8(buf).unwrap(), stem(word), "{word}");
+        }
     }
 
     #[test]

@@ -4,10 +4,9 @@
 //! paper removes before encoding descriptions ("commonly used words that do
 //! not affect the meaning of the sentence").
 
-use std::collections::HashSet;
-use std::sync::OnceLock;
-
-/// The stop-word list. Lowercase; check tokens after case folding.
+/// The stop-word list. Lowercase, sorted ascending — [`is_stopword`] binary
+/// searches it directly, so there is no lazily-built hash set to probe (and
+/// no per-process init); check tokens after case folding.
 pub const STOPWORDS: &[&str] = &[
     "a",
     "about",
@@ -159,12 +158,10 @@ pub const STOPWORDS: &[&str] = &[
     "yourselves",
 ];
 
-fn stopword_set() -> &'static HashSet<&'static str> {
-    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
-    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
-}
-
 /// Whether a (lowercase) token is a stop word.
+///
+/// A binary search over the sorted [`STOPWORDS`] slice: ~8 branchy string
+/// compares on short keys, no hashing, no heap.
 ///
 /// ```
 /// use textkit::stopwords::is_stopword;
@@ -172,7 +169,7 @@ fn stopword_set() -> &'static HashSet<&'static str> {
 /// assert!(!is_stopword("overflow"));
 /// ```
 pub fn is_stopword(token: &str) -> bool {
-    stopword_set().contains(token)
+    STOPWORDS.binary_search(&token).is_ok()
 }
 
 #[cfg(test)]
@@ -201,11 +198,14 @@ mod tests {
     }
 
     #[test]
-    fn list_is_lowercase_and_unique() {
-        let mut seen = HashSet::new();
+    fn list_is_lowercase_sorted_and_unique() {
+        // Strictly ascending order is what makes the binary search in
+        // `is_stopword` correct; strictness also rules out duplicates.
+        for pair in STOPWORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} !< {:?}", pair[0], pair[1]);
+        }
         for w in STOPWORDS {
             assert_eq!(*w, w.to_lowercase(), "{w} not lowercase");
-            assert!(seen.insert(*w), "{w} duplicated");
         }
     }
 }

@@ -3,7 +3,8 @@
 //! classification pipelines depend on that for reproducible runs.
 
 use textkit::distance::{levenshtein, longest_common_substring_len, trigram_jaccard};
-use textkit::preprocess::preprocess;
+use textkit::encoder::{Idf, PreprocessedCorpus, SentenceEncoder};
+use textkit::preprocess::{preprocess, Preprocessor};
 use textkit::stemmer::stem;
 use textkit::tokenize::tokenize;
 
@@ -45,6 +46,44 @@ fn preprocess_is_deterministic() {
     let first = preprocess(DESCRIPTION);
     for _ in 0..5 {
         assert_eq!(preprocess(DESCRIPTION), first);
+    }
+}
+
+#[test]
+fn reused_preprocessor_matches_free_function() {
+    // The scratch-buffer pipeline behind the free function must behave
+    // identically when one Preprocessor instance is reused across many
+    // texts — no state may leak between calls.
+    let texts = [
+        DESCRIPTION,
+        "",
+        "can't won't doesn't",
+        "Buffer overflow (CWE-120) in the TIFF decoder!",
+        "脆弱性 情報 Σίσυφος ΑΣ",
+    ];
+    let mut pre = Preprocessor::new();
+    for text in texts {
+        let mut terms = Vec::new();
+        pre.for_each_term(text, |t| terms.push(t.to_owned()));
+        assert_eq!(terms, preprocess(text), "input {text:?}");
+    }
+}
+
+#[test]
+fn corpus_pipeline_is_bit_identical_to_per_call_pipeline() {
+    // PreprocessedCorpus + fit_corpus + encode_corpus must reproduce the
+    // per-call preprocess/add_document/encode composition exactly.
+    let texts = [
+        DESCRIPTION,
+        "Buffer overflow in the kernel driver causes local denial of service.",
+        "Cross-site scripting in the search form.",
+    ];
+    let corpus = PreprocessedCorpus::build(texts.iter().copied(), 0x5e17);
+    let enc = SentenceEncoder::new(128, 0x5e17).with_idf(Idf::fit_corpus(&corpus));
+    let batch = enc.encode_corpus(&corpus);
+    let per_call = SentenceEncoder::new(128, 0x5e17).with_idf_corpus(texts.iter().copied());
+    for (i, text) in texts.iter().enumerate() {
+        assert_eq!(batch[i], per_call.encode(text), "doc {i}");
     }
 }
 
