@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Unified CI bench gate for the perf-smoke job.
+
+Each ``BENCH_*.json`` artifact (one JSON object per line, written by the
+vendored criterion shim when ``BENCH_JSON`` is set) records best/mean/stddev
+per bench id.  ``MANIFEST`` lists, per artifact, the ``(new, baseline)`` id
+pairs that must satisfy ``new.best_ns < baseline.best_ns`` — every "the new
+implementation must beat its in-bench legacy replica at jobs=1" gate goes
+through here instead of a copy-pasted inline-Python step per bench.
+
+Best-of-N is compared rather than means: on shared runners a single noisy
+sample inflates a 10-sample mean, while the best observation is stable —
+this keeps the gate meaningful without flaking.
+
+Usage: python3 ci/bench_gate.py BENCH_mlkit.json BENCH_textkit.json ...
+"""
+
+import json
+import os
+import sys
+
+MANIFEST = {
+    "BENCH_mlkit.json": [
+        ("mlkit_fit/batched/jobs_1", "mlkit_fit/legacy_per_sample"),
+    ],
+    "BENCH_textkit.json": [
+        ("textkit_preprocess/new/jobs_1", "textkit_preprocess/legacy"),
+        ("textkit_corpus_encode/new/jobs_1", "textkit_corpus_encode/legacy"),
+    ],
+    "BENCH_names.json": [
+        ("names_vendor_sweep/new/jobs_1", "names_vendor_sweep/legacy"),
+        ("names_product_sweep/new/jobs_1", "names_product_sweep/legacy"),
+    ],
+}
+
+
+def load_stats(path):
+    stats = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                rec = json.loads(line)
+                stats[rec["id"]] = rec
+    return stats
+
+
+def describe(rec):
+    return (
+        f"best {rec['best_ns']:.0f} ns "
+        f"(mean {rec['mean_ns']:.0f} ± {rec['stddev_ns']:.0f}, n={rec['samples']})"
+    )
+
+
+def main(paths):
+    if not paths:
+        sys.exit("usage: bench_gate.py BENCH_file.json [BENCH_file.json ...]")
+    failures = []
+    for path in paths:
+        name = os.path.basename(path)
+        pairs = MANIFEST.get(name)
+        if pairs is None:
+            sys.exit(f"{name}: no manifest entry — add its gates to ci/bench_gate.py")
+        stats = load_stats(path)
+        for new_id, baseline_id in pairs:
+            missing = [i for i in (new_id, baseline_id) if i not in stats]
+            if missing:
+                sys.exit(f"{name}: bench id(s) missing from artifact: {missing}")
+            new, baseline = stats[new_id], stats[baseline_id]
+            print(f"{name}: {new_id}: {describe(new)}")
+            print(f"{name}: {baseline_id}: {describe(baseline)}")
+            if new["best_ns"] < baseline["best_ns"]:
+                speedup = baseline["best_ns"] / new["best_ns"]
+                print(f"{name}: OK — {new_id} is {speedup:.2f}x faster than {baseline_id}")
+            else:
+                failures.append(f"{name}: {new_id} is no faster than {baseline_id}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        sys.exit(1)
+    print(f"all {sum(len(MANIFEST[os.path.basename(p)]) for p in paths)} bench gates passed")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

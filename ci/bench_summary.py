@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Merges BENCH_*.json artifacts into one readable markdown table.
+
+The perf-smoke job prints the table in its log and uploads it as
+``BENCH_summary.md``, so the bench trajectory is visible per run without
+downloading the raw line-JSON artifacts.
+
+Usage: python3 ci/bench_summary.py BENCH_*.json > BENCH_summary.md
+"""
+
+import json
+import os
+import sys
+
+
+def human(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("µs", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main(paths):
+    if not paths:
+        sys.exit("usage: bench_summary.py BENCH_file.json [BENCH_file.json ...]")
+    print("| artifact | bench id | best | mean ± stddev | samples |")
+    print("|---|---|---|---|---|")
+    rows = 0
+    for path in sorted(paths):
+        name = os.path.basename(path)
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                # Pre-stats-shim records carry only best_ns; render what
+                # exists rather than refusing the whole artifact.
+                if "mean_ns" in rec and "stddev_ns" in rec:
+                    spread = f"{human(rec['mean_ns'])} ± {human(rec['stddev_ns'])}"
+                else:
+                    spread = "—"
+                print(
+                    f"| {name} | {rec['id']} | {human(rec['best_ns'])} "
+                    f"| {spread} | {rec.get('samples', '—')} |"
+                )
+                rows += 1
+    if rows == 0:
+        sys.exit("no bench records found in the given artifacts")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

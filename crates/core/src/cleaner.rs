@@ -121,9 +121,10 @@ impl Cleaner {
     /// report. The input database is not modified.
     ///
     /// `verifier` stands in for the paper's manual pair vetting; it must be
-    /// `Sync` because the per-CVE stages (disclosure estimation, candidate
-    /// verification, severity feature extraction) fan out over the
-    /// `minipar` pool. Output is bit-identical at any `NVD_JOBS` setting.
+    /// `Sync` because the per-CVE stages (disclosure estimation, the §4.2
+    /// candidate sweeps and their verification, severity feature
+    /// extraction) fan out over the `minipar` pool. Output is bit-identical
+    /// at any `NVD_JOBS` setting.
     pub fn clean<V: Verifier + Sync>(
         &self,
         db: &Database,
@@ -138,9 +139,11 @@ impl Cleaner {
             .with_rule(self.options.aggregation);
         let disclosure = estimator.estimate_all(&cleaned);
 
-        // §4.2 — vendor names. Pair verification is the stand-in for the
-        // paper's manual review of every flagged pair: per-pair work with
-        // no cross-pair state, so it maps in candidate order.
+        // §4.2 — vendor names on the blocked matching engine (interned ids,
+        // block proposal and signal annotation fan out over minipar). Pair
+        // verification is the stand-in for the paper's manual review of
+        // every flagged pair: per-pair work with no cross-pair state, so it
+        // maps in candidate order.
         let vendor_candidates = find_vendor_candidates(&cleaned);
         let confirmed_flags: Vec<bool> =
             minipar::par_map(&vendor_candidates, |c| verifier.confirm(c));
@@ -153,7 +156,8 @@ impl Cleaner {
         let pattern_breakdown = PatternBreakdown::tabulate(&vendor_candidates, &confirmed_flags);
         let mut mapping = NameMapping::build_vendor(&confirmed, &cleaned);
 
-        // §4.2 — product names (under consolidated vendors). Token and
+        // §4.2 — product names (under consolidated vendors, one parallel
+        // block per vendor). Token and
         // abbreviation pairs are reliable; edit-distance pairs need the
         // verifier's scrutiny, which our stand-ins only provide for
         // vendors — so accept token/abbreviation unconditionally and

@@ -5,13 +5,25 @@
 //! manual in the paper, pluggable here ([`verify`]) — confirms matching
 //! pairs; confirmed pairs are grouped and each group remapped to the name
 //! with the most associated CVEs ([`mapping`]).
+//!
+//! Both candidate sweeps run on the blocked matching engine: names are
+//! interned into dense-id [`table::NameTable`]s, blocking passes
+//! materialise candidate groups as sorted id vectors, and pair proposal
+//! plus signal annotation fan out over the `minipar` pool while staying
+//! bit-identical to the pre-blocking serial sweeps (kept verbatim in the
+//! hidden `legacy` module as the test oracle and bench baseline).
 
 pub mod mapping;
 pub mod product;
+pub mod table;
 pub mod vendor;
 pub mod verify;
 
+#[doc(hidden)]
+pub mod legacy;
+
 pub use mapping::{ApplyStats, NameMapping};
 pub use product::{find_product_candidates, ProductCandidate, ProductHeuristic};
+pub use table::NameTable;
 pub use vendor::{find_vendor_candidates, PatternBreakdown, VendorCandidate};
 pub use verify::{AcceptanceRateVerifier, OracleVerifier, Verifier};

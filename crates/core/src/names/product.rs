@@ -9,14 +9,23 @@
 //! distance needs verification because near-identical products can be
 //! genuinely different (`ucs-e160dp-m1_firmware` / `ucs-e140dp-m1_firmware`),
 //! which is why candidates carry their heuristic for the verifier.
+//!
+//! On the blocked engine each vendor is one block: its product set is
+//! interned into a per-vendor [`NameTable`], the three heuristics propose
+//! ordered id triples, and the per-vendor sweeps fan out over `minipar`,
+//! concatenating in ascending vendor order. Because ids follow name order
+//! and vendors are the outermost sort key, that concatenation reproduces
+//! the historical global sort + dedup byte for byte (`names::legacy` keeps
+//! the old sweep as the oracle that pins this).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use nvd_model::prelude::{Database, ProductName, VendorName};
-use textkit::distance::levenshtein;
+use textkit::distance::levenshtein_at_most;
 use textkit::tokenize::{abbreviation, name_components};
 
 use super::mapping::NameMapping;
+use super::table::NameTable;
 
 /// Which heuristic proposed a product pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,6 +54,13 @@ pub struct ProductCandidate {
 /// Digit-difference guard for the edit-distance heuristic: names that
 /// differ in a digit are usually genuinely different models/versions
 /// (the paper's cisco firmware example).
+///
+/// The comparison is positional — character `i` of `a` against character
+/// `i` of `b` — which is only meaningful when the two byte streams align
+/// one-to-one. The equal-length precondition below makes that explicit:
+/// unequal lengths mean an insertion/deletion typo, where positional digit
+/// comparison would be misaligned, so the guard never fires and the pair
+/// stays eligible for flagging.
 fn differs_only_in_digit(a: &str, b: &str) -> bool {
     if a.len() != b.len() {
         return false;
@@ -54,8 +70,16 @@ fn differs_only_in_digit(a: &str, b: &str) -> bool {
         .any(|(x, y)| x != y && x.is_ascii_digit() && y.is_ascii_digit())
 }
 
+/// Vendors with more products than this skip the quadratic edit-distance
+/// heuristic (per-vendor product counts are normally small).
+const EDIT_SWEEP_CAP: usize = 600;
+
 /// Finds candidate product pairs under each vendor after applying the
 /// vendor mapping.
+///
+/// Each vendor's sweep is independent, so the per-vendor blocks fan out
+/// over `minipar` and concatenate in ascending vendor order; output is
+/// bit-identical at every `NVD_JOBS` setting.
 pub fn find_product_candidates(db: &Database, mapping: &NameMapping) -> Vec<ProductCandidate> {
     // Products per consolidated vendor.
     let mut products: BTreeMap<VendorName, BTreeSet<ProductName>> = BTreeMap::new();
@@ -69,86 +93,84 @@ pub fn find_product_candidates(db: &Database, mapping: &NameMapping) -> Vec<Prod
         }
     }
 
-    let mut out = Vec::new();
-    for (vendor, names) in &products {
-        let names: Vec<&ProductName> = names.iter().collect();
+    let per_vendor: Vec<(&VendorName, &BTreeSet<ProductName>)> = products.iter().collect();
+    let sweeps = minipar::par_map(&per_vendor, |&(vendor, names)| sweep_vendor(vendor, names));
+    sweeps.into_iter().flatten().collect()
+}
 
-        // Heuristic 1: identical token sequences.
-        let mut by_tokens: BTreeMap<Vec<String>, Vec<&ProductName>> = BTreeMap::new();
-        for p in &names {
-            by_tokens
-                .entry(name_components(p.as_str()))
-                .or_default()
-                .push(p);
-        }
-        for group in by_tokens.values() {
-            for (i, a) in group.iter().enumerate() {
-                for b in group.iter().skip(i + 1) {
-                    push_ordered(&mut out, vendor, a, b, ProductHeuristic::TokenEquivalent);
-                }
+/// The per-vendor block: interns the vendor's products and runs the three
+/// heuristics over dense ids, returning candidates in `(a, b)` order with
+/// the strongest heuristic kept on duplicates.
+fn sweep_vendor(vendor: &VendorName, names: &BTreeSet<ProductName>) -> Vec<ProductCandidate> {
+    let table = NameTable::from_sorted_iter(names.iter());
+    let n = table.len() as u32;
+    let mut pairs: Vec<(u32, u32, ProductHeuristic)> = Vec::new();
+
+    // Heuristic 1: identical token sequences.
+    let mut by_tokens: BTreeMap<Vec<String>, Vec<u32>> = BTreeMap::new();
+    for (id, p) in table.enumerate() {
+        by_tokens
+            .entry(name_components(p.as_str()))
+            .or_default()
+            .push(id);
+    }
+    for group in by_tokens.into_values() {
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                pairs.push((a, b, ProductHeuristic::TokenEquivalent));
             }
         }
+    }
 
-        // Heuristic 2: abbreviation of token initials.
-        let name_set: BTreeSet<&str> = names.iter().map(|p| p.as_str()).collect();
-        for p in &names {
-            if let Some(abbrev) = abbreviation(p.as_str()) {
-                if abbrev.len() >= 2 && abbrev != p.as_str() && name_set.contains(abbrev.as_str()) {
-                    let other = names
-                        .iter()
-                        .find(|q| q.as_str() == abbrev.as_str())
-                        .expect("present in set");
-                    push_ordered(&mut out, vendor, p, other, ProductHeuristic::Abbreviation);
-                }
-            }
-        }
-
-        // Heuristic 3: edit distance 1 (typos), guarded against digit-only
-        // differences; quadratic within the vendor, which is fine because
-        // per-vendor product counts are small.
-        if names.len() <= 600 {
-            for (i, a) in names.iter().enumerate() {
-                for b in names.iter().skip(i + 1) {
-                    if a.as_str().len().abs_diff(b.as_str().len()) > 1 {
-                        continue;
-                    }
-                    if differs_only_in_digit(a.as_str(), b.as_str()) {
-                        continue;
-                    }
-                    if levenshtein(a.as_str(), b.as_str()) == 1 {
-                        push_ordered(&mut out, vendor, a, b, ProductHeuristic::EditDistance);
-                    }
+    // Heuristic 2: abbreviation of token initials, resolved through the
+    // table's binary search (the legacy sweep re-scanned the name list on
+    // every hit).
+    for (id, p) in table.enumerate() {
+        if let Some(abbrev) = abbreviation(p.as_str()) {
+            if abbrev.len() >= 2 && abbrev != p.as_str() {
+                if let Some(other) = table.id_of(&abbrev) {
+                    pairs.push((id.min(other), id.max(other), ProductHeuristic::Abbreviation));
                 }
             }
         }
     }
+
+    // Heuristic 3: edit distance 1 (typos), guarded against digit-only
+    // differences; quadratic within the vendor, which is fine because
+    // per-vendor product counts are small. The banded early-exit
+    // Levenshtein stops scanning once the distance band exceeds 1.
+    if table.len() <= EDIT_SWEEP_CAP {
+        for a in 0..n {
+            let sa = table.name(a).as_str();
+            for b in a + 1..n {
+                let sb = table.name(b).as_str();
+                if sa.len().abs_diff(sb.len()) > 1 {
+                    continue;
+                }
+                if differs_only_in_digit(sa, sb) {
+                    continue;
+                }
+                if levenshtein_at_most(sa, sb, 1) == Some(1) {
+                    pairs.push((a, b, ProductHeuristic::EditDistance));
+                }
+            }
+        }
+    }
+
     // A pair can be proposed by several heuristics; keep the strongest
     // (TokenEquivalent < Abbreviation < EditDistance by enum order — token
     // equivalence is the most reliable, so sort and dedupe keeps it).
-    out.sort_by(|x, y| {
-        (&x.vendor, &x.a, &x.b, x.heuristic).cmp(&(&y.vendor, &y.a, &y.b, y.heuristic))
-    });
-    out.dedup_by(|x, y| x.vendor == y.vendor && x.a == y.a && x.b == y.b);
-    out
-}
-
-fn push_ordered(
-    out: &mut Vec<ProductCandidate>,
-    vendor: &VendorName,
-    a: &ProductName,
-    b: &ProductName,
-    heuristic: ProductHeuristic,
-) {
-    if a == b {
-        return;
-    }
-    let (x, y) = if a <= b { (a, b) } else { (b, a) };
-    out.push(ProductCandidate {
-        vendor: vendor.clone(),
-        a: x.clone(),
-        b: y.clone(),
-        heuristic,
-    });
+    pairs.sort_unstable();
+    pairs.dedup_by_key(|&mut (a, b, _)| (a, b));
+    pairs
+        .into_iter()
+        .map(|(a, b, heuristic)| ProductCandidate {
+            vendor: vendor.clone(),
+            a: table.name(a).clone(),
+            b: table.name(b).clone(),
+            heuristic,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -215,6 +237,27 @@ mod tests {
     }
 
     #[test]
+    fn digit_guard_is_positional() {
+        // The paper's cisco firmware regression: equal lengths, one digit
+        // position differs → guard fires.
+        assert!(differs_only_in_digit(
+            "ucs-e160dp-m1_firmware",
+            "ucs-e140dp-m1_firmware"
+        ));
+        // Letter typo at equal length → no digit difference.
+        assert!(!differs_only_in_digit(
+            "tbe_banner_engine",
+            "the_banner_engine"
+        ));
+        // Unequal lengths (insertion typo) never trip the guard, even with
+        // digits present — positional comparison would be misaligned.
+        assert!(!differs_only_in_digit("router2", "router21"));
+        assert!(!differs_only_in_digit("e160", "e1600"));
+        // Identical names have no differing position at all.
+        assert!(!differs_only_in_digit("e160", "e160"));
+    }
+
+    #[test]
     fn different_vendors_are_not_compared() {
         let db = db_with(&[("avg", "antivirus"), ("avast", "antivirus!")]);
         let cands = find(&db);
@@ -233,5 +276,44 @@ mod tests {
         let cands = find_product_candidates(&db, &mapping);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].vendor.as_str(), "avg");
+    }
+
+    #[test]
+    fn blocked_sweep_matches_legacy_replica_on_mixed_fixture() {
+        // All three heuristics fire, across several vendors, with a pair
+        // (internet_explorer / internet-explorer) proposed by both token
+        // equivalence and edit distance so the dedup tiebreak is exercised.
+        let db = db_with(&[
+            ("microsoft", "internet_explorer"),
+            ("microsoft", "internet-explorer"),
+            ("microsoft", "ie"),
+            ("nativesolutions", "tbe_banner_engine"),
+            ("nativesolutions", "the_banner_engine"),
+            ("cisco", "ucs-e160dp-m1_firmware"),
+            ("cisco", "ucs-e140dp-m1_firmware"),
+            ("avg", "antivirus"),
+            ("avg", "anti-virus"),
+        ]);
+        let mapping = NameMapping::default();
+        let blocked = find_product_candidates(&db, &mapping);
+        let legacy = crate::names::legacy::find_product_candidates_legacy(&db, &mapping);
+        assert_eq!(blocked, legacy);
+    }
+
+    #[test]
+    fn blocked_sweep_is_bit_identical_across_job_counts() {
+        let db = db_with(&[
+            ("microsoft", "internet_explorer"),
+            ("microsoft", "internet-explorer"),
+            ("microsoft", "ie"),
+            ("nativesolutions", "tbe_banner_engine"),
+            ("nativesolutions", "the_banner_engine"),
+            ("avg", "antivirus"),
+            ("avg", "anti-virus"),
+        ]);
+        let mapping = NameMapping::default();
+        let serial = minipar::with_jobs(1, || find_product_candidates(&db, &mapping));
+        let wide = minipar::with_jobs(4, || find_product_candidates(&db, &mapping));
+        assert_eq!(serial, wide);
     }
 }

@@ -1,0 +1,100 @@
+//! The interned name table behind the §4.2 blocking substrate.
+//!
+//! Both candidate sweeps ([`vendor`](super::vendor), [`product`](super::product))
+//! start by interning the relevant name universe into dense `u32` ids
+//! assigned in ascending name order. That ordering is the whole trick:
+//! comparing ids *is* comparing names, so an ordered id pair
+//! `(min_id, max_id)` sorts exactly like the lexicographically ordered name
+//! pair — a flat `Vec<(u32, u32)>` plus `sort_unstable` + `dedup`
+//! reproduces the historical `BTreeSet<(&Name, &Name)>` candidate order
+//! with integer comparisons, which is what lets the blocked sweeps fan out
+//! over `minipar` while staying bit-identical to the serial sweep.
+
+/// A dense-id view over a sorted, deduplicated set of names.
+///
+/// Ids follow ascending name order; [`NameTable::id_of`] replaces the
+/// `O(n)` `iter().find(...)` scans the pre-blocking sweeps used for
+/// abbreviation lookups with a binary search over the interned slice.
+#[derive(Debug)]
+pub struct NameTable<'a, N> {
+    names: Vec<&'a N>,
+}
+
+impl<'a, N: Ord + AsRef<str>> NameTable<'a, N> {
+    /// Builds a table from a strictly ascending iterator of names (e.g. a
+    /// `BTreeSet`'s or `BTreeMap`'s borrowing iterator).
+    pub fn from_sorted_iter(iter: impl IntoIterator<Item = &'a N>) -> Self {
+        let names: Vec<&'a N> = iter.into_iter().collect();
+        debug_assert!(
+            names.windows(2).all(|w| w[0] < w[1]),
+            "names must be strictly ascending"
+        );
+        Self { names }
+    }
+
+    /// Number of interned names (the id space is `0..len`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name behind a dense id.
+    pub fn name(&self, id: u32) -> &'a N {
+        self.names[id as usize]
+    }
+
+    /// All names, indexable by id.
+    pub fn names(&self) -> &[&'a N] {
+        &self.names
+    }
+
+    /// The dense id of `s`, if that exact string is interned.
+    pub fn id_of(&self, s: &str) -> Option<u32> {
+        self.names
+            .binary_search_by(|n| n.as_ref().cmp(s))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// `(id, name)` pairs in ascending id (= name) order.
+    pub fn enumerate(&self) -> impl Iterator<Item = (u32, &'a N)> + '_ {
+        self.names.iter().enumerate().map(|(i, &n)| (i as u32, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use super::*;
+    use nvd_model::prelude::VendorName;
+
+    #[test]
+    fn ids_follow_name_order_and_lookup_round_trips() {
+        let names: Vec<VendorName> = ["oracle", "bea", "bea_systems", "avast"]
+            .iter()
+            .map(|s| VendorName::new(s))
+            .collect();
+        let set: BTreeSet<&VendorName> = names.iter().collect();
+        let table = NameTable::from_sorted_iter(set);
+        assert_eq!(table.len(), 4);
+        let in_order: Vec<&str> = table.names().iter().map(|n| n.as_str()).collect();
+        assert_eq!(in_order, ["avast", "bea", "bea_systems", "oracle"]);
+        for (id, name) in table.enumerate() {
+            assert_eq!(table.id_of(name.as_str()), Some(id));
+            assert_eq!(table.name(id), name);
+        }
+        assert_eq!(table.id_of("microsoft"), None);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table: NameTable<'_, VendorName> = NameTable::from_sorted_iter(BTreeSet::new());
+        assert!(table.is_empty());
+        assert_eq!(table.id_of("x"), None);
+    }
+}

@@ -10,12 +10,24 @@
 //! Pairs are annotated with the paper's Table 2 signals: token-identity,
 //! number of matching products (`#MP`), strict-prefix relation (`Pref`),
 //! product-as-vendor (`PaV`), and the longest-common-substring length.
+//!
+//! The sweep runs on the blocked engine: the vendor universe is interned
+//! into a [`NameTable`], every blocking pass materialises its candidate
+//! groups as sorted-id work units, pair proposal fans the blocks over
+//! `minipar` (merged in ascending block order, then `sort` + `dedup` on id
+//! pairs — which reproduces the historical `BTreeSet` ordering exactly,
+//! because ids are assigned in name order), and signal annotation is a
+//! second `par_map` over the deduped proposal list. Output is bit-identical
+//! to the serial sweep at every `NVD_JOBS`; `names::legacy` keeps the
+//! pre-blocking implementation as the oracle that pins this.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use nvd_model::prelude::{Database, VendorName};
-use textkit::distance::{is_strict_prefix_pair, levenshtein, longest_common_substring_len};
+use nvd_model::prelude::{Database, ProductName, VendorName};
+use textkit::distance::{is_strict_prefix_pair, levenshtein_at_most, longest_common_substring_len};
 use textkit::tokenize::{abbreviation, strip_specials};
+
+use super::table::NameTable;
 
 /// A flagged vendor-name pair with its Table 2 signals.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,176 +57,234 @@ impl VendorCandidate {
     }
 }
 
+/// Shared-product groups larger than this are skipped: huge groups (e.g. a
+/// generic product name) propose quadratically many junk pairs.
+const SHARED_PRODUCT_GROUP_CAP: usize = 50;
+
+/// Edit-distance blocks larger than this are skipped for the same reason.
+const EDIT_GROUP_CAP: usize = 200;
+
+/// Edit-distance budget for the near-duplicate spelling blocks.
+const EDIT_MAX: usize = 2;
+
+/// How many prefix-scan start ids each work unit covers.
+const PREFIX_SCAN_CHUNK: u32 = 256;
+
+/// One blocking work unit: a group of ids that may contain matching pairs,
+/// plus the rule for proposing pairs from it. Ids inside a block ascend, so
+/// every proposal is already an ordered `(smaller, larger)` pair.
+#[derive(Debug)]
+enum Block {
+    /// Every unordered pair in the group is proposed (identical normalised
+    /// form; shared product name).
+    AllPairs(Vec<u32>),
+    /// The centre pairs with every other member (abbreviation collisions;
+    /// product-as-vendor).
+    Star { center: u32, others: Vec<u32> },
+    /// Pairs within edit distance [`EDIT_MAX`] (shared 4-prefix / 4-suffix
+    /// spelling blocks).
+    EditPairs(Vec<u32>),
+    /// Forward prefix scan over the ascending id range `[start, end)`: each
+    /// start id pairs with every follower it strictly prefixes.
+    PrefixScan { start: u32, end: u32 },
+}
+
+impl Block {
+    /// Appends this block's proposals to `out` as ordered id pairs.
+    fn propose(&self, table: &NameTable<'_, VendorName>, out: &mut Vec<(u32, u32)>) {
+        match self {
+            Block::AllPairs(ids) => {
+                for (i, &a) in ids.iter().enumerate() {
+                    for &b in &ids[i + 1..] {
+                        out.push((a, b));
+                    }
+                }
+            }
+            Block::Star { center, others } => {
+                for &o in others {
+                    if o != *center {
+                        out.push((o.min(*center), o.max(*center)));
+                    }
+                }
+            }
+            Block::EditPairs(ids) => {
+                for (i, &a) in ids.iter().enumerate() {
+                    let sa = table.name(a).as_str();
+                    for &b in &ids[i + 1..] {
+                        if levenshtein_at_most(sa, table.name(b).as_str(), EDIT_MAX).is_some() {
+                            out.push((a, b));
+                        }
+                    }
+                }
+            }
+            Block::PrefixScan { start, end } => {
+                let n = table.len() as u32;
+                for i in *start..*end {
+                    let prefix = table.name(i).as_str();
+                    for j in i + 1..n {
+                        if !table.name(j).as_str().starts_with(prefix) {
+                            break;
+                        }
+                        out.push((i, j));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Finds all candidate vendor pairs in a database.
 ///
 /// Blocking keeps this sub-quadratic: pairs are proposed from shared
 /// normalised forms, shared abbreviations, shared products, vendor names
 /// colliding with product names, prefix neighbourhoods in sorted order, and
 /// near-duplicate spelling (edit distance ≤ 2 within a shared-trigram
-/// block). Signals are then computed per proposed pair.
+/// block). Proposal and signal annotation each fan out over the `minipar`
+/// pool; output is bit-identical at every `NVD_JOBS` setting.
 pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
-    let vendors: Vec<&VendorName> = db.vendor_set().into_iter().collect();
+    // Every CPE contributes its vendor to `products_by_vendor`, so the
+    // map's key set *is* the vendor universe in sorted order — interning
+    // from it skips the separate `vendor_set` pass the legacy sweep paid
+    // for, and the per-id product sets are just the values in key order.
     let products_by_vendor = db.products_by_vendor();
-    let empty = BTreeSet::new();
+    let table = NameTable::from_sorted_iter(products_by_vendor.keys().copied());
+    let products: Vec<&BTreeSet<&ProductName>> = products_by_vendor.values().collect();
+    // Per-id derived keys, computed once and shared by blocking and
+    // annotation (the legacy sweep recomputed them per pair).
+    let norms: Vec<String> = table
+        .names()
+        .iter()
+        .map(|v| strip_specials(v.as_str()))
+        .collect();
+    let abbrevs: Vec<Option<String>> = table
+        .names()
+        .iter()
+        .map(|v| abbreviation(v.as_str()))
+        .collect();
 
-    let mut proposed: BTreeSet<(&VendorName, &VendorName)> = BTreeSet::new();
+    let mut blocks: Vec<Block> = Vec::new();
 
     // Block 1: identical strip-specials form.
-    let mut by_norm: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
-    for v in &vendors {
+    let mut by_norm: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for (id, _) in table.enumerate() {
         by_norm
-            .entry(strip_specials(v.as_str()))
+            .entry(norms[id as usize].as_str())
             .or_default()
-            .push(v);
+            .push(id);
     }
-    for group in by_norm.values() {
-        pair_group(group, &mut proposed);
+    for group in by_norm.into_values() {
+        if group.len() >= 2 {
+            blocks.push(Block::AllPairs(group));
+        }
     }
 
-    // Block 2: abbreviation collisions (lms ↔ lan_management_system).
-    let mut by_abbrev: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
-    for v in &vendors {
-        if let Some(a) = abbreviation(v.as_str()) {
+    // Block 2: abbreviation collisions (lms ↔ lan_management_system). The
+    // short form resolves through the table's binary search instead of the
+    // legacy O(n) scan per collision.
+    let mut by_abbrev: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for (id, _) in table.enumerate() {
+        if let Some(a) = abbrevs[id as usize].as_deref() {
             if a.len() >= 2 {
-                by_abbrev.entry(a).or_default().push(v);
+                by_abbrev.entry(a).or_default().push(id);
             }
         }
     }
-    let vendor_lookup: BTreeSet<&str> = vendors.iter().map(|v| v.as_str()).collect();
-    for (abbrev, group) in &by_abbrev {
-        if vendor_lookup.contains(abbrev.as_str()) {
-            let short = vendors
-                .iter()
-                .find(|v| v.as_str() == abbrev.as_str())
-                .expect("present in lookup");
-            for long in group {
-                order_and_insert(short, long, &mut proposed);
-            }
+    for (abbrev, group) in by_abbrev {
+        if let Some(short) = table.id_of(abbrev) {
+            blocks.push(Block::Star {
+                center: short,
+                others: group,
+            });
         }
     }
 
     // Block 3: shared product names.
-    let mut vendors_by_product: BTreeMap<&str, Vec<&VendorName>> = BTreeMap::new();
-    for (vendor, products) in &products_by_vendor {
-        for p in products {
-            vendors_by_product
-                .entry(p.as_str())
-                .or_default()
-                .push(vendor);
+    let mut vendors_by_product: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for (id, _) in table.enumerate() {
+        for p in products[id as usize] {
+            vendors_by_product.entry(p.as_str()).or_default().push(id);
         }
     }
     for group in vendors_by_product.values() {
-        if group.len() <= 50 {
-            pair_group(group, &mut proposed);
+        if (2..=SHARED_PRODUCT_GROUP_CAP).contains(&group.len()) {
+            blocks.push(Block::AllPairs(group.clone()));
         }
     }
 
     // Block 4: vendor name equals a product name of another vendor.
-    for v in &vendors {
+    for (id, v) in table.enumerate() {
         if let Some(owners) = vendors_by_product.get(v.as_str()) {
-            for owner in owners {
-                if owner.as_str() != v.as_str() {
-                    order_and_insert(v, owner, &mut proposed);
-                }
+            let others: Vec<u32> = owners.iter().copied().filter(|&o| o != id).collect();
+            if !others.is_empty() {
+                blocks.push(Block::Star { center: id, others });
             }
         }
     }
 
-    // Block 5: prefix neighbourhoods in sorted order.
-    for (i, v) in vendors.iter().enumerate() {
-        for w in vendors.iter().skip(i + 1) {
-            if !w.as_str().starts_with(v.as_str()) {
-                break;
-            }
-            order_and_insert(v, w, &mut proposed);
+    // Block 5: prefix neighbourhoods in sorted order, chunked into
+    // fixed-size start ranges so the scan parallelises.
+    let n = table.len() as u32;
+    let mut start = 0u32;
+    while start < n {
+        let end = (start + PREFIX_SCAN_CHUNK).min(n);
+        blocks.push(Block::PrefixScan { start, end });
+        start = end;
+    }
+
+    // Block 6: near-duplicate spellings via shared 4-prefix blocks, plus
+    // last-4 blocks for misspellings dropping an early character
+    // (microsoft/microsft share only a 1-prefix with the typo at position 1).
+    let mut by_prefix4: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    let mut by_suffix4: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for (id, v) in table.enumerate() {
+        by_prefix4
+            .entry(v.as_str().chars().take(4).collect())
+            .or_default()
+            .push(id);
+        by_suffix4
+            .entry(v.as_str().chars().rev().take(4).collect())
+            .or_default()
+            .push(id);
+    }
+    for group in by_prefix4.into_values().chain(by_suffix4.into_values()) {
+        if (2..=EDIT_GROUP_CAP).contains(&group.len()) {
+            blocks.push(Block::EditPairs(group));
         }
     }
 
-    // Block 6: near-duplicate spellings via shared 4-prefix blocks.
-    let mut by_prefix4: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
-    for v in &vendors {
-        let key: String = v.as_str().chars().take(4).collect();
-        by_prefix4.entry(key).or_default().push(v);
-    }
-    for group in by_prefix4.values() {
-        if group.len() > 200 {
-            continue;
-        }
-        for (i, a) in group.iter().enumerate() {
-            for b in group.iter().skip(i + 1) {
-                if levenshtein(a.as_str(), b.as_str()) <= 2 {
-                    order_and_insert(a, b, &mut proposed);
-                }
-            }
-        }
-    }
-    // Misspellings dropping an early character (microsoft/microsft share
-    // only a 1-prefix with the typo at position 1): block on last-4 too.
-    let mut by_suffix4: BTreeMap<String, Vec<&VendorName>> = BTreeMap::new();
-    for v in &vendors {
-        let s = v.as_str();
-        let key: String = s.chars().rev().take(4).collect();
-        by_suffix4.entry(key).or_default().push(v);
-    }
-    for group in by_suffix4.values() {
-        if group.len() > 200 {
-            continue;
-        }
-        for (i, a) in group.iter().enumerate() {
-            for b in group.iter().skip(i + 1) {
-                if levenshtein(a.as_str(), b.as_str()) <= 2 {
-                    order_and_insert(a, b, &mut proposed);
-                }
-            }
-        }
-    }
+    // Pair proposal: one task per block, merged in ascending block order.
+    // The id sort afterwards makes the merge order irrelevant to output —
+    // and equal to the legacy BTreeSet iteration order.
+    let per_block = minipar::par_map(&blocks, |b| {
+        let mut out = Vec::new();
+        b.propose(&table, &mut out);
+        out
+    });
+    let mut pairs: Vec<(u32, u32)> = per_block.into_iter().flatten().collect();
+    pairs.sort_unstable();
+    pairs.dedup();
 
-    // Annotate every proposed pair with the Table 2 signals.
-    proposed
-        .into_iter()
-        .map(|(a, b)| {
-            let pa = products_by_vendor.get(a).unwrap_or(&empty);
-            let pb = products_by_vendor.get(b).unwrap_or(&empty);
-            let matching_products = pa.intersection(pb).count();
-            let product_as_vendor = pa.iter().any(|p| p.as_str() == b.as_str())
-                || pb.iter().any(|p| p.as_str() == a.as_str());
-            let abbrev = abbreviation(a.as_str()).as_deref() == Some(b.as_str())
-                || abbreviation(b.as_str()).as_deref() == Some(a.as_str());
-            VendorCandidate {
-                a: a.clone(),
-                b: b.clone(),
-                tokens_identical: strip_specials(a.as_str()) == strip_specials(b.as_str()),
-                matching_products,
-                prefix: is_strict_prefix_pair(a.as_str(), b.as_str()),
-                product_as_vendor,
-                abbreviation: abbrev,
-                lcs_len: longest_common_substring_len(a.as_str(), b.as_str()),
-            }
-        })
-        .collect()
-}
-
-fn pair_group<'a>(
-    group: &[&'a VendorName],
-    proposed: &mut BTreeSet<(&'a VendorName, &'a VendorName)>,
-) {
-    for (i, a) in group.iter().enumerate() {
-        for b in group.iter().skip(i + 1) {
-            order_and_insert(a, b, proposed);
+    // Signal annotation: pure per pair, fanned over the deduped list.
+    minipar::par_map(&pairs, |&(ia, ib)| {
+        let (a, b) = (table.name(ia), table.name(ib));
+        let pa = products[ia as usize];
+        let pb = products[ib as usize];
+        let matching_products = pa.intersection(pb).count();
+        let product_as_vendor = pa.iter().any(|p| p.as_str() == b.as_str())
+            || pb.iter().any(|p| p.as_str() == a.as_str());
+        let abbrev = abbrevs[ia as usize].as_deref() == Some(b.as_str())
+            || abbrevs[ib as usize].as_deref() == Some(a.as_str());
+        VendorCandidate {
+            a: a.clone(),
+            b: b.clone(),
+            tokens_identical: norms[ia as usize] == norms[ib as usize],
+            matching_products,
+            prefix: is_strict_prefix_pair(a.as_str(), b.as_str()),
+            product_as_vendor,
+            abbreviation: abbrev,
+            lcs_len: longest_common_substring_len(a.as_str(), b.as_str()),
         }
-    }
-}
-
-fn order_and_insert<'a>(
-    a: &'a VendorName,
-    b: &'a VendorName,
-    proposed: &mut BTreeSet<(&'a VendorName, &'a VendorName)>,
-) {
-    if a == b {
-        return;
-    }
-    let (x, y) = if a <= b { (a, b) } else { (b, a) };
-    proposed.insert((x, y));
+    })
 }
 
 /// The paper's Table 2 row structure: candidate/confirmed counts per
@@ -391,5 +461,45 @@ mod tests {
             + t.mp_lcs3.iter().map(|x| x.0).sum::<usize>()
             + t.mp_lcs_short.iter().map(|x| x.0).sum::<usize>();
         assert_eq!(total, cands.len());
+    }
+
+    #[test]
+    fn blocked_sweep_matches_legacy_replica_on_mixed_fixture() {
+        // Every block kind fires at least once: strip-specials variants,
+        // abbreviations, shared products, product-as-vendor, prefixes,
+        // and both edit-distance block flavours.
+        let db = db_with(&[
+            ("avast", "antivirus"),
+            ("avast!", "antivirus"),
+            ("lan_management_system", "lms_client"),
+            ("lms", "lms_client"),
+            ("microsoft", "windows"),
+            ("microsft", "office"),
+            ("windows", "media_player"),
+            ("lynx", "lynx"),
+            ("lynx_project", "browser"),
+            ("nginx", "nginx"),
+            ("igor_sysoev", "nginx"),
+            ("oracle", "database"),
+        ]);
+        let blocked = find_vendor_candidates(&db);
+        let legacy = crate::names::legacy::find_vendor_candidates_legacy(&db);
+        assert_eq!(blocked, legacy);
+    }
+
+    #[test]
+    fn blocked_sweep_is_bit_identical_across_job_counts() {
+        let db = db_with(&[
+            ("avast", "antivirus"),
+            ("avast!", "antivirus"),
+            ("microsoft", "windows"),
+            ("microsft", "office"),
+            ("windows", "media_player"),
+            ("lynx", "lynx"),
+            ("lynx_project", "browser"),
+        ]);
+        let serial = minipar::with_jobs(1, || find_vendor_candidates(&db));
+        let wide = minipar::with_jobs(4, || find_vendor_candidates(&db));
+        assert_eq!(serial, wide);
     }
 }

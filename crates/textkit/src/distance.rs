@@ -42,6 +42,97 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     row[b.len()]
 }
 
+/// Banded Levenshtein with early exit: `Some(distance)` when the edit
+/// distance is at most `k`, `None` otherwise.
+///
+/// Only the `2k + 1`-wide diagonal band of the DP table is computed, and
+/// the scan stops as soon as every cell in the current band row exceeds
+/// `k` — so near-miss pairs exit after a couple of rows instead of filling
+/// the full table. The §4.2 edit-distance blocks call this with
+/// `k ∈ {1, 2}`, where the band collapses to three or five cells per row.
+/// Agrees exactly with [`levenshtein`]:
+/// `levenshtein_at_most(a, b, k) == Some(d)` iff
+/// `levenshtein(a, b) == d && d <= k`.
+///
+/// ```
+/// use textkit::distance::levenshtein_at_most;
+/// assert_eq!(levenshtein_at_most("tbe_banner_engine", "the_banner_engine", 1), Some(1));
+/// assert_eq!(levenshtein_at_most("microsoft", "microsft", 2), Some(1));
+/// assert_eq!(levenshtein_at_most("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_at_most("same", "same", 0), Some(0));
+/// ```
+pub fn levenshtein_at_most(a: &str, b: &str, k: usize) -> Option<usize> {
+    // ASCII fast path: byte length is character length, so the length
+    // pre-filter and the band both run on the raw bytes with no per-call
+    // character collection.
+    if a.is_ascii() && b.is_ascii() {
+        if a.len().abs_diff(b.len()) > k {
+            return None;
+        }
+        return banded_distance(a.as_bytes(), b.as_bytes(), k);
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > k {
+        return None;
+    }
+    banded_distance(&a, &b, k)
+}
+
+/// The banded DP core of [`levenshtein_at_most`]. Callers have already
+/// established `|a.len() - b.len()| <= k`.
+fn banded_distance<T: PartialEq + Copy>(a: &[T], b: &[T], k: usize) -> Option<usize> {
+    let m = b.len();
+    // One DP row of `m + 1` cells: a stack buffer covers every realistic
+    // CPE name (so the ASCII path allocates nothing); longer inputs fall
+    // back to a heap row.
+    const STACK_ROW: usize = 96;
+    if m < STACK_ROW {
+        banded_distance_in(a, b, k, &mut [0usize; STACK_ROW][..=m])
+    } else {
+        banded_distance_in(a, b, k, &mut vec![0usize; m + 1])
+    }
+}
+
+fn banded_distance_in<T: PartialEq + Copy>(
+    a: &[T],
+    b: &[T],
+    k: usize,
+    row: &mut [usize],
+) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Some(n.max(m));
+    }
+    // Values above `k` all behave the same, so they clamp to `inf`; cells
+    // outside the band keep `inf` from initialisation, which is sound
+    // because a cell at |i - j| > k can never be reached in ≤ k edits.
+    let inf = k + 1;
+    for (j, cell) in row.iter_mut().enumerate() {
+        *cell = if j <= k { j } else { inf };
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        let mut diag = row[lo - 1]; // D[i-1][lo-1]
+        row[lo - 1] = if lo == 1 { i.min(inf) } else { inf }; // D[i][lo-1]
+        let mut band_min = row[lo - 1];
+        for j in lo..=hi {
+            let up = row[j]; // D[i-1][j]
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let d = (diag + cost).min(up + 1).min(row[j - 1] + 1).min(inf);
+            diag = up;
+            row[j] = d;
+            band_min = band_min.min(d);
+        }
+        if band_min > k {
+            return None;
+        }
+    }
+    let d = row[m];
+    (d <= k).then_some(d)
+}
+
 /// Length of the longest common substring (contiguous) of `a` and `b`.
 ///
 /// This is the signifier the paper uses to grade vendor-pair heuristics:
@@ -141,6 +232,42 @@ mod tests {
         for (a, b) in pairs {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
         }
+    }
+
+    #[test]
+    fn levenshtein_at_most_agrees_with_full_distance() {
+        let cases = [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("same", "same"),
+            ("", ""),
+            ("", "abc"),
+            ("microsoft", "microsft"),
+            ("tbe_banner_engine", "the_banner_engine"),
+            ("ucs-e160dp-m1_firmware", "ucs-e140dp-m1_firmware"),
+            ("avast", "avast!"),
+            ("脆弱性", "脆弱情報"),
+        ];
+        for (a, b) in cases {
+            let full = levenshtein(a, b);
+            for k in 0..6 {
+                assert_eq!(
+                    levenshtein_at_most(a, b, k),
+                    (full <= k).then_some(full),
+                    "({a:?}, {b:?}, k={k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_at_most_band_edges() {
+        // Distance exactly k, k+1, and far beyond the band.
+        assert_eq!(levenshtein_at_most("abc", "abd", 1), Some(1));
+        assert_eq!(levenshtein_at_most("abc", "add", 1), None);
+        assert_eq!(levenshtein_at_most("abcdefgh", "abcdefgh____", 2), None);
+        assert_eq!(levenshtein_at_most("aaaa", "bbbb", 3), None);
+        assert_eq!(levenshtein_at_most("aaaa", "bbbb", 4), Some(4));
     }
 
     #[test]

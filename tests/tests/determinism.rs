@@ -1,9 +1,15 @@
 //! Determinism: equal seeds reproduce everything bit-for-bit; different
-//! seeds genuinely differ.
+//! seeds genuinely differ; and the blocked §4.2 name-matching engine is
+//! pinned to the legacy serial sweep by a proptest oracle.
 
 use nvd_clean::cleaner::Cleaner;
-use nvd_clean::names::OracleVerifier;
+use nvd_clean::names::legacy::{find_product_candidates_legacy, find_vendor_candidates_legacy};
+use nvd_clean::names::{
+    find_product_candidates, find_vendor_candidates, NameMapping, OracleVerifier, Verifier,
+};
+use nvd_model::prelude::{CpeName, CveEntry, CveId, Database};
 use nvd_synth::{generate, SynthConfig};
+use proptest::prelude::*;
 
 #[test]
 fn same_seed_same_corpus_and_cleaning() {
@@ -128,6 +134,88 @@ fn idf_fit_is_bit_identical_across_job_counts() {
         ref_weights, serial.1,
         "parallel fit diverged from serial fold"
     );
+}
+
+#[test]
+fn name_candidates_are_bit_identical_across_job_counts() {
+    // The §4.2 blocked engine fans pair proposal, signal annotation, and
+    // the per-vendor product sweeps over minipar; both candidate lists
+    // must agree exactly between the inline path and a wide pool.
+    let corpus = generate(&SynthConfig::with_scale(0.01, 4242));
+    let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+    let run = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            let vendor_cands = find_vendor_candidates(&corpus.database);
+            let confirmed: Vec<_> = vendor_cands
+                .iter()
+                .filter(|c| oracle.confirm(c))
+                .cloned()
+                .collect();
+            let mapping = NameMapping::build_vendor(&confirmed, &corpus.database);
+            let product_cands = find_product_candidates(&corpus.database, &mapping);
+            (vendor_cands, product_cands)
+        })
+    };
+    let serial = run(1);
+    let wide = run(4);
+    assert_eq!(serial.0, wide.0, "vendor candidates diverged");
+    assert_eq!(serial.1, wide.1, "product candidates diverged");
+    // And the blocked engine must reproduce the legacy serial sweep.
+    assert_eq!(
+        serial.0,
+        find_vendor_candidates_legacy(&corpus.database),
+        "vendor candidates diverged from the legacy replica"
+    );
+}
+
+/// Arbitrary small databases over a deliberately tiny alphabet, so the
+/// blocking heuristics collide constantly: special-character variants,
+/// shared products, prefixes, near-duplicate spellings, digit guards.
+/// (The vendored proptest shim has no `collection::vec`, so this is a
+/// hand-rolled [`Strategy`] drawing a variable number of CPE pairs.)
+#[derive(Debug)]
+struct ArbSmallDb;
+
+impl Strategy for ArbSmallDb {
+    type Value = Database;
+
+    fn new_value(&self, runner: &mut proptest::test_runner::TestRunner) -> Database {
+        let n = (1usize..24).new_value(runner);
+        let mut db = Database::new();
+        for i in 0..n {
+            let vendor = "[ab][abc_!]{0,6}".new_value(runner);
+            let product = "[ab][ab0-1_]{0,4}".new_value(runner);
+            let mut e = CveEntry::new(
+                CveId::new(2019, (i + 1) as u32),
+                "2019-01-01".parse().unwrap(),
+            );
+            e.affected
+                .push(CpeName::application(vendor.as_str(), product.as_str()));
+            db.push(e);
+        }
+        db
+    }
+}
+
+proptest! {
+    #[test]
+    fn blocked_vendor_sweep_equals_legacy_pair_set(db in ArbSmallDb) {
+        let legacy = find_vendor_candidates_legacy(&db);
+        let serial = minipar::with_jobs(1, || find_vendor_candidates(&db));
+        let wide = minipar::with_jobs(4, || find_vendor_candidates(&db));
+        prop_assert_eq!(&serial, &legacy, "blocked sweep diverged from legacy");
+        prop_assert_eq!(&serial, &wide, "blocked sweep diverged across jobs");
+    }
+
+    #[test]
+    fn blocked_product_sweep_equals_legacy_pair_set(db in ArbSmallDb) {
+        let mapping = NameMapping::default();
+        let legacy = find_product_candidates_legacy(&db, &mapping);
+        let serial = minipar::with_jobs(1, || find_product_candidates(&db, &mapping));
+        let wide = minipar::with_jobs(4, || find_product_candidates(&db, &mapping));
+        prop_assert_eq!(&serial, &legacy, "blocked sweep diverged from legacy");
+        prop_assert_eq!(&serial, &wide, "blocked sweep diverged across jobs");
+    }
 }
 
 #[test]

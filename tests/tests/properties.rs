@@ -3,7 +3,7 @@
 use nvd_clean::extract_cwe_ids;
 use nvd_model::prelude::*;
 use proptest::prelude::*;
-use textkit::distance::levenshtein;
+use textkit::distance::{levenshtein, levenshtein_at_most};
 use webarchive::dates::{format_date, parse_date, DateStyle};
 
 fn arb_date() -> impl Strategy<Value = Date> {
@@ -60,6 +60,23 @@ proptest! {
     fn levenshtein_identity_and_symmetry(a in "[a-z_]{0,12}", b in "[a-z_]{0,12}") {
         prop_assert_eq!(levenshtein(&a, &a), 0);
         prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn banded_levenshtein_agrees_with_full_distance(
+        a in "[a-c0-1_!é]{0,12}",
+        b in "[a-c0-1_!é]{0,12}",
+        k in 0usize..5,
+    ) {
+        // The banded early-exit variant must be exact within its budget
+        // and must refuse (not truncate) anything beyond it — including on
+        // multi-byte text, where the band runs over chars, not bytes.
+        let full = levenshtein(&a, &b);
+        prop_assert_eq!(
+            levenshtein_at_most(&a, &b, k),
+            (full <= k).then_some(full),
+            "full distance {} at k={}", full, k
+        );
     }
 
     #[test]
