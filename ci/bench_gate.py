@@ -31,6 +31,9 @@ MANIFEST = {
         ("names_vendor_sweep/new/jobs_1", "names_vendor_sweep/legacy"),
         ("names_product_sweep/new/jobs_1", "names_product_sweep/legacy"),
     ],
+    "BENCH_crawl.json": [
+        ("crawl_estimate/new/jobs_1", "crawl_estimate/legacy"),
+    ],
 }
 
 

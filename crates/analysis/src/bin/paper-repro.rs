@@ -101,7 +101,7 @@ fn sections<'a>(exps: &'a Experiments) -> Vec<Section<'a>> {
 
     // --- Fig. 1 -----------------------------------------------------------
     out.push((
-        "Figure 1 — CDF of vulnerability lag times (paper: ≈38% zero, ≈70% ≤6d, ≈28% >7d)".into(),
+        "Figure 1 — CDF of vulnerability lag times (paper: ≈38% zero, ≈70% ≤7d, ≈28% >7d)".into(),
         Box::new(move || {
             Some(disclosure_study::render_lag_cdf(
                 &disclosure_study::lag_cdf(exps),

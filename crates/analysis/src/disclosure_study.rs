@@ -17,7 +17,7 @@ pub struct LagCdf {
     pub points: Vec<(i32, f64)>,
     /// Share of CVEs entering the NVD the day they disclose (paper ≈38%).
     pub zero_fraction: f64,
-    /// Share within 6 days (paper ≈70%).
+    /// Share within a week (lag ≤ 7 days; paper ≈70%).
     pub within_week_fraction: f64,
     /// Share lagging over a week (paper ≈28%).
     pub over_week_fraction: f64,
@@ -46,7 +46,7 @@ pub fn render_lag_cdf(cdf: &LagCdf) -> String {
         .map(|(lag, p)| vec![lag.to_string(), render::pct(*p)])
         .collect();
     format!(
-        "{}\nzero-lag: {}   ≤6 days: {}   >7 days: {}\n",
+        "{}\nzero-lag: {}   ≤7 days: {}   >7 days: {}\n",
         render::table(&["lag (days)", "CDF"], &rows),
         render::pct(cdf.zero_fraction),
         render::pct(cdf.within_week_fraction),
@@ -238,7 +238,7 @@ mod tests {
         );
         assert!(
             (0.55..0.82).contains(&cdf.within_week_fraction),
-            "≤6d {}",
+            "≤7d {}",
             cdf.within_week_fraction
         );
         // CDF is monotone and ends near 1.

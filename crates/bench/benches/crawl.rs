@@ -1,0 +1,87 @@
+//! §4.1 crawl-engine benches: the scheduled batch crawl versus the frozen
+//! pre-engine per-entry loops, plus the scheduler simulation on its own.
+//!
+//! Run with `BENCH_JSON=BENCH_crawl.json cargo bench -p nvd-bench --bench
+//! crawl` to emit the machine-readable artifact CI uploads. The
+//! `crawl_estimate` group answers the PR's gated question: does the
+//! scheduled engine (per-host liveness/dispatch memoisation, allocation-free
+//! outcomes) beat the legacy per-entry fetch loops at one job, and what
+//! headroom does the minipar fan-out add at four? Estimates are asserted
+//! bit-identical to the legacy replica and across job counts before timing
+//! starts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_bench::bench_corpus;
+use nvd_clean::disclosure::{legacy, DisclosureEstimator};
+use webarchive::{schedule, CrawlerSet, DEFAULT_WINDOW};
+
+fn crawl_estimate_new_vs_legacy(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let db = &corpus.database;
+    let estimator = DisclosureEstimator::new(&corpus.archive);
+
+    // Parity gates before timing: the scheduled engine must reproduce the
+    // pre-engine estimates byte for byte, at one job and four.
+    let estimates = minipar::with_jobs(1, || estimator.estimate_all(db));
+    assert_eq!(
+        estimates,
+        legacy::estimate_all_legacy(&estimator, db),
+        "scheduled crawl diverged from the pre-engine loops"
+    );
+    assert_eq!(
+        estimates,
+        minipar::with_jobs(4, || estimator.estimate_all(db)),
+        "scheduled crawl diverged across job counts"
+    );
+
+    let mut group = c.benchmark_group("crawl_estimate");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("new/jobs_{jobs}"), |b| {
+            b.iter(|| minipar::with_jobs(jobs, || estimator.estimate_all(black_box(db))))
+        });
+    }
+    group.bench_function("legacy", |b| {
+        b.iter(|| minipar::with_jobs(1, || legacy::estimate_all_legacy(&estimator, black_box(db))))
+    });
+    group.finish();
+}
+
+fn crawl_schedule_simulation(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let urls: Vec<&str> = corpus
+        .database
+        .iter()
+        .flat_map(|e| e.references.iter().map(|r| r.url.as_str()))
+        .collect();
+    let model = corpus.archive.latency();
+
+    // Politeness queues + the bounded window must still overlap hosts: the
+    // virtual-clock makespan has to come in well under a serial crawl.
+    let plan = schedule(&urls, model, DEFAULT_WINDOW);
+    assert_eq!(plan.completions.len(), urls.len());
+    assert!(
+        plan.makespan * 4 < plan.serial_ticks(),
+        "window {} over {} hosts should overlap >4x: makespan {} vs serial {}",
+        DEFAULT_WINDOW,
+        plan.hosts.len(),
+        plan.makespan,
+        plan.serial_ticks()
+    );
+
+    c.bench_function("crawl_schedule_simulation", |b| {
+        b.iter(|| schedule(black_box(&urls), model, DEFAULT_WINDOW))
+    });
+
+    let crawlers = CrawlerSet::builtin();
+    c.bench_function("crawl_engine_batch", |b| {
+        b.iter(|| webarchive::CrawlEngine::new(&corpus.archive, &crawlers).crawl(black_box(&urls)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = crawl_estimate_new_vs_legacy, crawl_schedule_simulation
+);
+criterion_main!(benches);

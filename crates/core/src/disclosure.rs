@@ -5,11 +5,21 @@
 //! public disclosure date as "the minimum of the dates extracted from the
 //! reference URLs or the NVD publication date", using per-domain crawlers
 //! for the top reference domains.
+//!
+//! Crawling runs on the [`webarchive::scheduler`] engine: every reference
+//! of the batch becomes an explicit request, with host interning, per-host
+//! memoised dispatch, and page fetch + date extraction fanned over the
+//! `minipar` pool. The per-CVE fold is order-independent over the result
+//! multiset, so the estimator consumes the engine's request-keyed bulk
+//! results (`crawl_results`) — the virtual-clock completion order the
+//! engine can also emit carries no extra information for this fold — and
+//! estimates are bit-identical at any `NVD_JOBS` setting, and to the
+//! pre-engine per-entry loops frozen in [`legacy`].
 
 use std::collections::BTreeMap;
 
 use nvd_model::prelude::{CveEntry, CveId, Database, Date};
-use webarchive::{CrawlerSet, FetchError, WebArchive};
+use webarchive::{CrawlEngine, CrawlResult, CrawlerSet, WebArchive};
 
 /// How extracted reference dates are folded into one estimate.
 ///
@@ -20,7 +30,10 @@ pub enum AggregationRule {
     /// Earliest extracted date (the paper's rule).
     #[default]
     Minimum,
-    /// Median extracted date — robust to one bogus early date.
+    /// Median extracted date — robust to one bogus early date. With an
+    /// even number of dates the *upper* median (index `n/2` of the sorted
+    /// dates) is taken: between the two middle candidates it prefers the
+    /// later, i.e. more conservative, disclosure estimate.
     Median,
     /// Mean extracted date (rounded towards the epoch).
     Mean,
@@ -82,27 +95,44 @@ impl<'a> DisclosureEstimator<'a> {
         self
     }
 
-    /// Estimates the disclosure date of one entry.
-    pub fn estimate(&self, entry: &CveEntry) -> DisclosureEstimate {
-        let mut dates: Vec<Date> = Vec::with_capacity(entry.references.len());
+    /// The crawl engine this estimator drives.
+    fn engine(&self) -> CrawlEngine<'_> {
+        CrawlEngine::new(self.archive, &self.crawlers)
+    }
+
+    /// Folds one entry's request-keyed crawl results into its estimate.
+    ///
+    /// `results[i]` must answer `entry.references[i]`. The fold is
+    /// order-independent over the result multiset — every aggregation rule
+    /// reduces a set of dates — which is exactly what lets the engine hand
+    /// results over in request order rather than completion order. Under
+    /// the paper's Minimum rule the date is folded incrementally; only
+    /// Median/Mean buffer the multiset.
+    fn fold_entry(&self, entry: &CveEntry, results: &[CrawlResult]) -> DisclosureEstimate {
         let mut fetched = 0usize;
         let mut failed = 0usize;
-        for reference in &entry.references {
-            match self.archive.fetch(&reference.url) {
-                Ok(page) => {
+        let mut extracted = 0usize;
+        let mut min: Option<Date> = None;
+        let mut dates: Vec<Date> = Vec::new();
+        for result in results {
+            match result {
+                CrawlResult::Fetched(date) => {
                     fetched += 1;
-                    if let Some(date) = self.crawlers.extract(page) {
-                        dates.push(date);
+                    if let Some(d) = *date {
+                        extracted += 1;
+                        match self.rule {
+                            AggregationRule::Minimum => {
+                                min = Some(min.map_or(d, |m| m.min(d)));
+                            }
+                            AggregationRule::Median | AggregationRule::Mean => dates.push(d),
+                        }
                     }
                 }
-                Err(FetchError::HostUnreachable { .. }) | Err(FetchError::NotFound { .. }) => {
-                    failed += 1;
-                }
+                CrawlResult::HostUnreachable | CrawlResult::NotFound => failed += 1,
             }
         }
-        let extracted = dates.len();
         let aggregated = match self.rule {
-            AggregationRule::Minimum => dates.iter().copied().min(),
+            AggregationRule::Minimum => min,
             AggregationRule::Median => {
                 dates.sort_unstable();
                 dates.get(dates.len() / 2).copied()
@@ -133,14 +163,120 @@ impl<'a> DisclosureEstimator<'a> {
         }
     }
 
+    /// Estimates the disclosure date of one entry (a one-entry batch on the
+    /// scheduled engine).
+    pub fn estimate(&self, entry: &CveEntry) -> DisclosureEstimate {
+        let urls: Vec<&str> = entry.references.iter().map(|r| r.url.as_str()).collect();
+        let results = self.engine().crawl_results(&urls);
+        self.fold_entry(entry, &results)
+    }
+
     /// Estimates every entry of a database.
     ///
-    /// Entries are independent, so estimation fans out over the `minipar`
-    /// pool (`NVD_JOBS` controls the width); per-entry results are keyed by
-    /// CVE id, so the map is identical at any thread count.
+    /// All references of the batch go through the crawl engine as one bulk
+    /// request — host interning, per-host memoised liveness/crawler
+    /// dispatch, fetch + extraction fanned over the `minipar` pool
+    /// (`NVD_JOBS` controls the width). Results come back keyed by request
+    /// id, so each entry folds exactly the contiguous result slice its
+    /// references occupy; every aggregation rule is order-independent over
+    /// the date multiset, so the map is bit-identical at any thread count
+    /// and to the pre-engine per-entry loops in [`legacy`].
     pub fn estimate_all(&self, db: &Database) -> BTreeMap<CveId, DisclosureEstimate> {
         let entries: Vec<&CveEntry> = db.iter().collect();
-        minipar::par_map(&entries, |e| (e.id, self.estimate(e)))
+        let total_refs: usize = entries.iter().map(|e| e.references.len()).sum();
+        let mut urls: Vec<&str> = Vec::with_capacity(total_refs);
+        for e in &entries {
+            urls.extend(e.references.iter().map(|r| r.url.as_str()));
+        }
+        let results = self.engine().crawl_results(&urls);
+        let mut items: Vec<(&CveEntry, &[CrawlResult])> = Vec::with_capacity(entries.len());
+        let mut offset = 0usize;
+        for e in entries {
+            let next = offset + e.references.len();
+            items.push((e, &results[offset..next]));
+            offset = next;
+        }
+        minipar::par_map(&items, |&(e, slice)| (e.id, self.fold_entry(e, slice)))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Frozen pre-engine replicas of the §4.1 crawl loops.
+///
+/// Behavioural copies of the per-entry serial fetch loop (and its
+/// `par_map`-per-entry `estimate_all`) this crate shipped before the
+/// scheduled crawl engine, kept verbatim so that (a) the determinism suite
+/// can pin the engine's estimates to the pre-engine path on arbitrary
+/// corpora, and (b) the CI-gated crawl bench has a faithful baseline the
+/// engine must beat at `NVD_JOBS=1`. Not part of the supported API.
+pub mod legacy {
+    use super::*;
+    use webarchive::FetchError;
+
+    /// The pre-engine per-entry loop, verbatim: fetch each reference
+    /// serially through [`WebArchive::fetch`], extract via
+    /// [`CrawlerSet::extract`], then aggregate inline. Deliberately shares
+    /// no code with [`DisclosureEstimator::estimate`] so the baseline stays
+    /// frozen no matter how the engine path evolves.
+    pub fn estimate_legacy(
+        estimator: &DisclosureEstimator<'_>,
+        entry: &CveEntry,
+    ) -> DisclosureEstimate {
+        let mut dates: Vec<Date> = Vec::with_capacity(entry.references.len());
+        let mut fetched = 0usize;
+        let mut failed = 0usize;
+        for reference in &entry.references {
+            match estimator.archive.fetch(&reference.url) {
+                Ok(page) => {
+                    fetched += 1;
+                    if let Some(date) = estimator.crawlers.extract(page) {
+                        dates.push(date);
+                    }
+                }
+                Err(FetchError::HostUnreachable { .. }) | Err(FetchError::NotFound { .. }) => {
+                    failed += 1;
+                }
+            }
+        }
+        let extracted = dates.len();
+        let aggregated = match estimator.rule {
+            AggregationRule::Minimum => dates.iter().copied().min(),
+            AggregationRule::Median => {
+                dates.sort_unstable();
+                dates.get(dates.len() / 2).copied()
+            }
+            AggregationRule::Mean => {
+                if dates.is_empty() {
+                    None
+                } else {
+                    let sum: i64 = dates.iter().map(|d| i64::from(d.day_number())).sum();
+                    Some(Date::from_day_number((sum / dates.len() as i64) as i32))
+                }
+            }
+        };
+        let estimated = match aggregated {
+            Some(d) if estimator.rule != AggregationRule::Minimum => d,
+            Some(d) => d.min(entry.published),
+            None => entry.published,
+        };
+        DisclosureEstimate {
+            estimated,
+            references: entry.references.len(),
+            fetched,
+            failed,
+            extracted,
+        }
+    }
+
+    /// The pre-engine `estimate_all`: one serial fetch loop per entry,
+    /// entries fanned over `minipar`.
+    pub fn estimate_all_legacy(
+        estimator: &DisclosureEstimator<'_>,
+        db: &Database,
+    ) -> BTreeMap<CveId, DisclosureEstimate> {
+        let entries: Vec<&CveEntry> = db.iter().collect();
+        minipar::par_map(&entries, |e| (e.id, estimate_legacy(estimator, e)))
             .into_iter()
             .collect()
     }
@@ -153,7 +289,7 @@ pub struct LagSummary {
     pub lags: Vec<i32>,
     /// Fraction with zero lag (paper: ≈38%).
     pub zero_fraction: f64,
-    /// Fraction with lag ≤ 6 days (paper: ≈70%).
+    /// Fraction with lag ≤ 7 days (the paper quotes ≈70% "within a week").
     pub within_week_fraction: f64,
     /// Fraction with lag > 7 days (paper: ≈28%).
     pub over_week_fraction: f64,
@@ -161,6 +297,11 @@ pub struct LagSummary {
 
 impl LagSummary {
     /// Builds the summary from per-CVE estimates and their entries.
+    ///
+    /// The week buckets partition: every lag is counted by exactly one of
+    /// `within_week_fraction` (`≤ 7`) and `over_week_fraction` (`> 7`), so
+    /// the two always sum to 1 on a non-empty corpus — including at a lag
+    /// of exactly seven days.
     pub fn compute(db: &Database, estimates: &BTreeMap<CveId, DisclosureEstimate>) -> Self {
         let mut lags: Vec<i32> = db
             .iter()
@@ -173,7 +314,7 @@ impl LagSummary {
         lags.sort_unstable();
         let n = lags.len().max(1) as f64;
         let zero = lags.iter().filter(|&&l| l == 0).count() as f64 / n;
-        let within = lags.iter().filter(|&&l| l <= 6).count() as f64 / n;
+        let within = lags.iter().filter(|&&l| l <= 7).count() as f64 / n;
         let over = lags.iter().filter(|&&l| l > 7).count() as f64 / n;
         Self {
             lags,
@@ -298,6 +439,124 @@ mod tests {
             .with_rule(AggregationRule::Median)
             .estimate(&e);
         assert_eq!(med.estimated, date("2014-05-05"));
+    }
+
+    #[test]
+    fn even_count_median_takes_the_upper_middle() {
+        // Four extracted dates: the documented convention is index n/2 of
+        // the sorted dates — the *upper* of the two middle candidates.
+        let mut archive = WebArchive::new();
+        let mut e = entry_with_refs(
+            &mut archive,
+            &[
+                ("www.securityfocus.com", "2014-05-01"),
+                ("seclists.org", "2014-05-03"),
+                ("www.debian.org", "2014-05-05"),
+                ("marc.info", "2014-05-07"),
+            ],
+        );
+        e.published = date("2014-06-01");
+        let med = DisclosureEstimator::new(&archive)
+            .with_rule(AggregationRule::Median)
+            .estimate(&e);
+        assert_eq!(med.extracted, 4);
+        assert_eq!(med.estimated, date("2014-05-05"), "upper median");
+    }
+
+    #[test]
+    fn mark_dead_mid_crawl_fails_subsequent_fetches() {
+        // Failure injection between crawl batches: a host that answered the
+        // first sweep goes dark before the second.
+        let mut archive = WebArchive::new();
+        let mut e = entry_with_refs(
+            &mut archive,
+            &[
+                ("seclists.org", "2014-04-01"),
+                ("www.debian.org", "2014-04-10"),
+            ],
+        );
+        e.published = date("2014-05-01");
+        let before = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!((before.fetched, before.failed), (2, 0));
+        assert_eq!(before.estimated, date("2014-04-01"));
+
+        archive.mark_dead("seclists.org");
+        let after = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!((after.fetched, after.failed), (1, 1), "outage counted");
+        assert_eq!(after.estimated, date("2014-04-10"), "dead ref dropped");
+    }
+
+    #[test]
+    fn malformed_page_fetches_but_extracts_nothing() {
+        let mut archive = WebArchive::new();
+        archive.insert_raw(
+            "https://seclists.org/fake/advisory",
+            "<html>no parseable date anywhere</html>".into(),
+        );
+        let mut e = CveEntry::new("CVE-2015-0001".parse().unwrap(), date("2015-06-01"));
+        e.references
+            .push(Reference::new("https://seclists.org/fake/advisory"));
+        let est = DisclosureEstimator::new(&archive).estimate(&e);
+        assert_eq!(est.fetched, 1, "malformed page still fetches");
+        assert_eq!(est.extracted, 0, "no date extracted");
+        assert_eq!(est.failed, 0);
+        assert_eq!(est.estimated, e.published, "falls back to publication");
+    }
+
+    #[test]
+    fn engine_matches_legacy_per_entry() {
+        let mut archive = WebArchive::new();
+        let mut e = entry_with_refs(
+            &mut archive,
+            &[
+                ("osvdb.org", "2013-01-05"),
+                ("seclists.org", "2013-02-01"),
+                ("jvn.jp", "2013-02-03"),
+            ],
+        );
+        e.published = date("2013-03-01");
+        for rule in [
+            AggregationRule::Minimum,
+            AggregationRule::Median,
+            AggregationRule::Mean,
+        ] {
+            let estimator = DisclosureEstimator::new(&archive).with_rule(rule);
+            assert_eq!(
+                estimator.estimate(&e),
+                legacy::estimate_legacy(&estimator, &e),
+                "engine diverged from the pre-engine loop under {rule:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lag_buckets_partition_at_seven_days() {
+        // Lags 0, 7 and 30 — the 7-day lag used to fall in neither week
+        // bucket (within counted ≤6, over counted >7).
+        let mut archive = WebArchive::new();
+        let mut db = Database::new();
+        for (i, d) in ["2015-03-01", "2015-02-22", "2015-01-30"]
+            .iter()
+            .enumerate()
+        {
+            let id: CveId = format!("CVE-2015-{:04}", i + 1).parse().unwrap();
+            let mut e = CveEntry::new(id, date("2015-03-01"));
+            let url = archive
+                .publish("seclists.org", &id.to_string(), date(d), 0)
+                .unwrap();
+            e.references.push(Reference::new(url));
+            db.push(e);
+        }
+        let est = DisclosureEstimator::new(&archive).estimate_all(&db);
+        let summary = LagSummary::compute(&db, &est);
+        assert_eq!(summary.lags, vec![0, 7, 30]);
+        assert!(
+            (summary.within_week_fraction + summary.over_week_fraction - 1.0).abs() < 1e-12,
+            "week buckets must partition: within {} + over {}",
+            summary.within_week_fraction,
+            summary.over_week_fraction
+        );
+        assert!((summary.within_week_fraction - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //!   (v2, CWE) as §A.1 hypothesises (Table 4) — [`severity`];
 //! * degenerate CWE labels with recoverable CWE IDs in evaluator comments
 //!   (§4.4) — [`texts`];
-//! * reference pages served by a simulated web ([`webarchive`]);
+//! * reference pages served by a simulated web ([`webarchive`]), with
+//!   per-domain crawl-latency profiles for its scheduler — [`latency`];
 //! * SecurityFocus / SecurityTracker side databases (Table 3) — [`sidedb`].
 //!
 //! Everything is deterministic under [`SynthConfig::seed`], and scales down
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod latency;
 pub mod names;
 pub mod profile;
 pub mod severity;
@@ -581,6 +583,10 @@ pub fn generate(config: &SynthConfig) -> SynthCorpus {
     // --- assemble sequentially (archive URLs + ground truth) ----------------
     let mut entries: Vec<CveEntry> = Vec::with_capacity(total);
     let mut archive = WebArchive::new();
+    // Latency samples on its own derived stream: the entries, references
+    // and truth below are bit-identical to what this seed generated before
+    // latency profiles existed.
+    archive.set_latency(latency::sample_latency_model(config.seed));
     let mut truth = GroundTruth {
         vendor_aliases: universe.vendor_aliases.clone(),
         product_aliases: universe.product_aliases.clone(),

@@ -9,7 +9,34 @@ use std::fmt;
 use nvd_model::prelude::Date;
 
 use crate::domains::domain_spec;
+use crate::latency::LatencyModel;
 use crate::page::{page_url, render_page};
+
+/// The host component of a URL: the text between the scheme separator and
+/// the first `/`, `?` or `#`. URLs without a `://` scheme separator have no
+/// recognisable host and yield `""`.
+///
+/// This is the one URL parser the crate uses — page insertion, fetching and
+/// the crawl scheduler's per-domain queues must all agree on what a host is.
+pub fn host_of_url(url: &str) -> &str {
+    // Byte-wise on purpose: the crawl scheduler parses every URL of a batch,
+    // and all the delimiters are ASCII, so byte positions are always char
+    // boundaries. Behaviour matches `split_once("://")` + a delimiter split.
+    let bytes = url.as_bytes();
+    let mut from = 0;
+    let start = loop {
+        match bytes[from..].iter().position(|&b| b == b':') {
+            Some(i) if bytes[from + i + 1..].starts_with(b"//") => break from + i + 3,
+            Some(i) => from += i + 1,
+            None => return "", // no scheme separator: no recognisable host
+        }
+    };
+    let end = bytes[start..]
+        .iter()
+        .position(|&b| matches!(b, b'/' | b'?' | b'#'))
+        .map_or(url.len(), |i| start + i);
+    &url[start..end]
+}
 
 /// One archived web page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +102,7 @@ pub struct WebArchive {
     pages: BTreeMap<String, Page>,
     pages_per_host: BTreeMap<String, usize>,
     extra_dead: BTreeSet<String>,
+    latency: LatencyModel,
 }
 
 impl WebArchive {
@@ -113,11 +141,7 @@ impl WebArchive {
     /// Stores an arbitrary page body at the given URL (for malformed-page
     /// failure injection and custom sites).
     pub fn insert_raw(&mut self, url: &str, body: String) {
-        let host = url
-            .split_once("://")
-            .map(|(_, rest)| rest.split(['/', '?', '#']).next().unwrap_or(""))
-            .unwrap_or("")
-            .to_owned();
+        let host = host_of_url(url).to_owned();
         self.pages.insert(
             url.to_owned(),
             Page {
@@ -148,10 +172,7 @@ impl WebArchive {
     /// [`FetchError::HostUnreachable`] for dead hosts,
     /// [`FetchError::NotFound`] for live hosts without the page.
     pub fn fetch(&self, url: &str) -> Result<&Page, FetchError> {
-        let host = url
-            .split_once("://")
-            .map(|(_, rest)| rest.split(['/', '?', '#']).next().unwrap_or(""))
-            .unwrap_or("");
+        let host = host_of_url(url);
         if self.is_dead(host) {
             return Err(FetchError::HostUnreachable {
                 host: host.to_owned(),
@@ -160,6 +181,26 @@ impl WebArchive {
         self.pages.get(url).ok_or_else(|| FetchError::NotFound {
             url: url.to_owned(),
         })
+    }
+
+    /// Direct page lookup, ignoring host liveness.
+    ///
+    /// The crawl scheduler resolves liveness once per *host* and only then
+    /// looks pages up; [`WebArchive::fetch`] is the per-URL API with the
+    /// liveness check folded in.
+    pub fn page(&self, url: &str) -> Option<&Page> {
+        self.pages.get(url)
+    }
+
+    /// The simulated per-domain latency model the crawl scheduler reads.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Replaces the latency model (the corpus generator calibrates one per
+    /// seed).
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
     }
 
     /// Number of stored pages.
@@ -270,5 +311,41 @@ mod tests {
         a.insert_raw("https://drupal.org/advisory/x?y=1", "no dates here".into());
         let page = a.fetch("https://drupal.org/advisory/x?y=1").unwrap();
         assert_eq!(page.host, "drupal.org");
+    }
+
+    #[test]
+    fn host_of_url_covers_the_grammar() {
+        // Plain path.
+        assert_eq!(host_of_url("https://drupal.org/advisory/x"), "drupal.org");
+        // Query and fragment directly after the host.
+        assert_eq!(host_of_url("https://drupal.org?y=1"), "drupal.org");
+        assert_eq!(host_of_url("https://drupal.org#frag"), "drupal.org");
+        assert_eq!(host_of_url("http://seclists.org/a?b=c#d"), "seclists.org");
+        // Bare host, any scheme.
+        assert_eq!(host_of_url("ftp://marc.info"), "marc.info");
+        // No scheme separator: no recognisable host.
+        assert_eq!(host_of_url("drupal.org/advisory/x"), "");
+        assert_eq!(host_of_url(""), "");
+    }
+
+    #[test]
+    fn insert_and_fetch_agree_on_hosts() {
+        // The dedup point of `host_of_url`: a page stored under a URL must
+        // be owned by exactly the host `fetch` checks liveness for.
+        let mut a = WebArchive::new();
+        for url in [
+            "https://osvdb.org/show/osvdb/1?ref=2",
+            "https://osvdb.org/show#frag",
+        ] {
+            a.insert_raw(url, "body".into());
+            assert_eq!(
+                a.fetch(url),
+                Err(FetchError::HostUnreachable {
+                    host: "osvdb.org".to_owned()
+                }),
+                "{url}: fetch must resolve the same (dead) host insert_raw stored"
+            );
+            assert_eq!(a.page(url).unwrap().host, "osvdb.org");
+        }
     }
 }

@@ -33,9 +33,17 @@ impl CrawlerSet {
     /// Crawlers for only the `n` most-referenced hosts — the coverage
     /// ablation for the paper's "top 50 of 5,997 domains cover 85% of URLs"
     /// observation.
+    ///
+    /// Ordering is total: weight descending (`f64::total_cmp`, so no panic
+    /// on any float), then host name ascending — equal-weight domains never
+    /// depend on registry declaration order.
     pub fn top_n(n: usize) -> Self {
         let mut by_weight: Vec<_> = builtin_domains().iter().collect();
-        by_weight.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+        by_weight.sort_by(|a, b| {
+            b.weight
+                .total_cmp(&a.weight)
+                .then_with(|| a.host.cmp(b.host))
+        });
         Self {
             hosts: by_weight.iter().take(n).map(|d| d.host).collect(),
         }
@@ -105,6 +113,48 @@ mod tests {
         assert!(top5.supports("www.securityfocus.com"), "heaviest host in");
         let all = CrawlerSet::top_n(500);
         assert_eq!(all.coverage(), builtin_domains().len());
+    }
+
+    #[test]
+    fn top_n_matches_total_order_at_every_cut() {
+        // The documented order: weight descending, host ascending. Checking
+        // every prefix pins the tie-break — if equal weights entered in
+        // declaration order instead, some cut through a tie group would
+        // include the wrong host.
+        let mut expected: Vec<_> = builtin_domains().iter().collect();
+        expected.sort_by(|a, b| {
+            b.weight
+                .total_cmp(&a.weight)
+                .then_with(|| a.host.cmp(b.host))
+        });
+        for n in 1..=expected.len() {
+            let set = CrawlerSet::top_n(n);
+            assert_eq!(set.coverage(), n);
+            for d in expected.iter().take(n) {
+                assert!(set.supports(d.host), "top_{n} missing {}", d.host);
+            }
+        }
+    }
+
+    #[test]
+    fn top_n_breaks_weight_ties_by_host_name() {
+        // The registry carries a genuine tie at weight 5.0; the
+        // lexicographically smaller host must win the cut.
+        let tied: Vec<&str> = builtin_domains()
+            .iter()
+            .filter(|d| d.weight == 5.0)
+            .map(|d| d.host)
+            .collect();
+        assert_eq!(
+            tied.len(),
+            2,
+            "registry fixture: exactly two hosts at weight 5.0"
+        );
+        let heavier = builtin_domains().iter().filter(|d| d.weight > 5.0).count();
+        let set = CrawlerSet::top_n(heavier + 1);
+        let (first, second) = (tied.iter().min().unwrap(), tied.iter().max().unwrap());
+        assert!(set.supports(first), "{first} (tie-break winner) missing");
+        assert!(!set.supports(second), "{second} must lose the tie-break");
     }
 
     #[test]

@@ -174,7 +174,7 @@ fn parse_japanese(s: &str) -> Option<Date> {
 /// given label (e.g. `Published:`). Falls back to the first date in the
 /// style anywhere in the text when the label is absent.
 pub fn find_labelled_date(text: &str, label: &str, style: DateStyle) -> Option<Date> {
-    if let Some(pos) = text.find(label) {
+    if let Some(pos) = find_substring(text, label) {
         let after = &text[pos + label.len()..];
         // Skip separators between the label and the date.
         let after = after.trim_start_matches([':', ' ', '\t']);
@@ -183,6 +183,35 @@ pub fn find_labelled_date(text: &str, label: &str, style: DateStyle) -> Option<D
         }
     }
     scan_for_date(text, style)
+}
+
+/// Byte offset of the first occurrence of `needle` in `text` — the same
+/// answer as `str::find`, but anchored on the needle's first byte so the
+/// common miss case is a plain vectorisable byte scan. The crawl replay
+/// runs this once per fetched page, which keeps it on the batch hot path.
+///
+/// A byte-level match of valid UTF-8 inside valid UTF-8 always lands on
+/// char boundaries (leading and continuation bytes occupy disjoint ranges),
+/// so the offset is safe to slice with.
+fn find_substring(text: &str, needle: &str) -> Option<usize> {
+    let (t, n) = (text.as_bytes(), needle.as_bytes());
+    let Some(&first) = n.first() else {
+        return Some(0); // str::find: the empty needle matches at 0
+    };
+    let mut i = 0;
+    while i + n.len() <= t.len() {
+        match t[i..].iter().position(|&b| b == first) {
+            Some(p) => {
+                let at = i + p;
+                if at + n.len() <= t.len() && &t[at..at + n.len()] == n {
+                    return Some(at);
+                }
+                i = at + 1;
+            }
+            None => return None,
+        }
+    }
+    None
 }
 
 /// Returns the first parseable date of the given style anywhere in `text`.

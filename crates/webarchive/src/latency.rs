@@ -1,0 +1,158 @@
+//! Simulated per-domain fetch latency.
+//!
+//! The real §4.1 crawl is dominated by network skew: a handful of slow or
+//! congested hosts (and the politeness delays a well-behaved crawler owes
+//! every host) stretch a serial crawl far past the sum of its work. The
+//! [`crate::scheduler`] hides that skew behind a bounded in-flight window;
+//! this module supplies the skew itself, as deterministic virtual-time
+//! latency profiles the corpus generator calibrates per domain.
+//!
+//! Latency is *virtual*: one tick ≈ 1 µs of simulated wall clock. The
+//! scheduler's clock jumps between events rather than sleeping, so profiles
+//! shape the completion **order** (and the simulated makespan the benches
+//! report) without costing real time.
+
+use std::collections::BTreeMap;
+
+/// How one host answers: service time plus the gap a polite crawler leaves
+/// between consecutive requests to it. All times are virtual ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Minimum per-request service time.
+    pub base_ticks: u64,
+    /// Maximum extra service time; the actual extra is derived per URL (see
+    /// [`LatencyProfile::sample`]), so repeated schedules are identical.
+    pub jitter_ticks: u64,
+    /// Minimum delay between two request *starts* on this host.
+    pub politeness_ticks: u64,
+}
+
+impl LatencyProfile {
+    /// A profile from its three components.
+    pub const fn new(base_ticks: u64, jitter_ticks: u64, politeness_ticks: u64) -> Self {
+        Self {
+            base_ticks,
+            jitter_ticks,
+            politeness_ticks,
+        }
+    }
+
+    /// The service time of one fetch: base plus a jitter component hashed
+    /// from the URL, so equal inputs always schedule identically.
+    pub fn sample(&self, url: &str) -> u64 {
+        if self.jitter_ticks == 0 {
+            return self.base_ticks;
+        }
+        self.base_ticks + jitter_hash(url.as_bytes()) % (self.jitter_ticks + 1)
+    }
+}
+
+impl Default for LatencyProfile {
+    /// A middling host: 20 ms service time ± 5 ms, 10 ms politeness gap.
+    fn default() -> Self {
+        Self::new(20_000, 5_000, 10_000)
+    }
+}
+
+/// Per-host latency profiles with a fallback for unknown hosts.
+///
+/// The corpus generator samples one model per seed (slow mail archives,
+/// congested outliers, snappy CDN-backed advisories) and attaches it to the
+/// [`crate::WebArchive`]; the scheduler reads it per dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    profiles: BTreeMap<String, LatencyProfile>,
+    fallback: LatencyProfile,
+}
+
+impl LatencyModel {
+    /// A model that answers every host with the same profile.
+    pub fn uniform(fallback: LatencyProfile) -> Self {
+        Self {
+            profiles: BTreeMap::new(),
+            fallback,
+        }
+    }
+
+    /// Sets the profile of one host.
+    pub fn set(&mut self, host: &str, profile: LatencyProfile) {
+        self.profiles.insert(host.to_owned(), profile);
+    }
+
+    /// The profile of a host (the fallback if none was set).
+    pub fn profile(&self, host: &str) -> &LatencyProfile {
+        self.profiles.get(host).unwrap_or(&self.fallback)
+    }
+
+    /// Number of hosts with an explicit profile.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether no host has an explicit profile.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::uniform(LatencyProfile::default())
+    }
+}
+
+/// Word-at-a-time multiply–xor over a byte string (the jitter hash). The
+/// scheduler samples every URL of a batch, so this runs eight bytes per
+/// multiply instead of byte-at-a-time FNV; any fixed mix works, as long as
+/// it is a pure function of the URL.
+fn jitter_hash(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+        h = (h.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+    let mut tail = 0u64;
+    for &b in chunks.remainder() {
+        tail = (tail << 8) | u64::from(b);
+    }
+    (h.rotate_left(5) ^ tail).wrapping_mul(K)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_deterministic_and_within_bounds() {
+        let p = LatencyProfile::new(1_000, 400, 0);
+        let a = p.sample("https://seclists.org/x");
+        let b = p.sample("https://seclists.org/x");
+        assert_eq!(a, b);
+        assert!((1_000..=1_400).contains(&a), "sample {a}");
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let p = LatencyProfile::new(77, 0, 0);
+        assert_eq!(p.sample("a"), 77);
+        assert_eq!(p.sample("b"), 77);
+    }
+
+    #[test]
+    fn different_urls_usually_differ() {
+        let p = LatencyProfile::new(0, 1 << 20, 0);
+        assert_ne!(p.sample("https://a/1"), p.sample("https://a/2"));
+    }
+
+    #[test]
+    fn model_falls_back_for_unknown_hosts() {
+        let mut m = LatencyModel::uniform(LatencyProfile::new(5, 0, 0));
+        m.set("seclists.org", LatencyProfile::new(9, 0, 0));
+        assert_eq!(m.profile("seclists.org").base_ticks, 9);
+        assert_eq!(m.profile("example.invalid").base_ticks, 5);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+}

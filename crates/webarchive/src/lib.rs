@@ -25,7 +25,13 @@
 //! * [`archive`] — the [`WebArchive`] store with a fetch API that fails for
 //!   dead hosts and missing pages;
 //! * [`crawler`] — the per-domain date extractors ([`CrawlerSet`]) the
-//!   disclosure estimator dispatches on.
+//!   disclosure estimator dispatches on;
+//! * [`latency`] — deterministic virtual-time latency profiles per domain
+//!   (the corpus generator calibrates one model per seed);
+//! * [`scheduler`] — the request/response crawl engine: per-domain
+//!   politeness queues, a bounded in-flight window, and a virtual-clock
+//!   completion order that is bit-identical at any `NVD_JOBS`, with page
+//!   fetch + date extraction fanned over the `minipar` pool.
 //!
 //! ## Example
 //!
@@ -50,9 +56,16 @@ pub mod archive;
 pub mod crawler;
 pub mod dates;
 pub mod domains;
+pub mod latency;
 pub mod page;
+pub mod scheduler;
 
-pub use archive::{FetchError, Page, WebArchive};
+pub use archive::{host_of_url, FetchError, Page, WebArchive};
 pub use crawler::CrawlerSet;
 pub use dates::DateStyle;
 pub use domains::{builtin_domains, domain_spec, DomainCategory, DomainSpec};
+pub use latency::{LatencyModel, LatencyProfile};
+pub use scheduler::{
+    schedule, CrawlCompletion, CrawlEngine, CrawlOutcome, CrawlResult, CrawlSchedule,
+    DEFAULT_WINDOW,
+};

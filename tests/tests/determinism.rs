@@ -168,6 +168,30 @@ fn name_candidates_are_bit_identical_across_job_counts() {
     );
 }
 
+#[test]
+fn scheduled_crawl_is_bit_identical_across_job_counts() {
+    // The §4.1 disclosure estimator batches every reference through the
+    // webarchive crawl scheduler and fans fetch + extraction over minipar;
+    // the per-CVE estimate map must agree exactly between the inline path
+    // and a wide pool, and with the frozen pre-engine per-entry loops.
+    use nvd_clean::disclosure::{legacy, DisclosureEstimator};
+    let corpus = generate(&SynthConfig::with_scale(0.01, 4242));
+    let run = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            DisclosureEstimator::new(&corpus.archive).estimate_all(&corpus.database)
+        })
+    };
+    let serial = run(1);
+    let wide = run(4);
+    assert_eq!(serial, wide, "disclosure estimates diverged across jobs");
+    let estimator = DisclosureEstimator::new(&corpus.archive);
+    assert_eq!(
+        serial,
+        legacy::estimate_all_legacy(&estimator, &corpus.database),
+        "scheduled crawl diverged from the pre-engine loops"
+    );
+}
+
 /// Arbitrary small databases over a deliberately tiny alphabet, so the
 /// blocking heuristics collide constantly: special-character variants,
 /// shared products, prefixes, near-duplicate spellings, digit guards.
