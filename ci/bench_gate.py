@@ -2,15 +2,25 @@
 """Unified CI bench gate for the perf-smoke job.
 
 Each ``BENCH_*.json`` artifact (one JSON object per line, written by the
-vendored criterion shim when ``BENCH_JSON`` is set) records best/mean/stddev
-per bench id.  ``MANIFEST`` lists, per artifact, the ``(new, baseline)`` id
-pairs that must satisfy ``new.best_ns < baseline.best_ns`` — every "the new
-implementation must beat its in-bench legacy replica at jobs=1" gate goes
-through here instead of a copy-pasted inline-Python step per bench.
+vendored criterion shim when ``BENCH_JSON`` is set) records
+best/mean/stddev/p50/p99 per bench id.  ``MANIFEST`` lists, per artifact,
+the ``(new, baseline)`` id pairs that must satisfy
+``new.metric < baseline.metric`` for every gated metric — ``best_ns`` by
+default, optionally ``p99_ns`` too for latency-sensitive paths (the serve
+gate compares tails, not just bests).  Every "the new implementation must
+beat its in-bench legacy replica at jobs=1" gate goes through here instead
+of a copy-pasted inline-Python step per bench.
 
 Best-of-N is compared rather than means: on shared runners a single noisy
 sample inflates a 10-sample mean, while the best observation is stable —
-this keeps the gate meaningful without flaking.
+this keeps the gate meaningful without flaking.  The p99 gates lean on the
+margin being large (indexed lookups beat full scans by an order of
+magnitude), so tail noise cannot flip them.
+
+Every artifact named in ``MANIFEST`` is **required**: a listed artifact
+that was not passed on the command line, or whose file is missing or
+empty, is a hard failure — a bench that silently never ran must not pass
+the gate.
 
 Usage: python3 ci/bench_gate.py BENCH_mlkit.json BENCH_textkit.json ...
 """
@@ -19,6 +29,8 @@ import json
 import os
 import sys
 
+# Per artifact: (new_id, baseline_id) gated on best_ns, or
+# (new_id, baseline_id, (metric, ...)) to gate several metrics.
 MANIFEST = {
     "BENCH_mlkit.json": [
         ("mlkit_fit/batched/jobs_1", "mlkit_fit/legacy_per_sample"),
@@ -34,7 +46,20 @@ MANIFEST = {
     "BENCH_crawl.json": [
         ("crawl_estimate/new/jobs_1", "crawl_estimate/legacy"),
     ],
+    "BENCH_serve.json": [
+        # The headline serve gate is latency-aware: indexed lookups must
+        # beat the linear-scan replica on the best observation AND at p99.
+        (
+            "serve_point_lookup/new/jobs_1",
+            "serve_point_lookup/legacy",
+            ("best_ns", "p99_ns"),
+        ),
+        ("serve_mixed/new/jobs_1", "serve_mixed/legacy", ("best_ns", "p99_ns")),
+        ("serve_single_lookup/new", "serve_single_lookup/legacy"),
+    ],
 }
+
+DEFAULT_METRICS = ("best_ns",)
 
 
 def load_stats(path):
@@ -49,39 +74,70 @@ def load_stats(path):
 
 
 def describe(rec):
+    tail = ""
+    if "p50_ns" in rec and "p99_ns" in rec:
+        tail = f", p50 {rec['p50_ns']:.0f}, p99 {rec['p99_ns']:.0f}"
     return (
         f"best {rec['best_ns']:.0f} ns "
-        f"(mean {rec['mean_ns']:.0f} ± {rec['stddev_ns']:.0f}, n={rec['samples']})"
+        f"(mean {rec['mean_ns']:.0f} ± {rec['stddev_ns']:.0f}{tail}, "
+        f"n={rec['samples']})"
     )
 
 
 def main(paths):
     if not paths:
         sys.exit("usage: bench_gate.py BENCH_file.json [BENCH_file.json ...]")
+    given = {os.path.basename(p) for p in paths}
+    unlisted = sorted(set(MANIFEST) - given)
+    if unlisted:
+        sys.exit(
+            "manifest artifact(s) never passed to the gate — a skipped bench "
+            f"must not pass silently: {unlisted}"
+        )
     failures = []
+    checked = 0
     for path in paths:
         name = os.path.basename(path)
         pairs = MANIFEST.get(name)
         if pairs is None:
             sys.exit(f"{name}: no manifest entry — add its gates to ci/bench_gate.py")
+        if not os.path.exists(path):
+            sys.exit(f"{name}: artifact file {path!r} is missing — did its bench run?")
         stats = load_stats(path)
-        for new_id, baseline_id in pairs:
+        if not stats:
+            sys.exit(f"{name}: artifact file {path!r} is empty — did its bench run?")
+        for entry in pairs:
+            new_id, baseline_id = entry[0], entry[1]
+            metrics = entry[2] if len(entry) > 2 else DEFAULT_METRICS
             missing = [i for i in (new_id, baseline_id) if i not in stats]
             if missing:
                 sys.exit(f"{name}: bench id(s) missing from artifact: {missing}")
             new, baseline = stats[new_id], stats[baseline_id]
             print(f"{name}: {new_id}: {describe(new)}")
             print(f"{name}: {baseline_id}: {describe(baseline)}")
-            if new["best_ns"] < baseline["best_ns"]:
-                speedup = baseline["best_ns"] / new["best_ns"]
-                print(f"{name}: OK — {new_id} is {speedup:.2f}x faster than {baseline_id}")
-            else:
-                failures.append(f"{name}: {new_id} is no faster than {baseline_id}")
+            for metric in metrics:
+                absent = [i for i in (new_id, baseline_id) if metric not in stats[i]]
+                if absent:
+                    sys.exit(
+                        f"{name}: metric {metric!r} absent from {absent} — "
+                        "regenerate the artifact with the current criterion shim"
+                    )
+                checked += 1
+                if new[metric] < baseline[metric]:
+                    speedup = baseline[metric] / new[metric]
+                    print(
+                        f"{name}: OK [{metric}] — {new_id} is {speedup:.2f}x "
+                        f"faster than {baseline_id}"
+                    )
+                else:
+                    failures.append(
+                        f"{name}: {new_id} is no faster than {baseline_id} on {metric}"
+                    )
     for failure in failures:
         print(f"FAIL: {failure}")
     if failures:
         sys.exit(1)
-    print(f"all {sum(len(MANIFEST[os.path.basename(p)]) for p in paths)} bench gates passed")
+    print(f"all {checked} bench gates passed")
 
 
 if __name__ == "__main__":

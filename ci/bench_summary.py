@@ -3,7 +3,9 @@
 
 The perf-smoke job prints the table in its log and uploads it as
 ``BENCH_summary.md``, so the bench trajectory is visible per run without
-downloading the raw line-JSON artifacts.
+downloading the raw line-JSON artifacts.  Percentile columns (p50/p99)
+render as a dash for legacy artifacts recorded before the criterion shim
+tracked them.
 
 Usage: python3 ci/bench_summary.py BENCH_*.json > BENCH_summary.md
 """
@@ -23,8 +25,8 @@ def human(ns):
 def main(paths):
     if not paths:
         sys.exit("usage: bench_summary.py BENCH_file.json [BENCH_file.json ...]")
-    print("| artifact | bench id | best | mean ± stddev | samples |")
-    print("|---|---|---|---|---|")
+    print("| artifact | bench id | best | mean ± stddev | p50 | p99 | samples |")
+    print("|---|---|---|---|---|---|---|")
     rows = 0
     for path in sorted(paths):
         name = os.path.basename(path)
@@ -34,15 +36,18 @@ def main(paths):
                 if not line:
                     continue
                 rec = json.loads(line)
-                # Pre-stats-shim records carry only best_ns; render what
-                # exists rather than refusing the whole artifact.
+                # Pre-stats-shim records carry only best_ns; pre-percentile
+                # records lack p50/p99.  Render what exists rather than
+                # refusing the whole artifact.
                 if "mean_ns" in rec and "stddev_ns" in rec:
                     spread = f"{human(rec['mean_ns'])} ± {human(rec['stddev_ns'])}"
                 else:
                     spread = "—"
+                p50 = human(rec["p50_ns"]) if "p50_ns" in rec else "—"
+                p99 = human(rec["p99_ns"]) if "p99_ns" in rec else "—"
                 print(
                     f"| {name} | {rec['id']} | {human(rec['best_ns'])} "
-                    f"| {spread} | {rec.get('samples', '—')} |"
+                    f"| {spread} | {p50} | {p99} | {rec.get('samples', '—')} |"
                 )
                 rows += 1
     if rows == 0:

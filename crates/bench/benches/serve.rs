@@ -1,0 +1,141 @@
+//! Read-path benches: the `nvd-serve` sharded indexes vs the frozen
+//! linear-scan replica, under deterministic synthetic traffic.
+//!
+//! Run with `BENCH_JSON=BENCH_serve.json cargo bench -p nvd-bench --bench
+//! serve` to emit the artifact CI uploads. The gated questions: do indexed
+//! lookups beat the pre-index full-scan path at one job — on the best
+//! observation *and* at the p99 tail (the latency number the NVD-users
+//! study says practitioners feel) — and does index construction stay
+//! bit-identical while fanning over minipar? Parity is asserted three ways
+//! (engine vs replica, across shard counts, across job counts) before any
+//! timing starts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_bench::bench_experiments;
+use nvd_serve::{
+    generate_workload, run_workload, LinearScan, QueryEngine, ServeIndex, WorkloadProfile,
+};
+
+/// Workload sizes: large enough that one iteration amortises per-query
+/// noise, small enough that the full-scan replica finishes a sample set in
+/// seconds on the 1-core CI container.
+const POINT_QUERIES: usize = 20_000;
+const MIXED_QUERIES: usize = 4_000;
+const WORKLOAD_SEED: u64 = 0x5e11;
+
+fn serve_read_path(c: &mut Criterion) {
+    let exps = bench_experiments();
+    let db = &exps.cleaned;
+
+    let point = generate_workload(
+        db,
+        &WorkloadProfile::point_heavy(POINT_QUERIES),
+        WORKLOAD_SEED,
+    );
+    let mixed = generate_workload(
+        db,
+        &WorkloadProfile::mixed(MIXED_QUERIES),
+        WORKLOAD_SEED + 1,
+    );
+
+    // Parity gates before timing: the index must answer exactly like the
+    // replica, at every shard count, from a build at any job count.
+    let scan = LinearScan::new(db);
+    let index = minipar::with_jobs(1, || ServeIndex::build(db));
+    for workload in [&point, &mixed] {
+        let want = run_workload(&scan, workload);
+        assert_eq!(
+            run_workload(&index, workload),
+            want,
+            "sharded index diverged from the linear-scan replica"
+        );
+        for shards in [1usize, 4, 64] {
+            let resharded = ServeIndex::with_shards(db, shards);
+            assert_eq!(
+                run_workload(&resharded, workload),
+                want,
+                "answers changed at shard_count={shards}"
+            );
+        }
+    }
+    assert_eq!(
+        minipar::with_jobs(1, || ServeIndex::build(db).digest()),
+        minipar::with_jobs(4, || ServeIndex::build(db).digest()),
+        "index build diverged across job counts"
+    );
+
+    let mut group = c.benchmark_group("serve_build");
+    group.sample_size(20);
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("new/jobs_{jobs}"), |b| {
+            b.iter(|| minipar::with_jobs(jobs, || ServeIndex::build(black_box(db))))
+        });
+    }
+    group.finish();
+
+    // Lookup-heavy traffic: the headline "faster NVD interface" number.
+    // More samples than the throughput benches so the shim's p99 has
+    // texture — the gate compares tails, not just bests.
+    let mut group = c.benchmark_group("serve_point_lookup");
+    group.sample_size(40);
+    group.bench_function("new/jobs_1", |b| {
+        b.iter(|| minipar::with_jobs(1, || run_workload(&index, black_box(&point))))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| minipar::with_jobs(1, || run_workload(&scan, black_box(&point))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_mixed");
+    group.sample_size(20);
+    group.bench_function("new/jobs_1", |b| {
+        b.iter(|| minipar::with_jobs(1, || run_workload(&index, black_box(&mixed))))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| minipar::with_jobs(1, || run_workload(&scan, black_box(&mixed))))
+    });
+    group.finish();
+
+    // Single-query texture outside the workload loop: one hot point lookup
+    // (zipf rank 0 equivalent) against the same lookup on the replica.
+    let hot = point
+        .iter()
+        .find_map(|q| match q {
+            nvd_serve::Query::PointLookup(id) if index.get(*id).is_some() => Some(*id),
+            _ => None,
+        })
+        .expect("point workload contains at least one hit");
+    let mut group = c.benchmark_group("serve_single_lookup");
+    group.sample_size(40);
+    group.bench_function("new", |b| {
+        b.iter(|| index.execute(black_box(&nvd_serve::Query::PointLookup(hot))))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| scan.execute(black_box(&nvd_serve::Query::PointLookup(hot))))
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let exps = bench_experiments();
+    let db = &exps.cleaned;
+    let mut group = c.benchmark_group("serve_workload_gen");
+    group.sample_size(10);
+    group.bench_function("mixed_100k", |b| {
+        b.iter(|| {
+            generate_workload(
+                black_box(db),
+                &WorkloadProfile::mixed(100_000),
+                WORKLOAD_SEED,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = serve_read_path, workload_generation
+);
+criterion_main!(benches);

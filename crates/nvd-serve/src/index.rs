@@ -1,0 +1,343 @@
+//! The immutable sharded index set behind the read path.
+//!
+//! [`ServeIndex::build`] loads a (cleaned) [`Database`] into:
+//!
+//! * **hash-sharded id shards** — each CVE id is routed to
+//!   `fnv1a(id) % shard_count`; within a shard, entry indices are sorted by
+//!   id, so a point lookup is one hash plus one binary search over `n/S`
+//!   ids. Shard routing is a pure function of the id, never of insertion
+//!   order, so any shard count serves identical answers;
+//! * **interned vendor/product postings** — the §4.2 engine's
+//!   [`NameTable`] interns each name universe into dense ids in ascending
+//!   name order; postings are per-name CVE lists sorted by id;
+//! * **secondary indexes** — per-CWE and per-severity-band postings, plus
+//!   one `(published, id)`-ordered permutation for patch-window range
+//!   scans and windowed histograms.
+//!
+//! Construction fans over `minipar` (per-shard sorts, chunked postings
+//! proposal) with the workspace's standing guarantee: the built index — and
+//! therefore every query answer — is bit-identical at any `NVD_JOBS`.
+
+use nvd_clean::names::NameTable;
+use nvd_model::prelude::{
+    CveEntry, CveId, CweId, Database, Date, ProductName, Severity, VendorName,
+};
+
+use crate::query::{
+    effective_severity, fnv1a, hash_cve_id, Query, QueryEngine, QueryResult, FNV_OFFSET,
+};
+
+/// Entries per work unit for the chunked postings-proposal passes. Small
+/// enough to load-balance a skewed corpus, large enough that the inline
+/// `jobs = 1` path pays no chunking overhead worth measuring.
+const POSTING_CHUNK: usize = 256;
+
+/// An immutable sharded view over one database.
+///
+/// The index borrows the database; rebuilding after a cleaning pass is the
+/// intended lifecycle (the database itself is treated as immutable input
+/// everywhere in the workspace).
+#[derive(Debug)]
+pub struct ServeIndex<'a> {
+    entries: Vec<&'a CveEntry>,
+    /// `ids[i]` is `entries[i].id`, kept dense for sort keys and lookups.
+    ids: Vec<CveId>,
+    shard_count: usize,
+    /// Per-shard entry indices, each sorted ascending by CVE id.
+    id_shards: Vec<Vec<u32>>,
+    vendors: NameTable<'a, VendorName>,
+    /// Per-vendor-id entry indices, sorted ascending by CVE id.
+    vendor_postings: Vec<Vec<u32>>,
+    products: NameTable<'a, ProductName>,
+    /// Per-product-id entry indices, sorted ascending by CVE id.
+    product_postings: Vec<Vec<u32>>,
+    /// Non-empty per-CWE postings, ascending by CWE id.
+    cwe_postings: Vec<(CweId, Vec<u32>)>,
+    /// Non-empty per-band postings, ascending by severity band.
+    severity_postings: Vec<(Severity, Vec<u32>)>,
+    /// All entry indices, sorted ascending by `(published, id)`.
+    date_order: Vec<u32>,
+}
+
+impl<'a> ServeIndex<'a> {
+    /// Default shard count: enough to keep per-shard binary searches short
+    /// at paper scale without fragmenting a small corpus.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Builds the index with [`Self::DEFAULT_SHARDS`] id shards.
+    pub fn build(db: &'a Database) -> Self {
+        Self::with_shards(db, Self::DEFAULT_SHARDS)
+    }
+
+    /// Builds the index with an explicit id-shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn with_shards(db: &'a Database, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "ServeIndex: shard_count must be positive");
+        let entries: Vec<&'a CveEntry> = db.iter().collect();
+        let ids: Vec<CveId> = entries.iter().map(|e| e.id).collect();
+        let n = entries.len();
+
+        // --- id shards: serial routing, parallel per-shard sort. -------
+        let mut raw_shards: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        for (i, &id) in ids.iter().enumerate() {
+            raw_shards[(hash_cve_id(id) % shard_count as u64) as usize].push(i as u32);
+        }
+        let id_shards: Vec<Vec<u32>> = minipar::par_map(&raw_shards, |shard| {
+            let mut sorted = shard.clone();
+            sorted.sort_unstable_by_key(|&i| ids[i as usize]);
+            sorted
+        });
+
+        // --- interned name universes (ids in ascending name order). ----
+        let vendors = NameTable::from_sorted_iter(db.vendor_set());
+        let products = NameTable::from_sorted_iter(db.product_set());
+
+        // --- postings: chunked parallel proposal, ordered assembly. ----
+        let vendor_pairs = propose_pairs(&entries, |entry, out| {
+            for cpe in &entry.affected {
+                out.push(vendors.id_of(cpe.vendor.as_str()).expect("interned vendor"));
+            }
+        });
+        let vendor_postings = group_postings(vendor_pairs, vendors.len(), &ids);
+        let product_pairs = propose_pairs(&entries, |entry, out| {
+            for cpe in &entry.affected {
+                out.push(
+                    products
+                        .id_of(cpe.product.as_str())
+                        .expect("interned product"),
+                );
+            }
+        });
+        let product_postings = group_postings(product_pairs, products.len(), &ids);
+
+        // --- secondary indexes (serial: one cheap pass each). ----------
+        let mut cwe_pairs: Vec<(CweId, u32)> = Vec::new();
+        let mut severity_pairs: Vec<(Severity, u32)> = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            if let Some(cwe) = entry.effective_cwe().specific() {
+                cwe_pairs.push((cwe, i as u32));
+            }
+            if let Some(band) = effective_severity(entry) {
+                severity_pairs.push((band, i as u32));
+            }
+        }
+        let cwe_postings = group_keyed(cwe_pairs, &ids);
+        let severity_postings = group_keyed(severity_pairs, &ids);
+
+        let mut date_order: Vec<u32> = (0..n as u32).collect();
+        date_order.sort_unstable_by_key(|&i| (entries[i as usize].published, ids[i as usize]));
+
+        Self {
+            entries,
+            ids,
+            shard_count,
+            id_shards,
+            vendors,
+            vendor_postings,
+            products,
+            product_postings,
+            cwe_postings,
+            severity_postings,
+            date_order,
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is over an empty database.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of id shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of distinct interned vendors.
+    pub fn vendor_count(&self) -> usize {
+        self.vendors.len()
+    }
+
+    /// Number of distinct interned products.
+    pub fn product_count(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Point lookup: shard hash plus binary search within the shard.
+    pub fn get(&self, id: CveId) -> Option<&'a CveEntry> {
+        let shard = &self.id_shards[(hash_cve_id(id) % self.shard_count as u64) as usize];
+        shard
+            .binary_search_by_key(&id, |&i| self.ids[i as usize])
+            .ok()
+            .map(|pos| self.entries[shard[pos] as usize])
+    }
+
+    /// Structural digest over every shard and posting list.
+    ///
+    /// Two builds of the same database at the same shard count must agree
+    /// exactly — the determinism suite compares `NVD_JOBS` 1 vs 4 builds
+    /// through this.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, &(self.shard_count as u64).to_le_bytes());
+        let fold_postings = |h: &mut u64, postings: &[Vec<u32>]| {
+            for list in postings {
+                *h = fnv1a(*h, &(list.len() as u64).to_le_bytes());
+                for &i in list {
+                    *h = fnv1a(*h, &hash_cve_id(self.ids[i as usize]).to_le_bytes());
+                }
+            }
+        };
+        fold_postings(&mut h, &self.id_shards);
+        fold_postings(&mut h, &self.vendor_postings);
+        fold_postings(&mut h, &self.product_postings);
+        for (cwe, list) in &self.cwe_postings {
+            h = fnv1a(h, &cwe.number().to_le_bytes());
+            fold_postings(&mut h, std::slice::from_ref(list));
+        }
+        for (band, list) in &self.severity_postings {
+            h = fnv1a(h, band.abbrev().as_bytes());
+            fold_postings(&mut h, std::slice::from_ref(list));
+        }
+        fold_postings(&mut h, std::slice::from_ref(&self.date_order));
+        h
+    }
+
+    /// The `date_order` slice covering `since..=until`.
+    fn window_slice(&self, since: Date, until: Date) -> &[u32] {
+        let lower = self
+            .date_order
+            .partition_point(|&i| self.entries[i as usize].published < since);
+        let upper = self
+            .date_order
+            .partition_point(|&i| self.entries[i as usize].published <= until);
+        &self.date_order[lower..upper]
+    }
+
+    fn ids_of(&self, postings: &[u32]) -> Vec<CveId> {
+        postings.iter().map(|&i| self.ids[i as usize]).collect()
+    }
+}
+
+/// Chunked parallel postings proposal: maps each entry to its name ids,
+/// returning `(name_id, entry_idx)` pairs concatenated in entry order.
+/// Chunk boundaries are fixed by [`POSTING_CHUNK`], so the pair stream is
+/// identical at any thread count; duplicate pairs (one entry, several CPEs
+/// of the same name) are collapsed later in [`group_postings`].
+fn propose_pairs(
+    entries: &[&CveEntry],
+    emit: impl Fn(&CveEntry, &mut Vec<u32>) + Sync,
+) -> Vec<(u32, u32)> {
+    let idx: Vec<u32> = (0..entries.len() as u32).collect();
+    minipar::par_chunks(&idx, POSTING_CHUNK, |_ci, part| {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(part.len());
+        let mut scratch: Vec<u32> = Vec::new();
+        for &i in part {
+            scratch.clear();
+            emit(entries[i as usize], &mut scratch);
+            pairs.extend(scratch.iter().map(|&nid| (nid, i)));
+        }
+        pairs
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Groups `(name_id, entry_idx)` pairs into per-name postings sorted by
+/// CVE id.
+fn group_postings(mut pairs: Vec<(u32, u32)>, names: usize, ids: &[CveId]) -> Vec<Vec<u32>> {
+    pairs.sort_unstable_by_key(|&(nid, i)| (nid, ids[i as usize]));
+    pairs.dedup();
+    let mut postings: Vec<Vec<u32>> = vec![Vec::new(); names];
+    for (nid, i) in pairs {
+        postings[nid as usize].push(i);
+    }
+    postings
+}
+
+/// Groups `(key, entry_idx)` pairs into non-empty per-key postings sorted
+/// by CVE id, keys ascending.
+fn group_keyed<K: Ord + Copy>(mut pairs: Vec<(K, u32)>, ids: &[CveId]) -> Vec<(K, Vec<u32>)> {
+    pairs.sort_unstable_by_key(|&(k, i)| (k, ids[i as usize]));
+    let mut grouped: Vec<(K, Vec<u32>)> = Vec::new();
+    for (k, i) in pairs {
+        match grouped.last_mut() {
+            Some((key, list)) if *key == k => list.push(i),
+            _ => grouped.push((k, vec![i])),
+        }
+    }
+    grouped
+}
+
+impl QueryEngine for ServeIndex<'_> {
+    fn execute<'db>(&'db self, query: &Query) -> QueryResult<'db> {
+        match query {
+            Query::PointLookup(id) => QueryResult::Entry(self.get(*id)),
+            Query::VendorWatch(vendor) => {
+                let ids = match self.vendors.id_of(vendor.as_str()) {
+                    Some(vid) => self.ids_of(&self.vendor_postings[vid as usize]),
+                    None => Vec::new(),
+                };
+                QueryResult::Ids(ids)
+            }
+            Query::ProductWatch(product) => {
+                let ids = match self.products.id_of(product.as_str()) {
+                    Some(pid) => self.ids_of(&self.product_postings[pid as usize]),
+                    None => Vec::new(),
+                };
+                QueryResult::Ids(ids)
+            }
+            Query::PatchWindow { since, until } => {
+                QueryResult::Ids(self.ids_of(self.window_slice(*since, *until)))
+            }
+            Query::SeverityHistogram { window } => match window {
+                None => QueryResult::SeverityHistogram(
+                    self.severity_postings
+                        .iter()
+                        .map(|(band, list)| (*band, list.len()))
+                        .collect(),
+                ),
+                Some((since, until)) => {
+                    let mut counts = [0usize; 5];
+                    for &i in self.window_slice(*since, *until) {
+                        if let Some(band) = effective_severity(self.entries[i as usize]) {
+                            counts[band as usize] += 1;
+                        }
+                    }
+                    QueryResult::SeverityHistogram(histogram_from_counts(&counts))
+                }
+            },
+            Query::CweHistogram => QueryResult::CweHistogram(
+                self.cwe_postings
+                    .iter()
+                    .map(|(cwe, list)| (*cwe, list.len()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Converts a per-band count array (indexed by `Severity as usize`) into
+/// canonical non-empty ascending buckets.
+pub(crate) fn histogram_from_counts(counts: &[usize; 5]) -> Vec<(Severity, usize)> {
+    const BANDS: [Severity; 5] = [
+        Severity::None,
+        Severity::Low,
+        Severity::Medium,
+        Severity::High,
+        Severity::Critical,
+    ];
+    BANDS
+        .iter()
+        .zip(counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(&b, &c)| (b, c))
+        .collect()
+}

@@ -1,0 +1,169 @@
+//! # nvd-serve
+//!
+//! A sharded read path over the cleaned NVD database — the serving layer of
+//! the `nvd-clean` workspace (the Rust reproduction of *"Cleaning the NVD"*,
+//! Anwar et al., DSN 2021).
+//!
+//! The NVD-users study (Wunder et al., arXiv:2408.10695) finds
+//! practitioners' top asks are a *faster, more queryable, more reliable*
+//! NVD interface. This crate is that interface for an in-memory cleaned
+//! corpus: [`ServeIndex`] loads a [`Database`](nvd_model::database::Database)
+//! into immutable sharded indexes (hash-sharded CVE id shards, interned
+//! vendor/product postings reusing the §4.2 engine's
+//! [`NameTable`](nvd_clean::names::NameTable) vocabulary, CWE /
+//! severity-band / publication-date secondary indexes) behind the typed
+//! [`Query`] API. [`LinearScan`] is the frozen pre-index replica — every
+//! query answered by a full database walk — kept as the benchmark baseline
+//! and parity oracle.
+//!
+//! **Determinism contract:** query answers are *canonical* (see
+//! [`query`]), so results are bit-identical at any shard count and any
+//! `NVD_JOBS`, and identical between [`ServeIndex`] and [`LinearScan`].
+//! The workspace determinism suite and the `serve` bench enforce all three
+//! equalities before any timing is taken.
+//!
+//! [`workload`] generates deterministic synthetic traffic (zipf point
+//! lookups, bursty watch scans, mixed range/histogram polls) to drive the
+//! benches and any future real front end.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvd_serve::{Query, QueryEngine, ServeIndex};
+//! use nvd_synth::{generate, SynthConfig};
+//!
+//! let corpus = generate(&SynthConfig::with_scale(0.003, 1));
+//! let index = ServeIndex::build(&corpus.database);
+//! let entry = corpus.database.iter().next().unwrap();
+//! // Point lookup: one shard hash + one binary search.
+//! assert_eq!(index.get(entry.id).map(|e| e.id), Some(entry.id));
+//! // Watch query: interned postings, ids ascending.
+//! let vendor = entry.affected.first().map(|c| c.vendor.clone());
+//! if let Some(vendor) = vendor {
+//!     let result = index.execute(&Query::VendorWatch(vendor));
+//!     assert!(result.len() >= 1);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod index;
+pub mod query;
+pub mod scan;
+pub mod workload;
+
+pub use index::ServeIndex;
+pub use query::{run_workload, Query, QueryEngine, QueryResult, WorkloadSummary};
+pub use scan::LinearScan;
+pub use workload::{generate_workload, WorkloadProfile};
+
+#[cfg(test)]
+mod tests {
+    use nvd_model::prelude::{CveId, Database, Date};
+    use nvd_synth::{generate, SynthConfig};
+
+    use super::*;
+
+    fn corpus_db() -> Database {
+        generate(&SynthConfig::with_scale(0.004, 33)).database
+    }
+
+    #[test]
+    fn point_lookup_agrees_with_database_index() {
+        let db = corpus_db();
+        let index = ServeIndex::build(&db);
+        assert_eq!(index.len(), db.len());
+        for entry in db.iter() {
+            assert_eq!(index.get(entry.id).map(|e| e.id), Some(entry.id));
+        }
+        let absent: CveId = "CVE-1999-9999999".parse().unwrap();
+        assert!(index.get(absent).is_none());
+    }
+
+    #[test]
+    fn every_query_matches_linear_scan() {
+        let db = corpus_db();
+        let index = ServeIndex::build(&db);
+        let scan = LinearScan::new(&db);
+        let workload = generate_workload(&db, &WorkloadProfile::mixed(2_000), 5);
+        for query in &workload {
+            assert_eq!(
+                index.execute(query),
+                scan.execute(query),
+                "index and scan disagree on {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_does_not_change_answers() {
+        let db = corpus_db();
+        let scan = LinearScan::new(&db);
+        let workload = generate_workload(&db, &WorkloadProfile::mixed(1_000), 17);
+        let reference = run_workload(&scan, &workload);
+        for shards in [1usize, 3, 16, 64] {
+            let index = ServeIndex::with_shards(&db, shards);
+            assert_eq!(
+                run_workload(&index, &workload),
+                reference,
+                "answers changed at shard_count={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_window_is_date_then_id_ordered() {
+        let db = corpus_db();
+        let index = ServeIndex::build(&db);
+        let stats = db.stats();
+        let (min_year, max_year) = stats.year_range.unwrap();
+        let since = Date::from_ymd(min_year, 1, 1).unwrap();
+        let until = Date::from_ymd(max_year, 12, 31).unwrap();
+        let QueryResult::Ids(ids) = index.execute(&Query::PatchWindow { since, until }) else {
+            panic!("patch window must return ids");
+        };
+        assert_eq!(ids.len(), db.len(), "whole-range window covers everything");
+        let keyed: Vec<_> = ids
+            .iter()
+            .map(|id| (db.get(id).unwrap().published, *id))
+            .collect();
+        assert!(keyed.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn histograms_cover_scored_entries_exactly() {
+        let db = corpus_db();
+        let index = ServeIndex::build(&db);
+        let QueryResult::SeverityHistogram(buckets) =
+            index.execute(&Query::SeverityHistogram { window: None })
+        else {
+            panic!("severity histogram expected");
+        };
+        let scored = db
+            .iter()
+            .filter(|e| e.cvss_v2.is_some() || e.cvss_v3.is_some())
+            .count();
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<usize>(), scored);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(buckets.iter().all(|&(_, c)| c > 0));
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_job_counts() {
+        let db = corpus_db();
+        let serial = minipar::with_jobs(1, || ServeIndex::build(&db).digest());
+        let wide = minipar::with_jobs(4, || ServeIndex::build(&db).digest());
+        assert_eq!(serial, wide, "index build diverged across job counts");
+    }
+
+    #[test]
+    fn empty_database_serves_empty_answers() {
+        let db = Database::new();
+        let index = ServeIndex::with_shards(&db, 4);
+        assert!(index.is_empty());
+        let absent: CveId = "CVE-2020-0001".parse().unwrap();
+        assert_eq!(index.execute(&Query::PointLookup(absent)).len(), 0);
+        assert_eq!(index.execute(&Query::CweHistogram).len(), 0);
+    }
+}

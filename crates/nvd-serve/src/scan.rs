@@ -1,0 +1,97 @@
+//! The legacy read path: answer every query by scanning the whole database.
+//!
+//! This is the replica the serve benches gate against — it reproduces, per
+//! query, exactly what pre-index callers did: `Database::iter` plus an
+//! ad-hoc filter (`examples/vendor_watch.rs` walked `cves_by_vendor`,
+//! `examples/patch_window.rs` walked every entry). Answers are canonical
+//! (see [`crate::query`]) so they compare bit-for-bit against
+//! [`ServeIndex`](crate::ServeIndex); only the cost differs — every query
+//! is `O(database)` here, independent of selectivity.
+
+use nvd_model::prelude::{CveId, Database};
+
+use crate::index::histogram_from_counts;
+use crate::query::{effective_severity, Query, QueryEngine, QueryResult};
+
+/// Full-scan query engine over an unindexed database.
+#[derive(Debug)]
+pub struct LinearScan<'a> {
+    db: &'a Database,
+}
+
+impl<'a> LinearScan<'a> {
+    /// Wraps a database without building anything.
+    pub fn new(db: &'a Database) -> Self {
+        Self { db }
+    }
+}
+
+impl QueryEngine for LinearScan<'_> {
+    fn execute<'db>(&'db self, query: &Query) -> QueryResult<'db> {
+        match query {
+            Query::PointLookup(id) => {
+                QueryResult::Entry(self.db.iter().find(|entry| entry.id == *id))
+            }
+            Query::VendorWatch(vendor) => {
+                let mut ids: Vec<CveId> = self
+                    .db
+                    .iter()
+                    .filter(|entry| entry.affected.iter().any(|cpe| cpe.vendor == *vendor))
+                    .map(|entry| entry.id)
+                    .collect();
+                ids.sort_unstable();
+                QueryResult::Ids(ids)
+            }
+            Query::ProductWatch(product) => {
+                let mut ids: Vec<CveId> = self
+                    .db
+                    .iter()
+                    .filter(|entry| entry.affected.iter().any(|cpe| cpe.product == *product))
+                    .map(|entry| entry.id)
+                    .collect();
+                ids.sort_unstable();
+                QueryResult::Ids(ids)
+            }
+            Query::PatchWindow { since, until } => {
+                let mut hits: Vec<_> = self
+                    .db
+                    .iter()
+                    .filter(|entry| entry.published >= *since && entry.published <= *until)
+                    .map(|entry| (entry.published, entry.id))
+                    .collect();
+                hits.sort_unstable();
+                QueryResult::Ids(hits.into_iter().map(|(_, id)| id).collect())
+            }
+            Query::SeverityHistogram { window } => {
+                let mut counts = [0usize; 5];
+                for entry in self.db.iter() {
+                    if let Some((since, until)) = window {
+                        if entry.published < *since || entry.published > *until {
+                            continue;
+                        }
+                    }
+                    if let Some(band) = effective_severity(entry) {
+                        counts[band as usize] += 1;
+                    }
+                }
+                QueryResult::SeverityHistogram(histogram_from_counts(&counts))
+            }
+            Query::CweHistogram => {
+                let mut buckets: Vec<(nvd_model::prelude::CweId, usize)> = Vec::new();
+                let mut pairs: Vec<_> = self
+                    .db
+                    .iter()
+                    .filter_map(|entry| entry.effective_cwe().specific())
+                    .collect();
+                pairs.sort_unstable();
+                for cwe in pairs {
+                    match buckets.last_mut() {
+                        Some((id, count)) if *id == cwe => *count += 1,
+                        _ => buckets.push((cwe, 1)),
+                    }
+                }
+                QueryResult::CweHistogram(buckets)
+            }
+        }
+    }
+}

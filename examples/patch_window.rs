@@ -3,28 +3,63 @@
 //! A security team prioritising patches needs to know how long each
 //! vulnerability has been *public* — the NVD publication date understates
 //! that window (Fig. 1: 28% of CVEs enter the NVD more than a week after
-//! disclosure). This example measures the window-of-exposure error an
+//! disclosure). This example drives the analysis through the
+//! `nvd_serve::ServeIndex` read path: a `PatchWindow` range scan selects
+//! the most recent quarter of publications, point lookups fetch each
+//! entry, and a windowed `SeverityHistogram` shows what the team is
+//! triaging — then the disclosure estimator measures the exposure error an
 //! analyst would make by trusting the raw NVD date, split by severity.
 //!
 //! ```text
-//! cargo run --release -p nvd-examples --bin patch_window [-- --scale 0.02 --seed 11]
+//! cargo run --release -p nvd-examples --example patch_window [-- --scale 0.02 --seed 11]
 //! ```
 
 use std::collections::BTreeMap;
 
 use nvd_clean::DisclosureEstimator;
 use nvd_examples::scale_and_seed;
-use nvd_model::prelude::Severity;
+use nvd_model::prelude::{Date, Severity};
+use nvd_serve::{Query, QueryEngine, QueryResult, ServeIndex};
 use nvd_synth::{generate, SynthConfig};
+
+/// Days of publications the triage sweep covers.
+const WINDOW_DAYS: i32 = 90;
 
 fn main() {
     let (scale, seed) = scale_and_seed(0.02, 11);
     let corpus = generate(&SynthConfig::with_scale(scale, seed));
     let estimator = DisclosureEstimator::new(&corpus.archive);
+    let index = ServeIndex::build(&corpus.database);
+
+    let until = corpus
+        .database
+        .iter()
+        .map(|entry| entry.published)
+        .max()
+        .expect("non-empty corpus");
+    let since = Date::from_day_number(until.day_number() - WINDOW_DAYS);
+
+    let QueryResult::Ids(recent) = index.execute(&Query::PatchWindow { since, until }) else {
+        unreachable!("patch windows answer with id lists");
+    };
+    let QueryResult::SeverityHistogram(bands) = index.execute(&Query::SeverityHistogram {
+        window: Some((since, until)),
+    }) else {
+        unreachable!("severity histograms answer with band buckets");
+    };
+
+    println!(
+        "triage window {since}..={until}: {} CVEs published, by effective severity:",
+        recent.len()
+    );
+    for (band, count) in &bands {
+        println!("  {band:?}: {count}");
+    }
 
     let mut by_band: BTreeMap<Severity, (u64, u64, usize)> = BTreeMap::new();
     let mut worst: Vec<(i32, String)> = Vec::new();
-    for entry in corpus.database.iter() {
+    for id in &recent {
+        let entry = index.get(*id).expect("window ids resolve via point lookup");
         let Some(band) = entry.severity_v2() else {
             continue;
         };
@@ -39,7 +74,7 @@ fn main() {
         worst.push((lag, entry.id.to_string()));
     }
 
-    println!("window-of-exposure error when trusting the raw NVD publication date\n");
+    println!("\nwindow-of-exposure error when trusting the raw NVD publication date\n");
     println!("severity  mean error (days)  >1 week");
     println!("-------------------------------------");
     for (band, (sum, over_week, n)) in &by_band {

@@ -3,26 +3,21 @@
 //! "Practitioners depend on lists of vendors and products affected by a CVE
 //! to identify vulnerabilities affecting software they use" — but alias
 //! names silently drop entries from any watchlist keyed on exact vendor
-//! strings. This example audits a watchlist of major vendors against the
-//! dirty database, then against the cleaned one, and reports what the
-//! watchlist would have missed.
+//! strings. This example serves the dirty and the cleaned database through
+//! `nvd_serve::ServeIndex` — the same sharded read path a production
+//! watchlist would poll — and reports what exact-string watch queries
+//! would have missed before name cleaning.
 //!
 //! ```text
-//! cargo run --release -p nvd-examples --bin vendor_watch [-- --scale 0.02 --seed 13]
+//! cargo run --release -p nvd-examples --example vendor_watch [-- --scale 0.02 --seed 13]
 //! ```
 
 use nvd_clean::cleaner::Cleaner;
 use nvd_clean::names::OracleVerifier;
 use nvd_examples::scale_and_seed;
-use nvd_model::prelude::{Database, Severity, VendorName};
+use nvd_model::prelude::{Severity, VendorName};
+use nvd_serve::{Query, QueryEngine, ServeIndex};
 use nvd_synth::{generate, SynthConfig};
-
-fn cves_for(db: &Database, vendor: &VendorName) -> usize {
-    db.cves_by_vendor()
-        .get(vendor)
-        .map(|ids| ids.len())
-        .unwrap_or(0)
-}
 
 fn main() {
     let (scale, seed) = scale_and_seed(0.02, 13);
@@ -40,6 +35,11 @@ fn main() {
     let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
     let (cleaned, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
 
+    // One immutable index per database snapshot: the watch sweep below is
+    // interned-postings lookups, not per-vendor database walks.
+    let dirty_index = ServeIndex::build(&corpus.database);
+    let clean_index = ServeIndex::build(&cleaned);
+
     println!("vendor watchlist audit: CVE counts before vs after name cleaning\n");
     println!(
         "{:<22} {:>7} {:>7} {:>8}",
@@ -48,9 +48,9 @@ fn main() {
     println!("{}", "-".repeat(48));
     let mut total_missed = 0usize;
     for name in watchlist {
-        let vendor = VendorName::new(name);
-        let before = cves_for(&corpus.database, &vendor);
-        let after = cves_for(&cleaned, &vendor);
+        let query = Query::VendorWatch(VendorName::new(name));
+        let before = dirty_index.execute(&query).len();
+        let after = clean_index.execute(&query).len();
         let missed = after.saturating_sub(before);
         total_missed += missed;
         println!("{name:<22} {before:>7} {after:>7} {missed:>8}");

@@ -243,6 +243,61 @@ proptest! {
 }
 
 #[test]
+fn serve_index_build_is_bit_identical_across_job_counts() {
+    // ServeIndex construction fans per-shard sorting and posting-list
+    // grouping over minipar; the full structural digest (shard tables,
+    // vendor/product/CWE/severity postings, date order) must agree exactly
+    // between the inline path and a wide pool.
+    use nvd_serve::ServeIndex;
+    let corpus = generate(&SynthConfig::with_scale(0.01, 4242));
+    let digest_at =
+        |jobs: usize| minipar::with_jobs(jobs, || ServeIndex::build(&corpus.database).digest());
+    assert_eq!(
+        digest_at(1),
+        digest_at(4),
+        "serve index digest diverged across jobs"
+    );
+}
+
+#[test]
+fn serve_answers_are_invariant_under_shard_count() {
+    // Shard routing is a pure function of the CVE id, so answers — checked
+    // via the order-sensitive workload checksum over mixed traffic — must
+    // be bit-identical at any shard count and identical to the frozen
+    // linear-scan replica.
+    use nvd_serve::{generate_workload, run_workload, LinearScan, ServeIndex, WorkloadProfile};
+    let corpus = generate(&SynthConfig::with_scale(0.01, 4242));
+    let workload = generate_workload(&corpus.database, &WorkloadProfile::mixed(600), 0xd15c);
+    let oracle = run_workload(&LinearScan::new(&corpus.database), &workload);
+    for shards in [1, 3, 16, 64] {
+        let index = ServeIndex::with_shards(&corpus.database, shards);
+        let summary = run_workload(&index, &workload);
+        assert_eq!(
+            summary, oracle,
+            "serve answers diverged from the linear scan at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn serve_workload_generator_is_seed_stable() {
+    // The synthetic query generator is part of the bench contract: equal
+    // seeds must reproduce the exact query sequence (at any job count —
+    // generation is serial by construction), and different seeds must
+    // genuinely differ.
+    use nvd_serve::{generate_workload, WorkloadProfile};
+    let corpus = generate(&SynthConfig::with_scale(0.01, 4242));
+    let profile = WorkloadProfile::mixed(400);
+    let a = generate_workload(&corpus.database, &profile, 0xabcd);
+    let b = generate_workload(&corpus.database, &profile, 0xabcd);
+    let wide = minipar::with_jobs(4, || generate_workload(&corpus.database, &profile, 0xabcd));
+    assert_eq!(a, b, "equal seeds must reproduce the workload");
+    assert_eq!(a, wide, "workload generation must ignore the job count");
+    let c = generate_workload(&corpus.database, &profile, 0xabce);
+    assert_ne!(a, c, "seeds must matter to the workload");
+}
+
+#[test]
 fn different_seed_different_corpus() {
     let a = generate(&SynthConfig::with_scale(0.005, 1));
     let b = generate(&SynthConfig::with_scale(0.005, 2));

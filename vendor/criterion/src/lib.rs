@@ -5,9 +5,10 @@
 //! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros
 //! (both the simple and the `name/config/targets` forms). Every measurement
 //! keeps all N wall-clock samples and reports **mean ± stddev** alongside
-//! the best observation, both on stdout and in the `BENCH_JSON` line
-//! artifact — enough to tell a real regression from scheduler noise without
-//! real Criterion's full statistics machinery.
+//! the best observation and the nearest-rank **p50/p99 percentiles**, both
+//! on stdout and in the `BENCH_JSON` line artifact — enough to tell a real
+//! regression from scheduler noise, and to gate tail latency, without real
+//! Criterion's full statistics machinery.
 
 use std::time::Instant;
 
@@ -43,13 +44,19 @@ struct Stats {
     best_ns: f64,
     mean_ns: f64,
     stddev_ns: f64,
+    /// Median (nearest-rank 50th percentile) of the samples.
+    p50_ns: f64,
+    /// Nearest-rank 99th percentile — the tail-latency number the serve
+    /// gates compare; with fewer than 100 samples this degrades towards
+    /// the max, which is the conservative direction for a latency gate.
+    p99_ns: f64,
     samples: usize,
 }
 
 impl Stats {
     /// Mean, sample standard deviation (N−1 denominator; 0 for a single
-    /// sample), and best over the observations. `None` when nothing was
-    /// measured.
+    /// sample), best, and nearest-rank p50/p99 over the observations.
+    /// `None` when nothing was measured.
     fn from_samples(ns: &[f64]) -> Option<Self> {
         if ns.is_empty() {
             return None;
@@ -61,13 +68,23 @@ impl Stats {
         } else {
             0.0
         };
+        let mut sorted = ns.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
         Some(Self {
-            best_ns: ns.iter().cloned().fold(f64::INFINITY, f64::min),
+            best_ns: sorted[0],
             mean_ns: mean,
             stddev_ns: var.sqrt(),
+            p50_ns: percentile(&sorted, 50.0),
+            p99_ns: percentile(&sorted, 99.0),
             samples: ns.len(),
         })
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted, non-empty slice.
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Top-level benchmark driver.
@@ -90,8 +107,13 @@ fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut b);
     if let Some(stats) = Stats::from_samples(&b.observed_ns) {
         println!(
-            "bench: {id:<50} {:>14.0} ns/iter ± {:>10.0} (best {:.0}, n={})",
-            stats.mean_ns, stats.stddev_ns, stats.best_ns, stats.samples
+            "bench: {id:<50} {:>14.0} ns/iter ± {:>10.0} (best {:.0}, p50 {:.0}, p99 {:.0}, n={})",
+            stats.mean_ns,
+            stats.stddev_ns,
+            stats.best_ns,
+            stats.p50_ns,
+            stats.p99_ns,
+            stats.samples
         );
         append_json_record(id, stats);
     } else {
@@ -101,10 +123,11 @@ fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
 
 /// When `BENCH_JSON` names a file, appends one JSON line per measurement —
 /// `{"id": ..., "mean_ns": ..., "stddev_ns": ..., "best_ns": ...,
-/// "samples": ...}` — so CI can upload a machine-readable perf artifact
-/// (e.g. `BENCH_parallel.json`, `BENCH_mlkit.json`) per run. `best_ns`
-/// stays in the record so older tooling that read the best-of-N format
-/// keeps working.
+/// "p50_ns": ..., "p99_ns": ..., "samples": ...}` — so CI can upload a
+/// machine-readable perf artifact (e.g. `BENCH_parallel.json`,
+/// `BENCH_serve.json`) per run. `best_ns` stays in the record so older
+/// tooling that read the best-of-N format keeps working; the percentiles
+/// are what the latency-aware serve gate reads.
 fn append_json_record(id: &str, stats: Stats) {
     use std::io::Write as _;
 
@@ -123,8 +146,8 @@ fn append_json_record(id: &str, stats: Stats) {
         })
         .collect();
     let line = format!(
-        "{{\"id\": \"{escaped}\", \"mean_ns\": {:.0}, \"stddev_ns\": {:.0}, \"best_ns\": {:.0}, \"samples\": {}}}\n",
-        stats.mean_ns, stats.stddev_ns, stats.best_ns, stats.samples
+        "{{\"id\": \"{escaped}\", \"mean_ns\": {:.0}, \"stddev_ns\": {:.0}, \"best_ns\": {:.0}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, \"samples\": {}}}\n",
+        stats.mean_ns, stats.stddev_ns, stats.best_ns, stats.p50_ns, stats.p99_ns, stats.samples
     );
     let written = std::fs::OpenOptions::new()
         .create(true)
@@ -224,4 +247,33 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Under 100 samples, p99 degrades to the max — conservative for a
+        // tail-latency gate.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&ten, 99.0), 10.0);
+    }
+
+    #[test]
+    fn stats_cover_all_fields() {
+        let stats = Stats::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(stats.best_ns, 1.0);
+        assert_eq!(stats.mean_ns, 2.5);
+        assert_eq!(stats.p50_ns, 2.0);
+        assert_eq!(stats.p99_ns, 4.0);
+        assert_eq!(stats.samples, 4);
+        assert!(Stats::from_samples(&[]).is_none());
+    }
 }
