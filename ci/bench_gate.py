@@ -57,6 +57,18 @@ MANIFEST = {
         ("serve_mixed/new/jobs_1", "serve_mixed/legacy", ("best_ns", "p99_ns")),
         ("serve_single_lookup/new", "serve_single_lookup/legacy"),
     ],
+    "BENCH_ingest.json": [
+        # Incremental ingestion: absorbing one dated delta through the warm
+        # CleanState must beat batch-cleaning the accumulated corpus from
+        # scratch — on the best observation AND at the p99 tail, since the
+        # whole point of the carry-over caches is steady-state latency.
+        (
+            "ingest_delta/incremental/jobs_1",
+            "ingest_delta/from_scratch",
+            ("best_ns", "p99_ns"),
+        ),
+        ("ingest_serve/apply_delta", "ingest_serve/rebuild", ("best_ns", "p99_ns")),
+    ],
 }
 
 DEFAULT_METRICS = ("best_ns",)

@@ -28,6 +28,8 @@ def main(paths):
     print("| artifact | bench id | best | mean ± stddev | p50 | p99 | samples |")
     print("|---|---|---|---|---|---|---|")
     rows = 0
+    # Sorted so BENCH_summary.md row order is stable across CI runs
+    # regardless of shell-glob or upload ordering.
     for path in sorted(paths):
         name = os.path.basename(path)
         with open(path) as f:

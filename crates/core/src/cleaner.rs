@@ -15,7 +15,7 @@ use crate::cwe_fix::{rectify_cwe, CweFixOutcome};
 use crate::disclosure::{AggregationRule, DisclosureEstimate, DisclosureEstimator};
 use crate::names::{
     find_product_candidates, find_vendor_candidates, ApplyStats, NameMapping, PatternBreakdown,
-    ProductHeuristic, Verifier,
+    ProductCandidate, ProductHeuristic, Verifier,
 };
 use crate::severity::{backport_v3, BackportOptions, BackportOutcome};
 
@@ -105,6 +105,19 @@ impl CleanReport {
     }
 }
 
+/// The product-pair acceptance rule shared by the batch pipeline and the
+/// incremental [`crate::incremental::CleanState`]: token and abbreviation
+/// pairs are reliable; edit-distance pairs need the verifier's scrutiny,
+/// which our stand-ins only provide for vendors — so accept
+/// token/abbreviation unconditionally and edit-distance pairs only when
+/// short names make typos plausible.
+pub(crate) fn confirm_product(c: &ProductCandidate) -> bool {
+    match c.heuristic {
+        ProductHeuristic::TokenEquivalent | ProductHeuristic::Abbreviation => true,
+        ProductHeuristic::EditDistance => c.a.as_str().len() >= 5 && c.b.as_str().len() >= 5,
+    }
+}
+
 /// The pipeline itself.
 #[derive(Debug, Clone, Default)]
 pub struct Cleaner {
@@ -157,20 +170,12 @@ impl Cleaner {
         let mut mapping = NameMapping::build_vendor(&confirmed, &cleaned);
 
         // §4.2 — product names (under consolidated vendors, one parallel
-        // block per vendor). Token and
-        // abbreviation pairs are reliable; edit-distance pairs need the
-        // verifier's scrutiny, which our stand-ins only provide for
-        // vendors — so accept token/abbreviation unconditionally and
-        // edit-distance pairs only when short names make typos plausible.
+        // block per vendor), accepted under the shared `confirm_product`
+        // rule.
         let product_candidates = find_product_candidates(&cleaned, &mapping);
         let product_confirmed: Vec<_> = product_candidates
             .iter()
-            .filter(|c| match c.heuristic {
-                ProductHeuristic::TokenEquivalent | ProductHeuristic::Abbreviation => true,
-                ProductHeuristic::EditDistance => {
-                    c.a.as_str().len() >= 5 && c.b.as_str().len() >= 5
-                }
-            })
+            .filter(|c| confirm_product(c))
             .cloned()
             .collect();
         mapping.extend_products(&product_confirmed, &cleaned);

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use nvd_model::cwe::{CweCatalog, CweId, CweLabel};
+use nvd_model::entry::CveEntry;
 use nvd_model::prelude::{CveId, Database};
 
 /// Extracts every `CWE-<digits>` occurrence from free text, in order of
@@ -92,18 +93,38 @@ pub struct CweFixOutcome {
 pub fn rectify_cwe(db: &mut Database, catalog: &CweCatalog) -> CweFixOutcome {
     // Parallel mine: per-entry catalog-validated IDs in appearance order.
     let mined_per_entry: Vec<Vec<CweId>> = minipar::par_map(db.iter().as_slice(), |entry| {
-        let mut mined: Vec<CweId> = Vec::new();
-        for d in &entry.descriptions {
-            for id in extract_cwe_ids(&d.text) {
-                if catalog.contains(id) && !mined.contains(&id) {
-                    mined.push(id);
-                }
+        mine_entry_cwe_ids(entry, catalog)
+    });
+    apply_mined_cwe_ids(db, mined_per_entry)
+}
+
+/// The mining half of [`rectify_cwe`], for one entry: every catalog-valid
+/// `CWE-<digits>` occurrence across all descriptions, in appearance order,
+/// deduplicated. Pure in `(entry.descriptions, catalog)`, so the result is
+/// cacheable per CVE — the incremental pipeline re-mines only touched
+/// entries and replays cached lists through [`apply_mined_cwe_ids`].
+pub fn mine_entry_cwe_ids(entry: &CveEntry, catalog: &CweCatalog) -> Vec<CweId> {
+    let mut mined: Vec<CweId> = Vec::new();
+    for d in &entry.descriptions {
+        for id in extract_cwe_ids(&d.text) {
+            if catalog.contains(id) && !mined.contains(&id) {
+                mined.push(id);
             }
         }
-        mined
-    });
+    }
+    mined
+}
 
-    // Serial apply: mutate entries and accumulate statistics in entry order.
+/// The apply half of [`rectify_cwe`]: mutates entries and accumulates
+/// statistics serially in entry order from pre-mined per-entry ID lists
+/// (one list per entry, in database order). With lists produced by
+/// [`mine_entry_cwe_ids`] this is exactly [`rectify_cwe`].
+pub fn apply_mined_cwe_ids(db: &mut Database, mined_per_entry: Vec<Vec<CweId>>) -> CweFixOutcome {
+    assert_eq!(
+        db.len(),
+        mined_per_entry.len(),
+        "one mined list per entry, in database order"
+    );
     let mut outcome = CweFixOutcome::default();
     for (entry, mined) in db.iter_mut().zip(mined_per_entry) {
         let effective = entry.effective_cwe();

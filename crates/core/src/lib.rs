@@ -41,6 +41,7 @@
 pub mod cleaner;
 pub mod cwe_fix;
 pub mod disclosure;
+pub mod incremental;
 pub mod names;
 pub mod severity;
 pub mod typeclf;
@@ -48,6 +49,7 @@ pub mod typeclf;
 pub use cleaner::{CleanOptions, CleanReport, Cleaner, NameReport};
 pub use cwe_fix::{extract_cwe_ids, rectify_cwe, CweFixOutcome, CweFixStats};
 pub use disclosure::{AggregationRule, DisclosureEstimate, DisclosureEstimator, LagSummary};
+pub use incremental::CleanState;
 pub use names::{NameMapping, OracleVerifier, Verifier};
 pub use severity::{backport_v3, BackportOptions, BackportOutcome, ModelKind, TrainProfile};
 pub use typeclf::{train_type_classifier, TypeClassifier, TypeClassifierOptions};

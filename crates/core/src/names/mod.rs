@@ -25,5 +25,8 @@ pub mod legacy;
 pub use mapping::{ApplyStats, NameMapping};
 pub use product::{find_product_candidates, ProductCandidate, ProductHeuristic};
 pub use table::NameTable;
-pub use vendor::{find_vendor_candidates, PatternBreakdown, VendorCandidate};
+pub use vendor::{
+    find_vendor_candidates, find_vendor_candidates_cached, PatternBreakdown, VendorCandidate,
+    VendorSweepCache,
+};
 pub use verify::{AcceptanceRateVerifier, OracleVerifier, Verifier};

@@ -101,7 +101,14 @@ pub fn find_product_candidates(db: &Database, mapping: &NameMapping) -> Vec<Prod
 /// The per-vendor block: interns the vendor's products and runs the three
 /// heuristics over dense ids, returning candidates in `(a, b)` order with
 /// the strongest heuristic kept on duplicates.
-fn sweep_vendor(vendor: &VendorName, names: &BTreeSet<ProductName>) -> Vec<ProductCandidate> {
+///
+/// Pure in `(vendor, names)` — the incremental pipeline caches each
+/// vendor's sweep and re-runs it only when that vendor's product set
+/// changed.
+pub(crate) fn sweep_vendor(
+    vendor: &VendorName,
+    names: &BTreeSet<ProductName>,
+) -> Vec<ProductCandidate> {
     let table = NameTable::from_sorted_iter(names.iter());
     let n = table.len() as u32;
     let mut pairs: Vec<(u32, u32, ProductHeuristic)> = Vec::new();

@@ -21,7 +21,7 @@
 //! to the serial sweep at every `NVD_JOBS`; `names::legacy` keeps the
 //! pre-blocking implementation as the oracle that pins this.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use nvd_model::prelude::{Database, ProductName, VendorName};
 use textkit::distance::{is_strict_prefix_pair, levenshtein_at_most, longest_common_substring_len};
@@ -107,16 +107,7 @@ impl Block {
                     }
                 }
             }
-            Block::EditPairs(ids) => {
-                for (i, &a) in ids.iter().enumerate() {
-                    let sa = table.name(a).as_str();
-                    for &b in &ids[i + 1..] {
-                        if levenshtein_at_most(sa, table.name(b).as_str(), EDIT_MAX).is_some() {
-                            out.push((a, b));
-                        }
-                    }
-                }
-            }
+            Block::EditPairs(ids) => edit_pairs_into(table, ids, out),
             Block::PrefixScan { start, end } => {
                 let n = table.len() as u32;
                 for i in *start..*end {
@@ -128,6 +119,19 @@ impl Block {
                         out.push((i, j));
                     }
                 }
+            }
+        }
+    }
+}
+
+/// Appends the surviving pairs of one edit-distance block: every pair of
+/// members within Levenshtein distance [`EDIT_MAX`].
+fn edit_pairs_into(table: &NameTable<'_, VendorName>, ids: &[u32], out: &mut Vec<(u32, u32)>) {
+    for (i, &a) in ids.iter().enumerate() {
+        let sa = table.name(a).as_str();
+        for &b in &ids[i + 1..] {
+            if levenshtein_at_most(sa, table.name(b).as_str(), EDIT_MAX).is_some() {
+                out.push((a, b));
             }
         }
     }
@@ -162,6 +166,37 @@ pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
         .map(|v| abbreviation(v.as_str()))
         .collect();
 
+    let mut blocks = standard_blocks(&table, &products, &norms, &abbrevs);
+    for (_key, group) in edit_groups(&table) {
+        blocks.push(Block::EditPairs(group));
+    }
+
+    // Pair proposal: one task per block, merged in ascending block order.
+    // The id sort afterwards makes the merge order irrelevant to output —
+    // and equal to the legacy BTreeSet iteration order.
+    let per_block = minipar::par_map(&blocks, |b| {
+        let mut out = Vec::new();
+        b.propose(&table, &mut out);
+        out
+    });
+    let mut pairs: Vec<(u32, u32)> = per_block.into_iter().flatten().collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    // Signal annotation: pure per pair, fanned over the deduped list.
+    minipar::par_map(&pairs, |&(ia, ib)| {
+        annotate_pair(&table, &products, &norms, &abbrevs, ia, ib)
+    })
+}
+
+/// Blocking passes 1–5 (everything except the edit-distance blocks, which
+/// the incremental sweep caches separately).
+fn standard_blocks(
+    table: &NameTable<'_, VendorName>,
+    products: &[&BTreeSet<&ProductName>],
+    norms: &[String],
+    abbrevs: &[Option<String>],
+) -> Vec<Block> {
     let mut blocks: Vec<Block> = Vec::new();
 
     // Block 1: identical strip-specials form.
@@ -231,9 +266,16 @@ pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
         start = end;
     }
 
-    // Block 6: near-duplicate spellings via shared 4-prefix blocks, plus
-    // last-4 blocks for misspellings dropping an early character
-    // (microsoft/microsft share only a 1-prefix with the typo at position 1).
+    blocks
+}
+
+/// Block 6: near-duplicate spellings via shared 4-prefix blocks, plus
+/// last-4 blocks for misspellings dropping an early character
+/// (microsoft/microsft share only a 1-prefix with the typo at position 1).
+/// Each cap-filtered group is returned with a cache key (`p`/`s` pass tag
+/// plus the block's character key) so the incremental sweep can reuse
+/// survivors when a block's member names are unchanged.
+fn edit_groups(table: &NameTable<'_, VendorName>) -> Vec<(String, Vec<u32>)> {
     let mut by_prefix4: BTreeMap<String, Vec<u32>> = BTreeMap::new();
     let mut by_suffix4: BTreeMap<String, Vec<u32>> = BTreeMap::new();
     for (id, v) in table.enumerate() {
@@ -246,45 +288,210 @@ pub fn find_vendor_candidates(db: &Database) -> Vec<VendorCandidate> {
             .or_default()
             .push(id);
     }
-    for group in by_prefix4.into_values().chain(by_suffix4.into_values()) {
-        if (2..=EDIT_GROUP_CAP).contains(&group.len()) {
-            blocks.push(Block::EditPairs(group));
+    let tag = |pass: char, key: &str| {
+        let mut k = String::with_capacity(key.len() + 2);
+        k.push(pass);
+        k.push(':');
+        k.push_str(key);
+        k
+    };
+    by_prefix4
+        .into_iter()
+        .map(|(key, group)| (tag('p', &key), group))
+        .chain(
+            by_suffix4
+                .into_iter()
+                .map(|(key, group)| (tag('s', &key), group)),
+        )
+        .filter(|(_, group)| (2..=EDIT_GROUP_CAP).contains(&group.len()))
+        .collect()
+}
+
+/// Annotates one proposed pair with its Table 2 signals. Pure in the two
+/// names, their derived keys, and their product sets.
+fn annotate_pair(
+    table: &NameTable<'_, VendorName>,
+    products: &[&BTreeSet<&ProductName>],
+    norms: &[String],
+    abbrevs: &[Option<String>],
+    ia: u32,
+    ib: u32,
+) -> VendorCandidate {
+    let (a, b) = (table.name(ia), table.name(ib));
+    let pa = products[ia as usize];
+    let pb = products[ib as usize];
+    let matching_products = pa.intersection(pb).count();
+    let product_as_vendor =
+        pa.iter().any(|p| p.as_str() == b.as_str()) || pb.iter().any(|p| p.as_str() == a.as_str());
+    let abbrev = abbrevs[ia as usize].as_deref() == Some(b.as_str())
+        || abbrevs[ib as usize].as_deref() == Some(a.as_str());
+    VendorCandidate {
+        a: a.clone(),
+        b: b.clone(),
+        tokens_identical: norms[ia as usize] == norms[ib as usize],
+        matching_products,
+        prefix: is_strict_prefix_pair(a.as_str(), b.as_str()),
+        product_as_vendor,
+        abbreviation: abbrev,
+        lcs_len: longest_common_substring_len(a.as_str(), b.as_str()),
+    }
+}
+
+/// Carry-over state for [`find_vendor_candidates_cached`]: enough of the
+/// previous sweep to skip the expensive parts whose inputs are unchanged.
+///
+/// Two layers, each keyed on **owned names** (ids shift as the universe
+/// grows, names don't):
+///
+/// - per edit-distance block (keyed by pass + 4-char key): the member
+///   names and the surviving pairs — a block whose member-name list is
+///   unchanged reuses its survivors without re-running Levenshtein;
+/// - per proposed pair: the annotated candidate — reused when neither
+///   vendor is in the caller's dirty set (every other signal is a pure
+///   function of the two names).
+///
+/// The cache never influences *which* pairs are proposed or how they are
+/// ordered, only whether their per-pair work is recomputed, so
+/// [`find_vendor_candidates_cached`] is bit-identical to
+/// [`find_vendor_candidates`] on the same database.
+#[derive(Debug, Clone, Default)]
+pub struct VendorSweepCache {
+    edit_blocks: HashMap<String, EditBlockEntry>,
+    pairs: HashMap<String, VendorCandidate>,
+}
+
+#[derive(Debug, Clone)]
+struct EditBlockEntry {
+    members: Vec<String>,
+    survivors: Vec<(String, String)>,
+}
+
+/// Joint key for an ordered name pair (`\0` never occurs in a CPE name).
+fn pair_key(a: &str, b: &str) -> String {
+    let mut k = String::with_capacity(a.len() + b.len() + 1);
+    k.push_str(a);
+    k.push('\0');
+    k.push_str(b);
+    k
+}
+
+/// [`find_vendor_candidates`] with carry-over: recomputes the cheap
+/// near-linear blocking passes, but reuses cached edit-distance survivors
+/// and pair annotations wherever the delta left their inputs untouched.
+/// Output is bit-identical to the uncached sweep at every `NVD_JOBS`.
+///
+/// `dirty` is the invalidation contract: it must contain every vendor
+/// name whose CPE rows may have changed since `cache` was last refreshed
+/// — for a delta, the vendors of every delivered entry's old **and** new
+/// versions (which also covers vendors entering or leaving the universe).
+/// A superset is always safe; an incomplete set can return stale product
+/// signals.
+pub fn find_vendor_candidates_cached(
+    db: &Database,
+    cache: &mut VendorSweepCache,
+    dirty: &BTreeSet<VendorName>,
+) -> Vec<VendorCandidate> {
+    let products_by_vendor = db.products_by_vendor();
+    let table = NameTable::from_sorted_iter(products_by_vendor.keys().copied());
+    let products: Vec<&BTreeSet<&ProductName>> = products_by_vendor.values().collect();
+    let norms: Vec<String> = table
+        .names()
+        .iter()
+        .map(|v| strip_specials(v.as_str()))
+        .collect();
+    let abbrevs: Vec<Option<String>> = table
+        .names()
+        .iter()
+        .map(|v| abbreviation(v.as_str()))
+        .collect();
+
+    // Cached pair annotations are only trusted when both sides are
+    // outside the caller's dirty set.
+    let dirty: Vec<bool> = table.enumerate().map(|(_, v)| dirty.contains(v)).collect();
+
+    let std_blocks = standard_blocks(&table, &products, &norms, &abbrevs);
+
+    // Edit blocks: reuse survivors when the member-name list is unchanged.
+    let mut reused: Vec<(u32, u32)> = Vec::new();
+    let mut jobs: Vec<(String, Vec<u32>)> = Vec::new();
+    for (key, group) in edit_groups(&table) {
+        let hit = cache.edit_blocks.get(&key).filter(|e| {
+            e.members.len() == group.len()
+                && e.members
+                    .iter()
+                    .zip(&group)
+                    .all(|(m, &id)| m == table.name(id).as_str())
+        });
+        match hit {
+            Some(e) => {
+                for (a, b) in &e.survivors {
+                    let ia = table.id_of(a).expect("cached member still interned");
+                    let ib = table.id_of(b).expect("cached member still interned");
+                    reused.push((ia, ib));
+                }
+            }
+            None => jobs.push((key, group)),
         }
     }
 
-    // Pair proposal: one task per block, merged in ascending block order.
-    // The id sort afterwards makes the merge order irrelevant to output —
-    // and equal to the legacy BTreeSet iteration order.
-    let per_block = minipar::par_map(&blocks, |b| {
+    let per_block = minipar::par_map(&std_blocks, |b| {
         let mut out = Vec::new();
         b.propose(&table, &mut out);
         out
     });
-    let mut pairs: Vec<(u32, u32)> = per_block.into_iter().flatten().collect();
+    let computed: Vec<Vec<(u32, u32)>> = minipar::par_map(&jobs, |job| {
+        let mut out = Vec::new();
+        edit_pairs_into(&table, &job.1, &mut out);
+        out
+    });
+    for ((key, ids), survivors) in jobs.iter().zip(&computed) {
+        cache.edit_blocks.insert(
+            key.clone(),
+            EditBlockEntry {
+                members: ids
+                    .iter()
+                    .map(|&id| table.name(id).as_str().to_owned())
+                    .collect(),
+                survivors: survivors
+                    .iter()
+                    .map(|&(a, b)| {
+                        (
+                            table.name(a).as_str().to_owned(),
+                            table.name(b).as_str().to_owned(),
+                        )
+                    })
+                    .collect(),
+            },
+        );
+    }
+
+    let mut pairs: Vec<(u32, u32)> = per_block
+        .into_iter()
+        .flatten()
+        .chain(reused)
+        .chain(computed.into_iter().flatten())
+        .collect();
     pairs.sort_unstable();
     pairs.dedup();
 
-    // Signal annotation: pure per pair, fanned over the deduped list.
-    minipar::par_map(&pairs, |&(ia, ib)| {
-        let (a, b) = (table.name(ia), table.name(ib));
-        let pa = products[ia as usize];
-        let pb = products[ib as usize];
-        let matching_products = pa.intersection(pb).count();
-        let product_as_vendor = pa.iter().any(|p| p.as_str() == b.as_str())
-            || pb.iter().any(|p| p.as_str() == a.as_str());
-        let abbrev = abbrevs[ia as usize].as_deref() == Some(b.as_str())
-            || abbrevs[ib as usize].as_deref() == Some(a.as_str());
-        VendorCandidate {
-            a: a.clone(),
-            b: b.clone(),
-            tokens_identical: norms[ia as usize] == norms[ib as usize],
-            matching_products,
-            prefix: is_strict_prefix_pair(a.as_str(), b.as_str()),
-            product_as_vendor,
-            abbreviation: abbrev,
-            lcs_len: longest_common_substring_len(a.as_str(), b.as_str()),
+    let annotated = minipar::par_map(&pairs, |&(ia, ib)| {
+        if !dirty[ia as usize] && !dirty[ib as usize] {
+            if let Some(c) = cache
+                .pairs
+                .get(&pair_key(table.name(ia).as_str(), table.name(ib).as_str()))
+            {
+                return c.clone();
+            }
         }
-    })
+        annotate_pair(&table, &products, &norms, &abbrevs, ia, ib)
+    });
+
+    // Refresh the carry-over for the next delta.
+    cache.pairs = annotated
+        .iter()
+        .map(|c| (pair_key(c.a.as_str(), c.b.as_str()), c.clone()))
+        .collect();
+    annotated
 }
 
 /// The paper's Table 2 row structure: candidate/confirmed counts per
@@ -485,6 +692,42 @@ mod tests {
         let blocked = find_vendor_candidates(&db);
         let legacy = crate::names::legacy::find_vendor_candidates_legacy(&db);
         assert_eq!(blocked, legacy);
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_across_deltas() {
+        let mut db = db_with(&[
+            ("avast", "antivirus"),
+            ("avast!", "antivirus"),
+            ("microsoft", "windows"),
+            ("microsft", "office"),
+            ("lynx", "lynx"),
+            ("lynx_project", "browser"),
+        ]);
+        let mut cache = VendorSweepCache::default();
+        let all: BTreeSet<VendorName> = db.vendor_set().into_iter().cloned().collect();
+        assert_eq!(
+            find_vendor_candidates_cached(&db, &mut cache, &all),
+            find_vendor_candidates(&db),
+            "cold cache diverged"
+        );
+        // A delta introducing one near-duplicate vendor: only it is dirty.
+        let id: CveId = "CVE-2016-0001".parse().unwrap();
+        let mut e = CveEntry::new(id, "2016-01-01".parse().unwrap());
+        e.affected.push(CpeName::application("avst", "antivirus"));
+        db.push(e);
+        let dirty: BTreeSet<VendorName> = [VendorName::new("avst")].into_iter().collect();
+        assert_eq!(
+            find_vendor_candidates_cached(&db, &mut cache, &dirty),
+            find_vendor_candidates(&db),
+            "warm cache diverged after an insert"
+        );
+        // An empty delta: everything reused, still identical.
+        assert_eq!(
+            find_vendor_candidates_cached(&db, &mut cache, &BTreeSet::new()),
+            find_vendor_candidates(&db),
+            "warm cache diverged on an empty delta"
+        );
     }
 
     #[test]

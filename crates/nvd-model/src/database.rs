@@ -102,6 +102,11 @@ impl Database {
         self.entries.iter()
     }
 
+    /// The entries as a slice, in insertion order.
+    pub fn as_slice(&self) -> &[CveEntry] {
+        &self.entries
+    }
+
     /// Mutable iteration, for in-place rectification passes.
     pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, CveEntry> {
         self.entries.iter_mut()

@@ -448,6 +448,30 @@ mod tests {
     }
 
     #[test]
+    fn feed_roundtrip_is_exact_database_equality() {
+        let mut db = sample_db();
+        // A second entry exercising the sparse path: unassigned CWE (which
+        // the exporter drops and the importer restores), no metrics, no
+        // references, versionless CPE.
+        let mut e2 = CveEntry::new(
+            "CVE-2010-0001".parse().unwrap(),
+            "2010-01-04".parse().unwrap(),
+        );
+        e2.last_modified = "2010-02-11".parse().unwrap();
+        e2.cwes = vec![CweLabel::Unassigned];
+        e2.descriptions
+            .push(Description::analyst("Buffer overflow in grep."));
+        e2.affected.push(CpeName::application("gnu", "grep"));
+        db.push(e2);
+
+        let feed = to_feed(&db, "2020-01-01T00:00Z");
+        let json = serde_json::to_string(&feed).unwrap();
+        let parsed: FeedDocument = serde_json::from_str(&json).unwrap();
+        let back = from_feed(&parsed).unwrap();
+        assert_eq!(back.as_slice(), db.as_slice(), "round trip must be exact");
+    }
+
+    #[test]
     fn feed_dates_accept_time_suffix() {
         let db = sample_db();
         let mut feed = to_feed(&db, "t");

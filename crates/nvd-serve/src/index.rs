@@ -1,4 +1,4 @@
-//! The immutable sharded index set behind the read path.
+//! The sharded index set behind the read path.
 //!
 //! [`ServeIndex::build`] loads a (cleaned) [`Database`] into:
 //!
@@ -7,9 +7,10 @@
 //!   id, so a point lookup is one hash plus one binary search over `n/S`
 //!   ids. Shard routing is a pure function of the id, never of insertion
 //!   order, so any shard count serves identical answers;
-//! * **interned vendor/product postings** — the §4.2 engine's
-//!   [`NameTable`] interns each name universe into dense ids in ascending
-//!   name order; postings are per-name CVE lists sorted by id;
+//! * **owned vendor/product name universes with postings** — each name
+//!   universe is a sorted `Vec` of owned names (dense id = position, in
+//!   ascending name order, binary-search lookup); postings are per-name CVE
+//!   lists sorted by id;
 //! * **secondary indexes** — per-CWE and per-severity-band postings, plus
 //!   one `(published, id)`-ordered permutation for patch-window range
 //!   scans and windowed histograms.
@@ -17,8 +18,20 @@
 //! Construction fans over `minipar` (per-shard sorts, chunked postings
 //! proposal) with the workspace's standing guarantee: the built index — and
 //! therefore every query answer — is bit-identical at any `NVD_JOBS`.
+//!
+//! # Staying warm under delta feeds
+//!
+//! The index splits into an owned [`ServeIndexState`] and the borrowed
+//! entry view. When a delta arrives, detach the state
+//! ([`ServeIndex::into_state`]), push the delta's entries into the
+//! database, surgically update the touched structures
+//! ([`ServeIndexState::apply_delta`]), and re-attach
+//! ([`ServeIndexState::attach`]). Every structure is a canonical sorted
+//! function of the entry set — names whose last posting disappears are
+//! evicted, new names are spliced in at their sorted position — so the
+//! updated state is **bit-identical** (digest-equal) to a fresh build of
+//! the updated database, which `tests/determinism.rs` enforces.
 
-use nvd_clean::names::NameTable;
 use nvd_model::prelude::{
     CveEntry, CveId, CweId, Database, Date, ProductName, Severity, VendorName,
 };
@@ -32,23 +45,57 @@ use crate::query::{
 /// `jobs = 1` path pays no chunking overhead worth measuring.
 const POSTING_CHUNK: usize = 256;
 
-/// An immutable sharded view over one database.
-///
-/// The index borrows the database; rebuilding after a cleaning pass is the
-/// intended lifecycle (the database itself is treated as immutable input
-/// everywhere in the workspace).
-#[derive(Debug)]
-pub struct ServeIndex<'a> {
-    entries: Vec<&'a CveEntry>,
-    /// `ids[i]` is `entries[i].id`, kept dense for sort keys and lookups.
+/// Everything the index derived from one entry — kept so a modified
+/// redelivery can retire its old version's postings without re-reading the
+/// (already replaced) old entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EntryProjection {
+    published: Date,
+    /// Distinct affected vendors, ascending.
+    vendors: Vec<VendorName>,
+    /// Distinct affected products, ascending.
+    products: Vec<ProductName>,
+    cwe: Option<CweId>,
+    severity: Option<Severity>,
+}
+
+impl EntryProjection {
+    fn of(entry: &CveEntry) -> Self {
+        let mut vendors: Vec<VendorName> =
+            entry.affected.iter().map(|c| c.vendor.clone()).collect();
+        vendors.sort_unstable();
+        vendors.dedup();
+        let mut products: Vec<ProductName> =
+            entry.affected.iter().map(|c| c.product.clone()).collect();
+        products.sort_unstable();
+        products.dedup();
+        Self {
+            published: entry.published,
+            vendors,
+            products,
+            cwe: entry.effective_cwe().specific(),
+            severity: effective_severity(entry),
+        }
+    }
+}
+
+/// The owned half of a [`ServeIndex`]: every shard, name universe, and
+/// posting list, independent of the database's borrow — so it can outlive
+/// a database mutation and absorb deltas in place via
+/// [`ServeIndexState::apply_delta`].
+#[derive(Debug, Clone)]
+pub struct ServeIndexState {
+    /// `ids[i]` is the id of database entry `i`, in insertion order.
     ids: Vec<CveId>,
     shard_count: usize,
     /// Per-shard entry indices, each sorted ascending by CVE id.
     id_shards: Vec<Vec<u32>>,
-    vendors: NameTable<'a, VendorName>,
+    /// Sorted owned vendor universe; dense vendor id = position.
+    vendor_names: Vec<VendorName>,
     /// Per-vendor-id entry indices, sorted ascending by CVE id.
     vendor_postings: Vec<Vec<u32>>,
-    products: NameTable<'a, ProductName>,
+    /// Sorted owned product universe; dense product id = position.
+    product_names: Vec<ProductName>,
     /// Per-product-id entry indices, sorted ascending by CVE id.
     product_postings: Vec<Vec<u32>>,
     /// Non-empty per-CWE postings, ascending by CWE id.
@@ -57,26 +104,37 @@ pub struct ServeIndex<'a> {
     severity_postings: Vec<(Severity, Vec<u32>)>,
     /// All entry indices, sorted ascending by `(published, id)`.
     date_order: Vec<u32>,
+    /// Per-entry projections, aligned with `ids`.
+    projections: Vec<EntryProjection>,
 }
 
-impl<'a> ServeIndex<'a> {
-    /// Default shard count: enough to keep per-shard binary searches short
-    /// at paper scale without fragmenting a small corpus.
-    pub const DEFAULT_SHARDS: usize = 16;
+/// A sharded view over one database: the owned [`ServeIndexState`] plus
+/// borrowed entry references for answer materialisation.
+///
+/// The view borrows the database. For batch workloads, rebuild after a
+/// cleaning pass; for delta feeds, round-trip through
+/// [`ServeIndex::into_state`] / [`ServeIndexState::attach`].
+#[derive(Debug)]
+pub struct ServeIndex<'a> {
+    entries: Vec<&'a CveEntry>,
+    state: ServeIndexState,
+}
 
-    /// Builds the index with [`Self::DEFAULT_SHARDS`] id shards.
-    pub fn build(db: &'a Database) -> Self {
-        Self::with_shards(db, Self::DEFAULT_SHARDS)
-    }
+/// Binary search over a sorted owned name slice (dense id = position).
+macro_rules! name_id_of {
+    ($names:expr, $s:expr) => {
+        $names
+            .binary_search_by(|n| n.as_str().cmp($s))
+            .ok()
+            .map(|i| i as u32)
+    };
+}
 
-    /// Builds the index with an explicit id-shard count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shard_count == 0`.
-    pub fn with_shards(db: &'a Database, shard_count: usize) -> Self {
+impl ServeIndexState {
+    /// Builds the owned state for `db` with `shard_count` id shards.
+    pub fn build(db: &Database, shard_count: usize) -> Self {
         assert!(shard_count > 0, "ServeIndex: shard_count must be positive");
-        let entries: Vec<&'a CveEntry> = db.iter().collect();
+        let entries: Vec<&CveEntry> = db.iter().collect();
         let ids: Vec<CveId> = entries.iter().map(|e| e.id).collect();
         let n = entries.len();
 
@@ -91,27 +149,25 @@ impl<'a> ServeIndex<'a> {
             sorted
         });
 
-        // --- interned name universes (ids in ascending name order). ----
-        let vendors = NameTable::from_sorted_iter(db.vendor_set());
-        let products = NameTable::from_sorted_iter(db.product_set());
+        // --- owned name universes (dense ids in ascending name order). -
+        let vendor_names: Vec<VendorName> = db.vendor_set().into_iter().cloned().collect();
+        let product_names: Vec<ProductName> = db.product_set().into_iter().cloned().collect();
 
         // --- postings: chunked parallel proposal, ordered assembly. ----
         let vendor_pairs = propose_pairs(&entries, |entry, out| {
             for cpe in &entry.affected {
-                out.push(vendors.id_of(cpe.vendor.as_str()).expect("interned vendor"));
+                out.push(name_id_of!(vendor_names, cpe.vendor.as_str()).expect("interned vendor"));
             }
         });
-        let vendor_postings = group_postings(vendor_pairs, vendors.len(), &ids);
+        let vendor_postings = group_postings(vendor_pairs, vendor_names.len(), &ids);
         let product_pairs = propose_pairs(&entries, |entry, out| {
             for cpe in &entry.affected {
                 out.push(
-                    products
-                        .id_of(cpe.product.as_str())
-                        .expect("interned product"),
+                    name_id_of!(product_names, cpe.product.as_str()).expect("interned product"),
                 );
             }
         });
-        let product_postings = group_postings(product_pairs, products.len(), &ids);
+        let product_postings = group_postings(product_pairs, product_names.len(), &ids);
 
         // --- secondary indexes (serial: one cheap pass each). ----------
         let mut cwe_pairs: Vec<(CweId, u32)> = Vec::new();
@@ -130,60 +186,207 @@ impl<'a> ServeIndex<'a> {
         let mut date_order: Vec<u32> = (0..n as u32).collect();
         date_order.sort_unstable_by_key(|&i| (entries[i as usize].published, ids[i as usize]));
 
+        let projections: Vec<EntryProjection> =
+            minipar::par_map(&entries, |e| EntryProjection::of(e));
+
         Self {
-            entries,
             ids,
             shard_count,
             id_shards,
-            vendors,
+            vendor_names,
             vendor_postings,
-            products,
+            product_names,
             product_postings,
             cwe_postings,
             severity_postings,
             date_order,
+            projections,
         }
     }
 
-    /// Number of indexed entries.
-    pub fn len(&self) -> usize {
-        self.entries.len()
+    /// Absorbs one delta in place: `db` is the **already-updated**
+    /// database (same-id entries replaced, new entries appended — i.e.
+    /// `Database::push` semantics) and `touched` lists the delivered ids.
+    ///
+    /// Only the structures a touched entry participates in are rewritten:
+    /// its shard slot, the posting lists of names it gained or lost (names
+    /// are spliced in or evicted to keep the universe exactly the set of
+    /// in-use names), its CWE/severity buckets, and its `date_order` slot.
+    /// Untouched postings are not even visited. The update is serial —
+    /// deltas are small — so it is trivially bit-identical at any
+    /// `NVD_JOBS`; equality with a fresh build is the contract
+    /// `tests/determinism.rs` pins digest-for-digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a touched id is absent from `db`, or if `db` and the
+    /// state disagree about an existing entry's index (i.e. `db` was not
+    /// grown with push semantics).
+    pub fn apply_delta(&mut self, db: &Database, touched: &[CveId]) {
+        for &id in touched {
+            let entry = db.get(&id).expect("touched id present in database");
+            let new = EntryProjection::of(entry);
+            match self.index_of(id) {
+                Some(i) => {
+                    let old = self.projections[i as usize].clone();
+                    if old == new {
+                        continue;
+                    }
+                    self.retire(i, &old, &new);
+                    self.admit(i, &old, &new);
+                    self.projections[i as usize] = new;
+                }
+                None => {
+                    let i = self.ids.len() as u32;
+                    self.ids.push(id);
+                    // Entry appended: db.push must have put it at the end.
+                    assert_eq!(
+                        db.as_slice().get(i as usize).map(|e| e.id),
+                        Some(id),
+                        "database was not grown with push semantics"
+                    );
+                    let shard =
+                        &mut self.id_shards[(hash_cve_id(id) % self.shard_count as u64) as usize];
+                    let pos = shard.partition_point(|&j| self.ids[j as usize] < id);
+                    shard.insert(pos, i);
+                    let empty = EntryProjection {
+                        published: new.published,
+                        vendors: Vec::new(),
+                        products: Vec::new(),
+                        cwe: None,
+                        severity: None,
+                    };
+                    self.admit(i, &empty, &new);
+                    let pos = self
+                        .date_order
+                        .partition_point(|&j| self.date_key(j) < (new.published, id));
+                    self.date_order.insert(pos, i);
+                    self.projections.push(new);
+                }
+            }
+        }
     }
 
-    /// Whether the index is over an empty database.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    /// Re-attaches the state to its (updated) database as a queryable
+    /// view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db`'s entries do not line up with the indexed ids —
+    /// i.e. the state was not kept in sync via [`Self::apply_delta`].
+    pub fn attach(self, db: &Database) -> ServeIndex<'_> {
+        let entries: Vec<&CveEntry> = db.iter().collect();
+        assert_eq!(entries.len(), self.ids.len(), "entry count diverged");
+        for (e, &id) in entries.iter().zip(&self.ids) {
+            assert_eq!(e.id, id, "entry order diverged from the indexed ids");
+        }
+        ServeIndex {
+            entries,
+            state: self,
+        }
     }
 
-    /// Number of id shards.
-    pub fn shard_count(&self) -> usize {
-        self.shard_count
-    }
-
-    /// Number of distinct interned vendors.
-    pub fn vendor_count(&self) -> usize {
-        self.vendors.len()
-    }
-
-    /// Number of distinct interned products.
-    pub fn product_count(&self) -> usize {
-        self.products.len()
-    }
-
-    /// Point lookup: shard hash plus binary search within the shard.
-    pub fn get(&self, id: CveId) -> Option<&'a CveEntry> {
+    /// Point lookup of an entry index: shard hash plus binary search.
+    fn index_of(&self, id: CveId) -> Option<u32> {
         let shard = &self.id_shards[(hash_cve_id(id) % self.shard_count as u64) as usize];
         shard
             .binary_search_by_key(&id, |&i| self.ids[i as usize])
             .ok()
-            .map(|pos| self.entries[shard[pos] as usize])
+            .map(|pos| shard[pos])
+    }
+
+    fn date_key(&self, i: u32) -> (Date, CveId) {
+        (self.projections[i as usize].published, self.ids[i as usize])
+    }
+
+    /// Removes entry `i` from every structure the old projection put it
+    /// in and the new one doesn't.
+    fn retire(&mut self, i: u32, old: &EntryProjection, new: &EntryProjection) {
+        let id = self.ids[i as usize];
+        for v in old.vendors.iter().filter(|v| !new.vendors.contains(v)) {
+            let vid = name_id_of!(self.vendor_names, v.as_str()).expect("indexed vendor");
+            remove_posting(&mut self.vendor_postings[vid as usize], i);
+            if self.vendor_postings[vid as usize].is_empty() {
+                self.vendor_names.remove(vid as usize);
+                self.vendor_postings.remove(vid as usize);
+            }
+        }
+        for p in old.products.iter().filter(|p| !new.products.contains(p)) {
+            let pid = name_id_of!(self.product_names, p.as_str()).expect("indexed product");
+            remove_posting(&mut self.product_postings[pid as usize], i);
+            if self.product_postings[pid as usize].is_empty() {
+                self.product_names.remove(pid as usize);
+                self.product_postings.remove(pid as usize);
+            }
+        }
+        if old.cwe != new.cwe {
+            if let Some(cwe) = old.cwe {
+                remove_keyed(&mut self.cwe_postings, cwe, i);
+            }
+        }
+        if old.severity != new.severity {
+            if let Some(band) = old.severity {
+                remove_keyed(&mut self.severity_postings, band, i);
+            }
+        }
+        if old.published != new.published {
+            let pos = self
+                .date_order
+                .partition_point(|&j| self.date_key(j) < (old.published, id));
+            debug_assert_eq!(self.date_order[pos], i);
+            self.date_order.remove(pos);
+            let pos = self
+                .date_order
+                .partition_point(|&j| self.date_key(j) < (new.published, id));
+            self.date_order.insert(pos, i);
+        }
+    }
+
+    /// Adds entry `i` to every structure the new projection puts it in
+    /// and the old one didn't.
+    fn admit(&mut self, i: u32, old: &EntryProjection, new: &EntryProjection) {
+        for v in new.vendors.iter().filter(|v| !old.vendors.contains(v)) {
+            let vid = match name_id_of!(self.vendor_names, v.as_str()) {
+                Some(vid) => vid,
+                None => {
+                    let pos = self.vendor_names.partition_point(|n| n < v);
+                    self.vendor_names.insert(pos, v.clone());
+                    self.vendor_postings.insert(pos, Vec::new());
+                    pos as u32
+                }
+            };
+            insert_posting(&mut self.vendor_postings[vid as usize], i, &self.ids);
+        }
+        for p in new.products.iter().filter(|p| !old.products.contains(p)) {
+            let pid = match name_id_of!(self.product_names, p.as_str()) {
+                Some(pid) => pid,
+                None => {
+                    let pos = self.product_names.partition_point(|n| n < p);
+                    self.product_names.insert(pos, p.clone());
+                    self.product_postings.insert(pos, Vec::new());
+                    pos as u32
+                }
+            };
+            insert_posting(&mut self.product_postings[pid as usize], i, &self.ids);
+        }
+        if new.cwe != old.cwe {
+            if let Some(cwe) = new.cwe {
+                insert_keyed(&mut self.cwe_postings, cwe, i, &self.ids);
+            }
+        }
+        if new.severity != old.severity {
+            if let Some(band) = new.severity {
+                insert_keyed(&mut self.severity_postings, band, i, &self.ids);
+            }
+        }
     }
 
     /// Structural digest over every shard and posting list.
     ///
     /// Two builds of the same database at the same shard count must agree
-    /// exactly — the determinism suite compares `NVD_JOBS` 1 vs 4 builds
-    /// through this.
+    /// exactly — and so must a delta-updated state versus a fresh build of
+    /// the updated database. The determinism suite compares `NVD_JOBS`
+    /// 1 vs 4 builds and incremental-vs-rebuilt states through this.
     pub fn digest(&self) -> u64 {
         let mut h = fnv1a(FNV_OFFSET, &(self.shard_count as u64).to_le_bytes());
         let fold_postings = |h: &mut u64, postings: &[Vec<u32>]| {
@@ -208,20 +411,121 @@ impl<'a> ServeIndex<'a> {
         fold_postings(&mut h, std::slice::from_ref(&self.date_order));
         h
     }
+}
+
+/// Removes `i` from an id-sorted posting list.
+fn remove_posting(list: &mut Vec<u32>, i: u32) {
+    let pos = list.iter().position(|&j| j == i).expect("posted entry");
+    list.remove(pos);
+}
+
+/// Inserts `i` into a posting list at its CVE-id-sorted position.
+fn insert_posting(list: &mut Vec<u32>, i: u32, ids: &[CveId]) {
+    let id = ids[i as usize];
+    let pos = list.partition_point(|&j| ids[j as usize] < id);
+    list.insert(pos, i);
+}
+
+/// Removes `i` from the keyed posting list for `key`, dropping the bucket
+/// when it empties (fresh builds only materialise non-empty buckets).
+fn remove_keyed<K: Ord + Copy>(buckets: &mut Vec<(K, Vec<u32>)>, key: K, i: u32) {
+    let b = buckets
+        .binary_search_by_key(&key, |&(k, _)| k)
+        .expect("indexed bucket");
+    remove_posting(&mut buckets[b].1, i);
+    if buckets[b].1.is_empty() {
+        buckets.remove(b);
+    }
+}
+
+/// Inserts `i` into the keyed posting list for `key`, creating the bucket
+/// at its sorted position when absent.
+fn insert_keyed<K: Ord + Copy>(buckets: &mut Vec<(K, Vec<u32>)>, key: K, i: u32, ids: &[CveId]) {
+    match buckets.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(b) => insert_posting(&mut buckets[b].1, i, ids),
+        Err(b) => buckets.insert(b, (key, vec![i])),
+    }
+}
+
+impl<'a> ServeIndex<'a> {
+    /// Default shard count: enough to keep per-shard binary searches short
+    /// at paper scale without fragmenting a small corpus.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Builds the index with [`Self::DEFAULT_SHARDS`] id shards.
+    pub fn build(db: &'a Database) -> Self {
+        Self::with_shards(db, Self::DEFAULT_SHARDS)
+    }
+
+    /// Builds the index with an explicit id-shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count == 0`.
+    pub fn with_shards(db: &'a Database, shard_count: usize) -> Self {
+        ServeIndexState::build(db, shard_count).attach(db)
+    }
+
+    /// Detaches the owned state, releasing the database borrow so a delta
+    /// can be pushed and absorbed via [`ServeIndexState::apply_delta`].
+    pub fn into_state(self) -> ServeIndexState {
+        self.state
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is over an empty database.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of id shards.
+    pub fn shard_count(&self) -> usize {
+        self.state.shard_count
+    }
+
+    /// Number of distinct interned vendors.
+    pub fn vendor_count(&self) -> usize {
+        self.state.vendor_names.len()
+    }
+
+    /// Number of distinct interned products.
+    pub fn product_count(&self) -> usize {
+        self.state.product_names.len()
+    }
+
+    /// Point lookup: shard hash plus binary search within the shard.
+    pub fn get(&self, id: CveId) -> Option<&'a CveEntry> {
+        self.state.index_of(id).map(|i| self.entries[i as usize])
+    }
+
+    /// Structural digest over every shard and posting list (see
+    /// [`ServeIndexState::digest`]).
+    pub fn digest(&self) -> u64 {
+        self.state.digest()
+    }
 
     /// The `date_order` slice covering `since..=until`.
     fn window_slice(&self, since: Date, until: Date) -> &[u32] {
         let lower = self
+            .state
             .date_order
             .partition_point(|&i| self.entries[i as usize].published < since);
         let upper = self
+            .state
             .date_order
             .partition_point(|&i| self.entries[i as usize].published <= until);
-        &self.date_order[lower..upper]
+        &self.state.date_order[lower..upper]
     }
 
     fn ids_of(&self, postings: &[u32]) -> Vec<CveId> {
-        postings.iter().map(|&i| self.ids[i as usize]).collect()
+        postings
+            .iter()
+            .map(|&i| self.state.ids[i as usize])
+            .collect()
     }
 }
 
@@ -281,15 +585,15 @@ impl QueryEngine for ServeIndex<'_> {
         match query {
             Query::PointLookup(id) => QueryResult::Entry(self.get(*id)),
             Query::VendorWatch(vendor) => {
-                let ids = match self.vendors.id_of(vendor.as_str()) {
-                    Some(vid) => self.ids_of(&self.vendor_postings[vid as usize]),
+                let ids = match name_id_of!(self.state.vendor_names, vendor.as_str()) {
+                    Some(vid) => self.ids_of(&self.state.vendor_postings[vid as usize]),
                     None => Vec::new(),
                 };
                 QueryResult::Ids(ids)
             }
             Query::ProductWatch(product) => {
-                let ids = match self.products.id_of(product.as_str()) {
-                    Some(pid) => self.ids_of(&self.product_postings[pid as usize]),
+                let ids = match name_id_of!(self.state.product_names, product.as_str()) {
+                    Some(pid) => self.ids_of(&self.state.product_postings[pid as usize]),
                     None => Vec::new(),
                 };
                 QueryResult::Ids(ids)
@@ -299,7 +603,8 @@ impl QueryEngine for ServeIndex<'_> {
             }
             Query::SeverityHistogram { window } => match window {
                 None => QueryResult::SeverityHistogram(
-                    self.severity_postings
+                    self.state
+                        .severity_postings
                         .iter()
                         .map(|(band, list)| (*band, list.len()))
                         .collect(),
@@ -315,7 +620,8 @@ impl QueryEngine for ServeIndex<'_> {
                 }
             },
             Query::CweHistogram => QueryResult::CweHistogram(
-                self.cwe_postings
+                self.state
+                    .cwe_postings
                     .iter()
                     .map(|(cwe, list)| (*cwe, list.len()))
                     .collect(),

@@ -8,13 +8,18 @@
 //! practitioners' top asks are a *faster, more queryable, more reliable*
 //! NVD interface. This crate is that interface for an in-memory cleaned
 //! corpus: [`ServeIndex`] loads a [`Database`](nvd_model::database::Database)
-//! into immutable sharded indexes (hash-sharded CVE id shards, interned
-//! vendor/product postings reusing the §4.2 engine's
-//! [`NameTable`](nvd_clean::names::NameTable) vocabulary, CWE /
+//! into sharded indexes (hash-sharded CVE id shards, owned sorted
+//! vendor/product name universes with per-name postings, CWE /
 //! severity-band / publication-date secondary indexes) behind the typed
 //! [`Query`] API. [`LinearScan`] is the frozen pre-index replica — every
 //! query answered by a full database walk — kept as the benchmark baseline
 //! and parity oracle.
+//!
+//! The index splits into an owned [`ServeIndexState`] plus a borrowed
+//! entry view, so dated delta feeds can be absorbed **warm**: detach the
+//! state, push the delta into the database, update only the touched
+//! shards/postings with [`ServeIndexState::apply_delta`], and re-attach —
+//! the result is digest-identical to a full rebuild.
 //!
 //! **Determinism contract:** query answers are *canonical* (see
 //! [`query`]), so results are bit-identical at any shard count and any
@@ -53,7 +58,7 @@ pub mod query;
 pub mod scan;
 pub mod workload;
 
-pub use index::ServeIndex;
+pub use index::{ServeIndex, ServeIndexState};
 pub use query::{run_workload, Query, QueryEngine, QueryResult, WorkloadSummary};
 pub use scan::LinearScan;
 pub use workload::{generate_workload, WorkloadProfile};
@@ -155,6 +160,63 @@ mod tests {
         let serial = minipar::with_jobs(1, || ServeIndex::build(&db).digest());
         let wide = minipar::with_jobs(4, || ServeIndex::build(&db).digest());
         assert_eq!(serial, wide, "index build diverged across job counts");
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild_at_every_feed() {
+        let stream = nvd_synth::delta::generate_delta_stream(&SynthConfig::with_scale(0.004, 7), 3);
+        for shards in [1usize, 3, 16] {
+            let mut db = stream.base.clone();
+            let mut state = ServeIndex::with_shards(&db, shards).into_state();
+            for feed in &stream.feeds {
+                let entries = feed.entries();
+                let touched: Vec<CveId> = entries.iter().map(|e| e.id).collect();
+                for entry in entries {
+                    db.push(entry);
+                }
+                state.apply_delta(&db, &touched);
+                assert_eq!(
+                    state.digest(),
+                    ServeIndex::with_shards(&db, shards).digest(),
+                    "warm state diverged from rebuild at shard_count={shards}"
+                );
+            }
+            let warm = state.attach(&db);
+            let fresh = ServeIndex::with_shards(&db, shards);
+            let workload = generate_workload(&db, &WorkloadProfile::mixed(1_000), 9);
+            assert_eq!(
+                run_workload(&warm, &workload),
+                run_workload(&fresh, &workload),
+                "warm answers diverged at shard_count={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_evicts_and_splices_names() {
+        let db0 = corpus_db();
+        let mut db = db0.clone();
+        let mut state = ServeIndex::with_shards(&db, 8).into_state();
+        // Rewrite one entry into another's shape: its old names lose a
+        // posting (evicting any singleton name), foreign names gain one
+        // (splicing in any new name), its severity bucket and date slot
+        // both move.
+        let mut iter = db0.iter();
+        let victim = iter.next().unwrap();
+        let donor = iter.next().unwrap();
+        let mut modified = victim.clone();
+        modified.affected = donor.affected.clone();
+        modified.published = donor.published;
+        modified.cvss_v2 = None;
+        modified.cvss_v3 = None;
+        db.push(modified);
+        state.apply_delta(&db, &[victim.id]);
+        assert_eq!(state.digest(), ServeIndex::with_shards(&db, 8).digest());
+        let warm = state.attach(&db);
+        assert_eq!(
+            warm.get(victim.id).map(|e| &e.affected),
+            Some(&donor.affected)
+        );
     }
 
     #[test]

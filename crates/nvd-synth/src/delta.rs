@@ -1,0 +1,286 @@
+//! Dated delta feeds: the synthetic corpus as a stream instead of a batch.
+//!
+//! The real NVD publishes `recent`/`modified` JSON feeds on top of the
+//! yearly archives; consumers ingest a base snapshot once and then replay
+//! dated deltas. This module carves a generated [`SynthCorpus`] into that
+//! shape deterministically:
+//!
+//! 1. [`generate`] produces the **final** corpus state, exactly as the
+//!    batch pipeline sees it;
+//! 2. the chronologically latest slice of entries (by `(published, id)`)
+//!    becomes *new-CVE arrivals*, split into dated feeds;
+//! 3. a seeded subset of the remaining entries is *degraded* in the base
+//!    snapshot (references trimmed, evaluator comment withheld, CVSS v3
+//!    hidden, `last_modified` rolled back — the paper's §3 inconsistency
+//!    flavours arriving late) and the final entry is redelivered in a
+//!    later feed as a *modified* record.
+//!
+//! Feeds are carried as [`FeedDocument`]s — the same struct-level NVD JSON
+//! schema `nvd-model/src/feed.rs` exports — so replaying a delta is
+//! exactly `from_feed` + `Database::push` (push replaces same-id entries
+//! in place). By construction, replaying every feed over the base snapshot
+//! reproduces the final corpus entries: the incremental-vs-batch
+//! equivalence tests in `tests/determinism.rs` lean on this.
+
+use nvd_model::database::Database;
+use nvd_model::date::Date;
+use nvd_model::entry::CveEntry;
+use nvd_model::feed::{from_feed, to_feed, FeedDocument};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{generate, SynthConfig, SynthCorpus};
+
+/// Seed stream tag separating delta partitioning from the corpus streams.
+const DELTA_STREAM: u64 = 0x6465_6c74_6121_0001;
+
+/// Fraction of the corpus (chronological tail) delivered as new-CVE feeds.
+const ARRIVAL_FRACTION: f64 = 0.25;
+
+/// Fraction of base-snapshot entries degraded and later redelivered.
+const MODIFIED_FRACTION: f64 = 0.12;
+
+/// One dated delta feed: new CVEs plus modified redeliveries.
+#[derive(Debug, Clone)]
+pub struct DeltaFeed {
+    /// The feed date (the latest `published` among its new entries, or the
+    /// previous feed's date for pure-modification feeds).
+    pub date: Date,
+    /// The feed payload in the NVD JSON schema.
+    pub document: FeedDocument,
+}
+
+impl DeltaFeed {
+    /// Parses the feed payload back into entries, in feed order.
+    ///
+    /// Synth-generated feeds always round-trip; a parse failure here means
+    /// the feed schema and the generator have drifted apart.
+    pub fn entries(&self) -> Vec<CveEntry> {
+        from_feed(&self.document)
+            .expect("synth delta feed round-trips")
+            .into_iter()
+            .collect()
+    }
+}
+
+/// A seeded delta stream: a base snapshot plus dated feeds whose replay
+/// reproduces the generated corpus.
+#[derive(Debug, Clone)]
+pub struct DeltaStream {
+    /// The base snapshot (chronological head, with seeded degradations).
+    pub base: Database,
+    /// The dated feeds, in chronological order.
+    pub feeds: Vec<DeltaFeed>,
+    /// The full corpus the stream was carved from: `corpus.archive` and
+    /// `corpus.truth` drive cleaning exactly as in the batch pipeline.
+    pub corpus: SynthCorpus,
+}
+
+impl DeltaStream {
+    /// Replays every feed over the base snapshot: the final database the
+    /// incremental pipeline must match batch-cleaning against.
+    pub fn final_database(&self) -> Database {
+        let mut db = self.base.clone();
+        for feed in &self.feeds {
+            for entry in feed.entries() {
+                db.push(entry);
+            }
+        }
+        db
+    }
+
+    /// Total entries delivered across all feeds (new + modified).
+    pub fn delta_entry_count(&self) -> usize {
+        self.feeds.iter().map(|f| f.document.items.len()).sum()
+    }
+}
+
+/// Carves the corpus for `config` into a base snapshot plus `feed_count`
+/// dated delta feeds. Deterministic in `(config, feed_count)`.
+///
+/// # Panics
+///
+/// Panics if `feed_count` is zero or the corpus is too small to carve
+/// (fewer than `feed_count + 1` entries).
+pub fn generate_delta_stream(config: &SynthConfig, feed_count: usize) -> DeltaStream {
+    assert!(feed_count > 0, "need at least one delta feed");
+    let corpus = generate(config);
+    let total = corpus.database.len();
+    assert!(
+        total > feed_count,
+        "corpus of {total} entries cannot fill {feed_count} feeds"
+    );
+
+    // Chronological order decides what "arrives late": the tail of the
+    // (published, id) sort becomes the new-CVE stream.
+    let mut order: Vec<usize> = (0..total).collect();
+    order.sort_by_key(|&i| {
+        let e = &corpus.database.as_slice()[i];
+        (e.published, e.id)
+    });
+    let arrivals = ((total as f64 * ARRIVAL_FRACTION).round() as usize)
+        .clamp(feed_count, total.saturating_sub(1));
+    let (head, tail) = order.split_at(total - arrivals);
+
+    let mut rng = StdRng::seed_from_u64(minipar::derive_seed(config.seed, DELTA_STREAM));
+
+    // Pick the modified subset from the base (chronological head) and
+    // assign each redelivery to a feed.
+    let mut modified_by_feed: Vec<Vec<usize>> = vec![Vec::new(); feed_count];
+    for &i in head {
+        if rng.gen_range(0..1000usize) < (MODIFIED_FRACTION * 1000.0) as usize {
+            modified_by_feed[rng.gen_range(0..feed_count)].push(i);
+        }
+    }
+
+    // Base snapshot: head entries in corpus order, modified ones degraded.
+    let mut base = Database::new();
+    let mut in_head = vec![false; total];
+    for &i in head {
+        in_head[i] = true;
+    }
+    let is_modified = {
+        let mut v = vec![false; total];
+        for feed in &modified_by_feed {
+            for &i in feed {
+                v[i] = true;
+            }
+        }
+        v
+    };
+    for (i, entry) in corpus.database.iter().enumerate() {
+        if in_head[i] {
+            base.push(if is_modified[i] {
+                degrade(entry, &mut rng)
+            } else {
+                entry.clone()
+            });
+        }
+    }
+
+    // New arrivals split into `feed_count` contiguous chronological chunks
+    // (earlier feeds slightly larger when sizes don't divide evenly).
+    let mut feeds = Vec::with_capacity(feed_count);
+    let chunk = arrivals / feed_count;
+    let extra = arrivals % feed_count;
+    let mut cursor = 0usize;
+    let mut last_date = corpus
+        .database
+        .as_slice()
+        .get(*head.last().expect("non-empty head"))
+        .map_or_else(
+            || Date::from_ymd(1999, 1, 1).expect("valid date"),
+            |e| e.published,
+        );
+    for (f, modified) in modified_by_feed.iter().enumerate() {
+        let take = chunk + usize::from(f < extra);
+        let slice = &tail[cursor..cursor + take];
+        cursor += take;
+
+        let mut feed_db = Database::new();
+        for &i in slice {
+            feed_db.push(corpus.database.as_slice()[i].clone());
+        }
+        // Modified redeliveries ride along in corpus order: the final
+        // entry verbatim, superseding the degraded base copy on push.
+        for &i in modified {
+            feed_db.push(corpus.database.as_slice()[i].clone());
+        }
+        let date = slice
+            .last()
+            .map_or(last_date, |&i| corpus.database.as_slice()[i].published);
+        last_date = date;
+        let document = to_feed(&feed_db, &format!("{date}T00:00Z"));
+        feeds.push(DeltaFeed { date, document });
+    }
+    debug_assert_eq!(cursor, arrivals);
+
+    DeltaStream {
+        base,
+        feeds,
+        corpus,
+    }
+}
+
+/// Produces the degraded base-snapshot version of a later-modified entry:
+/// the state a consumer would have seen before the `modified` feed item.
+fn degrade(entry: &CveEntry, rng: &mut StdRng) -> CveEntry {
+    let mut e = entry.clone();
+    // References accrete over time: the base copy carries only a prefix.
+    if e.references.len() > 1 {
+        let keep = rng.gen_range(1..e.references.len());
+        e.references.truncate(keep);
+    }
+    // Evaluator comments and CVSS v3 records typically land late (§3 /
+    // §4.3): withhold them from the base copy.
+    if rng.gen_range(0..2) == 0 {
+        e.descriptions
+            .retain(|d| d.source != nvd_model::entry::DescriptionSource::Evaluator);
+    }
+    if rng.gen_range(0..2) == 0 {
+        e.cvss_v3 = None;
+    }
+    e.last_modified = e.published;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SynthConfig {
+        SynthConfig::with_scale(0.002, 0xde17a)
+    }
+
+    #[test]
+    fn replay_reproduces_final_corpus_entries() {
+        let stream = generate_delta_stream(&small_config(), 4);
+        let replayed = stream.final_database();
+        assert_eq!(replayed.len(), stream.corpus.database.len());
+        for entry in stream.corpus.database.iter() {
+            assert_eq!(
+                replayed.get(&entry.id),
+                Some(entry),
+                "replayed entry {} diverged from the generated corpus",
+                entry.id
+            );
+        }
+    }
+
+    #[test]
+    fn base_snapshot_is_strictly_older_state() {
+        let stream = generate_delta_stream(&small_config(), 3);
+        assert!(stream.base.len() < stream.corpus.database.len());
+        let mut degraded = 0;
+        for entry in stream.base.iter() {
+            let fin = stream.corpus.database.get(&entry.id).expect("in corpus");
+            assert!(entry.references.len() <= fin.references.len());
+            assert!(entry.last_modified <= fin.last_modified);
+            if entry != fin {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "expected some degraded base entries");
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = generate_delta_stream(&small_config(), 4);
+        let b = generate_delta_stream(&small_config(), 4);
+        assert_eq!(a.base.as_slice(), b.base.as_slice());
+        assert_eq!(a.feeds.len(), b.feeds.len());
+        for (fa, fb) in a.feeds.iter().zip(&b.feeds) {
+            assert_eq!(fa.date, fb.date);
+            assert_eq!(fa.entries(), fb.entries());
+        }
+    }
+
+    #[test]
+    fn feeds_are_dated_monotonically() {
+        let stream = generate_delta_stream(&small_config(), 4);
+        for pair in stream.feeds.windows(2) {
+            assert!(pair[0].date <= pair[1].date);
+        }
+        assert!(stream.delta_entry_count() > 0);
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod delta;
 pub mod latency;
 pub mod names;
 pub mod profile;

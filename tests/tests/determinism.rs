@@ -298,6 +298,161 @@ fn serve_workload_generator_is_seed_stable() {
 }
 
 #[test]
+fn incremental_ingestion_is_bit_identical_across_job_counts() {
+    // Delta replay through one CleanState must agree exactly between the
+    // inline path and a wide pool — at every delta, on both the cleaned
+    // corpus and the full report (Debug formatting covers every field,
+    // floats included).
+    use nvd_clean::{CleanOptions, CleanState};
+    use nvd_synth::delta::generate_delta_stream;
+    let run = |jobs: usize| {
+        minipar::with_jobs(jobs, || {
+            let stream = generate_delta_stream(&SynthConfig::with_scale(0.004, 99), 3);
+            let oracle = OracleVerifier::new(stream.corpus.truth.vendor_alias_map());
+            let mut state = CleanState::new(CleanOptions {
+                run_backport: false,
+                ..CleanOptions::default()
+            });
+            let base: Vec<_> = stream.base.iter().cloned().collect();
+            let mut steps: Vec<Vec<CveEntry>> = vec![base];
+            steps.extend(stream.feeds.iter().map(|f| f.entries()));
+            let mut out = Vec::new();
+            for delta in &steps {
+                let (db, report) = state.apply_delta(delta, &stream.corpus.archive, &oracle);
+                out.push((
+                    db.iter().cloned().collect::<Vec<_>>(),
+                    format!("{report:?}"),
+                ));
+            }
+            out
+        })
+    };
+    assert_eq!(run(1), run(4), "delta replay diverged across job counts");
+}
+
+#[test]
+fn warm_serve_updates_match_full_rebuilds_at_any_shard_count() {
+    // Absorbing a delta stream through ServeIndexState::apply_delta must
+    // leave the index digest-identical to a fresh build of each corpus
+    // prefix, at every shard count — and the warm update path itself must
+    // not care about the job count.
+    use nvd_serve::ServeIndex;
+    use nvd_synth::delta::generate_delta_stream;
+    let stream = generate_delta_stream(&SynthConfig::with_scale(0.004, 99), 3);
+    let warm_digests = |jobs: usize, shards: usize| {
+        minipar::with_jobs(jobs, || {
+            let mut db = stream.base.clone();
+            let mut state = ServeIndex::with_shards(&db, shards).into_state();
+            let mut out = vec![state.digest()];
+            for feed in &stream.feeds {
+                let entries = feed.entries();
+                let touched: Vec<CveId> = entries.iter().map(|e| e.id).collect();
+                for entry in entries {
+                    db.push(entry);
+                }
+                state.apply_delta(&db, &touched);
+                out.push(state.digest());
+            }
+            out
+        })
+    };
+    assert_eq!(
+        warm_digests(1, 16),
+        warm_digests(4, 16),
+        "warm updates diverged across job counts"
+    );
+    for shards in [1usize, 3, 16, 64] {
+        let mut db = stream.base.clone();
+        let mut fresh = vec![ServeIndex::with_shards(&db, shards).digest()];
+        for feed in &stream.feeds {
+            for entry in feed.entries() {
+                db.push(entry);
+            }
+            fresh.push(ServeIndex::with_shards(&db, shards).digest());
+        }
+        assert_eq!(
+            warm_digests(1, shards),
+            fresh,
+            "warm updates diverged from rebuilds at {shards} shards"
+        );
+    }
+}
+
+/// Random delta sequences over [`ArbSmallDb`]-style entries: every entry
+/// is assigned an arrival step, and some are redelivered later with a
+/// rewritten CPE — covering inserts, modifications, same-id repeats
+/// within one delta, and empty deltas.
+#[derive(Debug)]
+struct ArbDeltaSteps;
+
+impl Strategy for ArbDeltaSteps {
+    type Value = Vec<Vec<CveEntry>>;
+
+    fn new_value(&self, runner: &mut proptest::test_runner::TestRunner) -> Self::Value {
+        let n = (4usize..16).new_value(runner);
+        let step_count = (2usize..5).new_value(runner);
+        let mut steps: Vec<Vec<CveEntry>> = vec![Vec::new(); step_count];
+        let mut all: Vec<CveEntry> = Vec::new();
+        for i in 0..n {
+            let vendor = "[ab][abc_!]{0,6}".new_value(runner);
+            let product = "[ab][ab0-1_]{0,4}".new_value(runner);
+            let mut e = CveEntry::new(
+                CveId::new(2019, (i + 1) as u32),
+                "2019-01-01".parse().unwrap(),
+            );
+            e.affected
+                .push(CpeName::application(vendor.as_str(), product.as_str()));
+            steps[(0..step_count).new_value(runner)].push(e.clone());
+            all.push(e);
+        }
+        for e in &all {
+            if (0usize..3).new_value(runner) == 0 {
+                let vendor = "[ab][abc_!]{0,6}".new_value(runner);
+                let product = "[ab][ab0-1_]{0,4}".new_value(runner);
+                let mut m = e.clone();
+                m.affected = vec![CpeName::application(vendor.as_str(), product.as_str())];
+                steps[(0..step_count).new_value(runner)].push(m);
+            }
+        }
+        steps
+    }
+}
+
+proptest! {
+    #[test]
+    fn incremental_cleaning_equals_batch_on_random_delta_sequences(steps in ArbDeltaSteps) {
+        // The tentpole contract, property-sampled: replaying any delta
+        // sequence through one CleanState equals batch-cleaning the
+        // accumulated corpus from scratch — after every delta.
+        use nvd_clean::{CleanOptions, CleanState};
+        let archive = webarchive::WebArchive::new();
+        let oracle = OracleVerifier::new(std::collections::BTreeMap::new());
+        let options = CleanOptions {
+            run_backport: false,
+            ..CleanOptions::default()
+        };
+        let mut state = CleanState::new(options.clone());
+        let cleaner = Cleaner::new(options);
+        for (i, delta) in steps.iter().enumerate() {
+            let (inc_db, inc_report) = state.apply_delta(delta, &archive, &oracle);
+            let (batch_db, batch_report) = cleaner.clean(state.database(), &archive, &oracle);
+            prop_assert_eq!(
+                inc_db.as_slice(),
+                batch_db.as_slice(),
+                "cleaned database diverged at delta {}",
+                i
+            );
+            prop_assert_eq!(
+                format!("{:?}", inc_report),
+                format!("{:?}", batch_report),
+                "report diverged at delta {}",
+                i
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seed_different_corpus() {
     let a = generate(&SynthConfig::with_scale(0.005, 1));
     let b = generate(&SynthConfig::with_scale(0.005, 2));

@@ -36,6 +36,38 @@ impl Bencher {
             self.observed_ns.push(start.elapsed().as_nanos() as f64);
         }
     }
+
+    /// Times `routine` over inputs produced by `setup`, excluding both the
+    /// setup and the drop of the routine's output from the measurement —
+    /// for benches whose subject consumes or mutates its input (e.g.
+    /// applying a delta to a cloned warm state).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One untimed warm-up run.
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            self.observed_ns.push(start.elapsed().as_nanos() as f64);
+            drop(out);
+        }
+    }
+}
+
+/// Batch sizing hint, accepted for API compatibility with real Criterion;
+/// the stand-in always sets up and times one input per sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; real Criterion batches many per alloc.
+    SmallInput,
+    /// Inputs are expensive; real Criterion sets up one per iteration.
+    LargeInput,
+    /// Force one setup per timed iteration.
+    PerIteration,
 }
 
 /// Summary statistics over one benchmark's samples.
@@ -264,6 +296,31 @@ mod tests {
         // tail-latency gate.
         let ten: Vec<f64> = (1..=10).map(f64::from).collect();
         assert_eq!(percentile(&ten, 99.0), 10.0);
+    }
+
+    #[test]
+    fn iter_batched_times_each_input_once() {
+        let mut b = Bencher {
+            samples: 5,
+            observed_ns: Vec::new(),
+        };
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8, 2, 3]
+            },
+            |v| {
+                runs += 1;
+                v.len()
+            },
+            BatchSize::LargeInput,
+        );
+        // One warm-up plus one per sample.
+        assert_eq!(setups, 6);
+        assert_eq!(runs, 6);
+        assert_eq!(b.observed_ns.len(), 5);
     }
 
     #[test]
