@@ -1,0 +1,151 @@
+//! Fault-path benches: what the retry engine costs when nothing fails,
+//! and what quarantine-and-continue recovery saves over re-cleaning from
+//! scratch after a corrupt feed.
+//!
+//! Run with `BENCH_JSON=BENCH_faults.json cargo bench -p nvd-bench --bench
+//! faults` to emit the artifact CI uploads. Two gated questions:
+//!
+//! * `crawl_faults` — the fault-aware scheduler under an **empty** plan
+//!   must stay within 5% of the plain engine (best and p99), so turning
+//!   fault handling on costs nothing on the healthy path;
+//! * `ingest_recover` — ingesting a corrupt delta through the warm
+//!   [`CleanState`] quarantine path must beat batch re-cleaning the
+//!   accumulated corpus from scratch.
+//!
+//! Both parity-assert before timing: the empty-plan crawl is outcome-
+//! identical to the plain crawl, and the quarantine ingest is bit-identical
+//! to the batch pipeline over the post-admission corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use nvd_bench::{bench_corpus, BENCH_SEED};
+use nvd_clean::cleaner::{CleanOptions, Cleaner};
+use nvd_clean::names::OracleVerifier;
+use nvd_clean::CleanState;
+use nvd_synth::faults::corrupt_delta_stream;
+use nvd_synth::SynthConfig;
+use webarchive::{CrawlEngine, CrawlerSet, FaultPlan, RetryPolicy};
+
+/// Same stream shape as the ingest benches: every from-scratch sample
+/// re-runs the whole pipeline, so the corpus stays modest.
+const RECOVER_SCALE: f64 = 0.01;
+const FEED_COUNT: usize = 4;
+
+fn options() -> CleanOptions {
+    CleanOptions {
+        run_backport: false,
+        ..CleanOptions::default()
+    }
+}
+
+fn crawl_no_fault_overhead(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let crawlers = CrawlerSet::builtin();
+    let urls: Vec<&str> = corpus
+        .database
+        .iter()
+        .flat_map(|e| e.references.iter().map(|r| r.url.as_str()))
+        .collect();
+    let plan = FaultPlan::new(BENCH_SEED);
+    let plain = CrawlEngine::new(&corpus.archive, &crawlers);
+    let faulty =
+        CrawlEngine::new(&corpus.archive, &crawlers).with_faults(&plan, RetryPolicy::default());
+
+    // Parity gate before timing: with nothing failing, the fault-aware
+    // engine must reproduce the plain engine outcome for outcome.
+    assert_eq!(
+        faulty.crawl(&urls),
+        plain.crawl(&urls),
+        "empty fault plan changed crawl outcomes"
+    );
+
+    // 100 samples so the nearest-rank p99 is a real percentile — the 5%
+    // overhead gate compares tails, not just bests.
+    let mut group = c.benchmark_group("crawl_faults");
+    group.sample_size(100);
+    group.bench_function("new/no_fault", |b| {
+        b.iter(|| minipar::with_jobs(1, || faulty.crawl(black_box(&urls))))
+    });
+    group.bench_function("legacy", |b| {
+        b.iter(|| minipar::with_jobs(1, || plain.crawl(black_box(&urls))))
+    });
+    group.finish();
+}
+
+fn ingest_recover(c: &mut Criterion) {
+    let fs = corrupt_delta_stream(
+        &SynthConfig::with_scale(RECOVER_SCALE, BENCH_SEED),
+        FEED_COUNT,
+        BENCH_SEED,
+    );
+    let oracle = OracleVerifier::new(fs.stream.corpus.truth.vendor_alias_map());
+    let archive = &fs.stream.corpus.archive;
+    let cleaner = Cleaner::new(options());
+
+    // The corruption rotation covers all four kinds over four feeds, so a
+    // non-poisoned feed with quarantinable items always exists; recover
+    // from the last such feed so the state is genuinely warm.
+    let target = fs
+        .feeds
+        .iter()
+        .rposition(|f| !f.poisoned && !f.quarantined_ids.is_empty())
+        .expect("rotation guarantees a quarantinable feed");
+    let label = fs.feeds[target].date.to_string();
+    let json = fs.feeds[target].json.as_str();
+
+    // Warm the state on the base and every (clean) feed before the target.
+    let mut warmed = CleanState::new(options());
+    let base: Vec<_> = fs.stream.base.iter().cloned().collect();
+    warmed.apply_delta(&base, archive, &oracle);
+    for feed in &fs.stream.feeds[..target] {
+        warmed.apply_delta(&feed.entries(), archive, &oracle);
+    }
+
+    // Parity gate: quarantine-and-continue must equal batch-cleaning the
+    // post-admission corpus, entry for entry and report field for field.
+    let mut admitted_state = warmed.clone();
+    let outcome = admitted_state
+        .ingest_json(&label, json, archive, &oracle)
+        .expect("target feed is not poisoned");
+    assert!(
+        outcome.quarantined.len() >= fs.feeds[target].quarantined_ids.len(),
+        "target feed quarantined nothing"
+    );
+    let raw_after = admitted_state.database().clone();
+    let (batch_db, batch_report) = cleaner.clean(&raw_after, archive, &oracle);
+    assert_eq!(
+        outcome.cleaned.as_slice(),
+        batch_db.as_slice(),
+        "quarantine ingest diverged from the batch pipeline"
+    );
+    assert_eq!(
+        format!("{:?}", outcome.report),
+        format!("{batch_report:?}"),
+        "quarantine ingest report diverged from the batch pipeline"
+    );
+
+    let mut group = c.benchmark_group("ingest_recover");
+    group.sample_size(100);
+    group.bench_function("quarantine/jobs_1", |b| {
+        b.iter_batched(
+            || warmed.clone(),
+            |mut state| {
+                let out = minipar::with_jobs(1, || {
+                    state.ingest_json(&label, black_box(json), archive, &oracle)
+                });
+                (state, out)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("reclean", |b| {
+        b.iter(|| minipar::with_jobs(1, || cleaner.clean(black_box(&raw_after), archive, &oracle)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = crawl_no_fault_overhead, ingest_recover
+);
+criterion_main!(benches);

@@ -128,7 +128,10 @@ impl<'a> DisclosureEstimator<'a> {
                         }
                     }
                 }
-                CrawlResult::HostUnreachable | CrawlResult::NotFound => failed += 1,
+                CrawlResult::HostUnreachable
+                | CrawlResult::NotFound
+                | CrawlResult::TimedOut
+                | CrawlResult::CircuitOpen => failed += 1,
             }
         }
         let aggregated = match self.rule {

@@ -33,6 +33,17 @@
 //! per-item result is recomputed; `tests/determinism.rs` enforces the
 //! contract over seeded and property-sampled delta sequences.
 //!
+//! # Transactional ingestion
+//!
+//! Raw feeds enter through [`CleanState::ingest_json`] /
+//! [`CleanState::ingest_document`] with validate-then-commit semantics: a
+//! feed that fails to parse mutates nothing ([`IngestError`]), poison
+//! *items* inside a parseable feed are isolated into the
+//! [`QuarantineLedger`] while the rest are admitted, and replaying a
+//! corrected feed after a rollback is bit-identical to never having seen
+//! the broken one (`tests/faults.rs` proves both properties over seeded
+//! and property-sampled corruption).
+//!
 //! # Lifecycle
 //!
 //! ```
@@ -61,6 +72,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use nvd_model::cwe::{CweCatalog, CweId};
 use nvd_model::entry::CveEntry;
+use nvd_model::feed::{item_to_entry, parse_feed_json, FeedDocument, FeedError};
 use nvd_model::prelude::{CveId, Database, ProductName, VendorName};
 use textkit::{preprocess, Idf};
 use webarchive::WebArchive;
@@ -78,6 +90,98 @@ use crate::severity::backport_v3;
 /// Hashing seed for the carried text-feature state, matching the type
 /// classifier's default so the maintained IDF is directly reusable there.
 const TEXT_SEED: u64 = 0x7c1f;
+
+/// Why one feed failed to ingest as a whole. Produced by
+/// [`CleanState::ingest_json`] *before* any state mutation: an `Err`
+/// leaves the state bit-identical to never having seen the feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The feed text is not a parseable feed document (truncated JSON,
+    /// schema mismatch).
+    MalformedFeed {
+        /// The underlying parse error.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MalformedFeed { msg } => write!(f, "ingest: malformed feed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Why one feed item was quarantined instead of admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The item failed to convert: malformed id, date, vector string,
+    /// CWE label or CPE URI.
+    MalformedItem {
+        /// The conversion error.
+        msg: String,
+    },
+    /// The item's CVE id appears more than once in the feed with
+    /// *different* content, so no copy can be trusted. (Identical
+    /// repeats are collapsed silently: the first copy is admitted.)
+    ConflictingDuplicate,
+}
+
+/// One quarantined feed item: which feed it arrived in, the raw id string
+/// it carried, and why it was isolated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The caller's label for the feed (e.g. its date).
+    pub feed: String,
+    /// The raw `CVE_data_meta.ID` string of the item (not necessarily a
+    /// valid CVE id).
+    pub raw_id: String,
+    /// Why the item was quarantined.
+    pub reason: QuarantineReason,
+}
+
+/// The accumulated quarantine ledger: every poison item isolated across
+/// all ingested feeds, in ingestion order. Deterministic — bit-identical
+/// at any `NVD_JOBS` — because quarantine decisions are made serially in
+/// feed order during validation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineLedger {
+    records: Vec<QuarantineRecord>,
+}
+
+impl QuarantineLedger {
+    /// All records, in ingestion order.
+    pub fn records(&self) -> &[QuarantineRecord] {
+        &self.records
+    }
+
+    /// Number of quarantined items.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// What one successful transactional ingest produced.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The cleaned accumulated corpus after admitting the feed.
+    pub cleaned: Database,
+    /// The clean report over the accumulated corpus.
+    pub report: CleanReport,
+    /// Number of entries admitted from this feed (identical repeats
+    /// collapse into one admission).
+    pub admitted: usize,
+    /// The items quarantined from this feed, in feed order (also appended
+    /// to [`CleanState::quarantine`]).
+    pub quarantined: Vec<QuarantineRecord>,
+}
 
 /// One vendor's cached §4.2 product sweep: the consolidated product set it
 /// was computed over, plus the resulting candidates.
@@ -116,6 +220,7 @@ pub struct CleanState {
     product_cache: BTreeMap<VendorName, ProductSweepEntry>,
     cwe_mined: BTreeMap<CveId, Vec<CweId>>,
     text: TextState,
+    quarantine: QuarantineLedger,
 }
 
 impl CleanState {
@@ -133,7 +238,13 @@ impl CleanState {
                 terms: BTreeMap::new(),
                 pending: Vec::new(),
             },
+            quarantine: QuarantineLedger::default(),
         }
+    }
+
+    /// The accumulated quarantine ledger over every ingested feed.
+    pub fn quarantine(&self) -> &QuarantineLedger {
+        &self.quarantine
     }
 
     /// The accumulated raw (uncleaned) corpus: every delivered entry in
@@ -294,6 +405,133 @@ impl CleanState {
         )
     }
 
+    /// Transactionally ingests one feed from raw JSON text.
+    ///
+    /// Validate-then-commit, all-or-nothing at the feed level: the text is
+    /// parsed and every item converted *before* any state is touched, so
+    /// an `Err` (truncated or schema-broken JSON) provably mutates
+    /// nothing — re-ingesting a corrected feed afterwards is bit-identical
+    /// to never having seen the broken one. Within a parseable feed,
+    /// poison *items* are isolated into the quarantine ledger and the
+    /// rest are admitted; see [`CleanState::ingest_document`].
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::MalformedFeed`] when the text does not parse as a
+    /// feed document.
+    pub fn ingest_json<V: Verifier + Sync>(
+        &mut self,
+        feed_label: &str,
+        json: &str,
+        archive: &WebArchive,
+        verifier: &V,
+    ) -> Result<IngestOutcome, IngestError> {
+        let doc =
+            parse_feed_json(json).map_err(|e| IngestError::MalformedFeed { msg: e.to_string() })?;
+        Ok(self.ingest_document(feed_label, &doc, archive, verifier))
+    }
+
+    /// Transactionally ingests one parsed feed document.
+    ///
+    /// The validation phase converts every item and groups duplicates
+    /// without touching `self`:
+    ///
+    /// * items that fail to convert are quarantined as
+    ///   [`QuarantineReason::MalformedItem`];
+    /// * ids repeated with identical content collapse benignly — the
+    ///   first copy is admitted, the repeats are dropped silently;
+    /// * ids repeated with *conflicting* content quarantine every copy
+    ///   ([`QuarantineReason::ConflictingDuplicate`]): no copy can be
+    ///   trusted, and admitting one arbitrarily would poison the corpus.
+    ///
+    /// Only then does the commit phase run: one ordinary
+    /// [`CleanState::apply_delta`] over the admitted entries (in feed
+    /// order) plus a ledger append — both infallible, so a feed either
+    /// commits in full or, had validation been an error path, would have
+    /// left the state untouched.
+    pub fn ingest_document<V: Verifier + Sync>(
+        &mut self,
+        feed_label: &str,
+        doc: &FeedDocument,
+        archive: &WebArchive,
+        verifier: &V,
+    ) -> IngestOutcome {
+        // Validation: convert every item, recording per-item quarantine
+        // reasons, with no self-mutation.
+        let mut converted: Vec<Option<CveEntry>> = Vec::with_capacity(doc.items.len());
+        let mut reasons: Vec<Option<QuarantineReason>> = vec![None; doc.items.len()];
+        for (i, item) in doc.items.iter().enumerate() {
+            match item_to_entry(item) {
+                Ok(entry) => converted.push(Some(entry)),
+                Err(e) => {
+                    let msg = match e {
+                        FeedError::Item { msg, .. } => msg,
+                        other => other.to_string(),
+                    };
+                    reasons[i] = Some(QuarantineReason::MalformedItem { msg });
+                    converted.push(None);
+                }
+            }
+        }
+
+        // Duplicate grouping over the successfully converted items.
+        let mut occurrences: BTreeMap<CveId, Vec<usize>> = BTreeMap::new();
+        for (i, entry) in converted.iter().enumerate() {
+            if let Some(entry) = entry {
+                occurrences.entry(entry.id).or_default().push(i);
+            }
+        }
+        let mut drop = vec![false; doc.items.len()];
+        for occ in occurrences.values() {
+            if occ.len() < 2 {
+                continue;
+            }
+            let first = converted[occ[0]].as_ref().expect("converted occurrence");
+            if occ[1..]
+                .iter()
+                .all(|&i| converted[i].as_ref().expect("converted occurrence") == first)
+            {
+                // Benign repeat: admit the first copy, drop the rest.
+                for &i in &occ[1..] {
+                    drop[i] = true;
+                }
+            } else {
+                for &i in occ {
+                    drop[i] = true;
+                    reasons[i] = Some(QuarantineReason::ConflictingDuplicate);
+                }
+            }
+        }
+
+        let quarantined: Vec<QuarantineRecord> = reasons
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                r.as_ref().map(|reason| QuarantineRecord {
+                    feed: feed_label.to_owned(),
+                    raw_id: doc.items[i].cve.meta.id.clone(),
+                    reason: reason.clone(),
+                })
+            })
+            .collect();
+        let admitted: Vec<CveEntry> = converted
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !drop[*i] && reasons[*i].is_none())
+            .filter_map(|(_, e)| e)
+            .collect();
+
+        // Commit: infallible from here on.
+        let (cleaned, report) = self.apply_delta(&admitted, archive, verifier);
+        self.quarantine.records.extend(quarantined.iter().cloned());
+        IngestOutcome {
+            cleaned,
+            report,
+            admitted: admitted.len(),
+            quarantined,
+        }
+    }
+
     /// The §4.2 product sweep with per-vendor carry-over: equals
     /// `find_product_candidates(&self.database, mapping)` bit for bit.
     fn product_candidates_cached(&mut self, mapping: &NameMapping) -> Vec<ProductCandidate> {
@@ -386,6 +624,83 @@ mod tests {
                 "report diverged after delta {i}"
             );
         }
+    }
+
+    #[test]
+    fn malformed_feed_json_mutates_nothing() {
+        let stream = generate_delta_stream(&SynthConfig::with_scale(0.002, 0x42), 2);
+        let oracle = OracleVerifier::new(stream.corpus.truth.vendor_alias_map());
+        let mut state = CleanState::new(options());
+        let base: Vec<_> = stream.base.iter().cloned().collect();
+        state.apply_delta(&base, &stream.corpus.archive, &oracle);
+        let before = state.clone();
+
+        let good = serde_json::to_string(&nvd_model::feed::to_feed(
+            &Database::from_entries(stream.feeds[0].entries()),
+            "t",
+        ))
+        .unwrap();
+        let truncated = &good[..good.len() * 2 / 3];
+        let err = state
+            .ingest_json("2020-01-01", truncated, &stream.corpus.archive, &oracle)
+            .unwrap_err();
+        assert!(matches!(err, IngestError::MalformedFeed { .. }));
+
+        // Rollback is trivial because nothing moved: the state still
+        // cleans bit-identically to the pre-failure snapshot.
+        assert_eq!(state.database().as_slice(), before.database().as_slice());
+        assert_eq!(state.quarantine(), before.quarantine());
+        let mut replay = state.clone();
+        let out = replay
+            .ingest_json("2020-01-01", &good, &stream.corpus.archive, &oracle)
+            .unwrap();
+        let mut clean_only = before.clone();
+        let clean = clean_only
+            .ingest_json("2020-01-01", &good, &stream.corpus.archive, &oracle)
+            .unwrap();
+        assert_eq!(out.cleaned.as_slice(), clean.cleaned.as_slice());
+        assert_eq!(format!("{:?}", out.report), format!("{:?}", clean.report));
+    }
+
+    #[test]
+    fn ingest_quarantines_poison_items_and_admits_the_rest() {
+        let stream = generate_delta_stream(&SynthConfig::with_scale(0.002, 0x99), 2);
+        let oracle = OracleVerifier::new(stream.corpus.truth.vendor_alias_map());
+        let mut state = CleanState::new(options());
+        let base: Vec<_> = stream.base.iter().cloned().collect();
+        state.apply_delta(&base, &stream.corpus.archive, &oracle);
+
+        let feed_db = Database::from_entries(stream.feeds[0].entries());
+        let mut doc = nvd_model::feed::to_feed(&feed_db, "t");
+        let total = doc.items.len();
+        assert!(total >= 3, "need a non-trivial feed");
+        // Item 0: malformed id. Item 1: conflicting duplicate (repeat with
+        // a mutated date). Last item: identical benign repeat.
+        doc.items[0].cve.meta.id = "CVE-BROKEN".to_owned();
+        let mut conflict = doc.items[1].clone();
+        conflict.published_date = "1999-01-01".to_owned();
+        doc.items.push(conflict);
+        let benign = doc.items[total - 1].clone();
+        doc.items.push(benign);
+
+        let conflict_id: CveId = doc.items[1].cve.meta.id.parse().unwrap();
+        let conflict_before = state.database().get(&conflict_id).cloned();
+        let out = state.ingest_document("2020-02-02", &doc, &stream.corpus.archive, &oracle);
+        assert_eq!(out.admitted, total - 2, "all but the two poison items");
+        assert_eq!(out.quarantined.len(), 3, "broken id + both conflict copies");
+        assert!(matches!(
+            out.quarantined[0].reason,
+            QuarantineReason::MalformedItem { .. }
+        ));
+        assert_eq!(out.quarantined[0].raw_id, "CVE-BROKEN");
+        assert_eq!(out.quarantined[0].feed, "2020-02-02");
+        assert!(out.quarantined[1..]
+            .iter()
+            .all(|r| r.reason == QuarantineReason::ConflictingDuplicate));
+        assert_eq!(state.quarantine().len(), 3);
+        // Neither conflicting copy was admitted: the id's accumulated
+        // version (if the base delivered one) is untouched.
+        assert_eq!(state.database().get(&conflict_id), conflict_before.as_ref());
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod typeclf;
 pub use cleaner::{CleanOptions, CleanReport, Cleaner, NameReport};
 pub use cwe_fix::{extract_cwe_ids, rectify_cwe, CweFixOutcome, CweFixStats};
 pub use disclosure::{AggregationRule, DisclosureEstimate, DisclosureEstimator, LagSummary};
-pub use incremental::CleanState;
+pub use incremental::{
+    CleanState, IngestError, IngestOutcome, QuarantineLedger, QuarantineReason, QuarantineRecord,
+};
 pub use names::{NameMapping, OracleVerifier, Verifier};
 pub use severity::{backport_v3, BackportOptions, BackportOutcome, ModelKind, TrainProfile};
 pub use typeclf::{train_type_classifier, TypeClassifier, TypeClassifierOptions};

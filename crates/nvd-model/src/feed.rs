@@ -18,20 +18,43 @@ use crate::entry::{
 };
 use crate::metrics::{CvssV2Vector, CvssV3Vector};
 
-/// Error produced when converting a feed document into a [`Database`].
+/// Error produced when parsing or converting a feed document into a
+/// [`Database`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FeedError {
-    /// The CVE item the error occurred in, if known.
-    pub cve_id: Option<String>,
-    /// What went wrong.
-    pub msg: String,
+pub enum FeedError {
+    /// One CVE item failed to convert: malformed id, date, vector string,
+    /// CWE label or CPE URI.
+    Item {
+        /// The CVE item the error occurred in, if known.
+        cve_id: Option<String>,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The same CVE id appears more than once in one feed document.
+    /// Previously this resolved last-write-wins silently; a conforming
+    /// feed never repeats an id, so a repeat is corruption worth
+    /// surfacing.
+    DuplicateId {
+        /// The repeated id.
+        cve_id: String,
+    },
+    /// The document is not valid JSON (or does not fit the feed schema).
+    Json {
+        /// The underlying parse error.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for FeedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.cve_id {
-            Some(id) => write!(f, "feed item {id}: {}", self.msg),
-            None => write!(f, "feed: {}", self.msg),
+        match self {
+            Self::Item {
+                cve_id: Some(id),
+                msg,
+            } => write!(f, "feed item {id}: {msg}"),
+            Self::Item { cve_id: None, msg } => write!(f, "feed: {msg}"),
+            Self::DuplicateId { cve_id } => write!(f, "feed: duplicate CVE id {cve_id}"),
+            Self::Json { msg } => write!(f, "feed: invalid JSON: {msg}"),
         }
     }
 }
@@ -204,13 +227,32 @@ pub fn to_feed(db: &Database, timestamp: &str) -> FeedDocument {
 /// # Errors
 ///
 /// Returns the first [`FeedError`] encountered: malformed CVE id, date,
-/// vector string, or CPE URI.
+/// vector string, or CPE URI — or [`FeedError::DuplicateId`] if the same
+/// CVE id appears in more than one item (a conforming feed never repeats
+/// an id; ingesters that want finer duplicate policy convert items
+/// themselves via [`item_to_entry`]).
 pub fn from_feed(doc: &FeedDocument) -> Result<Database, FeedError> {
     let mut db = Database::new();
     for item in &doc.items {
-        db.push(item_to_entry(item)?);
+        let entry = item_to_entry(item)?;
+        if db.get(&entry.id).is_some() {
+            return Err(FeedError::DuplicateId {
+                cve_id: entry.id.to_string(),
+            });
+        }
+        db.push(entry);
     }
     Ok(db)
+}
+
+/// Parses raw JSON text into a [`FeedDocument`].
+///
+/// # Errors
+///
+/// Returns [`FeedError::Json`] when the text is truncated, malformed, or
+/// does not fit the feed schema.
+pub fn parse_feed_json(json: &str) -> Result<FeedDocument, FeedError> {
+    serde_json::from_str(json).map_err(|e| FeedError::Json { msg: e.to_string() })
 }
 
 fn entry_to_item(e: &CveEntry) -> FeedItem {
@@ -293,8 +335,11 @@ fn entry_to_item(e: &CveEntry) -> FeedItem {
     }
 }
 
-fn item_to_entry(item: &FeedItem) -> Result<CveEntry, FeedError> {
-    let err = |msg: String| FeedError {
+/// Converts one feed item into a [`CveEntry`]. Exposed so ingesters with
+/// their own duplicate/quarantine policy can convert items individually
+/// instead of going through [`from_feed`]'s first-error-wins loop.
+pub fn item_to_entry(item: &FeedItem) -> Result<CveEntry, FeedError> {
+    let err = |msg: String| FeedError::Item {
         cve_id: Some(item.cve.meta.id.clone()),
         msg,
     };
@@ -500,6 +545,38 @@ mod tests {
             .cvss_v2
             .vector_string = "garbage".to_owned();
         assert!(from_feed(&feed2).is_err());
+    }
+
+    #[test]
+    fn feed_rejects_duplicate_cve_ids() {
+        let db = sample_db();
+        let mut feed = to_feed(&db, "t");
+        let copy = feed.items[0].clone();
+        feed.items.push(copy);
+        let e = from_feed(&feed).unwrap_err();
+        assert_eq!(
+            e,
+            FeedError::DuplicateId {
+                cve_id: "CVE-2007-0838".to_owned()
+            }
+        );
+        assert_eq!(e.to_string(), "feed: duplicate CVE id CVE-2007-0838");
+    }
+
+    #[test]
+    fn parse_feed_json_surfaces_truncation() {
+        let db = sample_db();
+        let json = serde_json::to_string(&to_feed(&db, "t")).unwrap();
+        let doc = parse_feed_json(&json).unwrap();
+        assert_eq!(from_feed(&doc).unwrap().as_slice(), db.as_slice());
+
+        let truncated = &json[..json.len() * 2 / 3];
+        let e = parse_feed_json(truncated).unwrap_err();
+        assert!(matches!(e, FeedError::Json { .. }), "got {e:?}");
+        assert!(e.to_string().starts_with("feed: invalid JSON:"));
+
+        let e = parse_feed_json("{\"CVE_data_type\": \"CVE\"}").unwrap_err();
+        assert!(matches!(e, FeedError::Json { .. }), "missing fields: {e:?}");
     }
 
     #[test]

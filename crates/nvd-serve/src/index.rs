@@ -32,6 +32,8 @@
 //! updated state is **bit-identical** (digest-equal) to a fresh build of
 //! the updated database, which `tests/determinism.rs` enforces.
 
+use std::collections::BTreeSet;
+
 use nvd_model::prelude::{
     CveEntry, CveId, CweId, Database, Date, ProductName, Severity, VendorName,
 };
@@ -44,6 +46,45 @@ use crate::query::{
 /// enough to load-balance a skewed corpus, large enough that the inline
 /// `jobs = 1` path pays no chunking overhead worth measuring.
 const POSTING_CHUNK: usize = 256;
+
+/// Why one warm update was rejected. Produced by
+/// [`ServeIndexState::try_apply_delta`] *before* any structure is
+/// touched: an `Err` leaves the state digest-identical to before the
+/// call, so the caller can roll back by simply not committing its
+/// database mutation and replay a corrected delta later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// A touched id is absent from the database.
+    MissingEntry {
+        /// The missing id.
+        id: CveId,
+    },
+    /// A touched id is new to the index but its database entry is not at
+    /// the append position — i.e. the database was not grown with
+    /// `Database::push` semantics.
+    MisplacedEntry {
+        /// The misplaced id.
+        id: CveId,
+        /// The database index the entry was expected at.
+        expected_index: usize,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingEntry { id } => {
+                write!(f, "serve update: touched id {id} absent from database")
+            }
+            Self::MisplacedEntry { id, expected_index } => write!(
+                f,
+                "serve update: new id {id} not at append position {expected_index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 /// Everything the index derived from one entry — kept so a modified
 /// redelivery can retire its old version's postings without re-reading the
@@ -265,6 +306,43 @@ impl ServeIndexState {
                 }
             }
         }
+    }
+
+    /// The rollback-safe variant of [`Self::apply_delta`]: validates the
+    /// whole delta upfront and only then commits.
+    ///
+    /// The checks mirror exactly the panics `apply_delta` would hit —
+    /// every touched id must be present in `db`, and ids new to the index
+    /// must sit at consecutive append positions (push semantics) — so
+    /// after `Ok(())` the commit is infallible, and on `Err` **nothing
+    /// was mutated**: the state stays digest-identical to before the
+    /// call, never torn mid-update. Replaying a corrected delta after an
+    /// `Err` is bit-identical to a fresh build of the corrected database
+    /// (enforced in `tests/faults.rs` at shard counts 1/3/16/64).
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::MissingEntry`] or [`UpdateError::MisplacedEntry`];
+    /// see the variants.
+    pub fn try_apply_delta(&mut self, db: &Database, touched: &[CveId]) -> Result<(), UpdateError> {
+        let mut fresh = self.ids.len();
+        let mut seen_new: BTreeSet<CveId> = BTreeSet::new();
+        for &id in touched {
+            if db.get(&id).is_none() {
+                return Err(UpdateError::MissingEntry { id });
+            }
+            if self.index_of(id).is_none() && seen_new.insert(id) {
+                if db.as_slice().get(fresh).map(|e| e.id) != Some(id) {
+                    return Err(UpdateError::MisplacedEntry {
+                        id,
+                        expected_index: fresh,
+                    });
+                }
+                fresh += 1;
+            }
+        }
+        self.apply_delta(db, touched);
+        Ok(())
     }
 
     /// Re-attaches the state to its (updated) database as a queryable

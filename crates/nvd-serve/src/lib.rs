@@ -58,7 +58,7 @@ pub mod query;
 pub mod scan;
 pub mod workload;
 
-pub use index::{ServeIndex, ServeIndexState};
+pub use index::{ServeIndex, ServeIndexState, UpdateError};
 pub use query::{run_workload, Query, QueryEngine, QueryResult, WorkloadSummary};
 pub use scan::LinearScan;
 pub use workload::{generate_workload, WorkloadProfile};
@@ -190,6 +190,47 @@ mod tests {
                 "warm answers diverged at shard_count={shards}"
             );
         }
+    }
+
+    #[test]
+    fn try_apply_delta_rejects_without_tearing() {
+        let db0 = corpus_db();
+        let mut state = ServeIndex::with_shards(&db0, 8).into_state();
+        let before = state.digest();
+
+        // A touched id the database has never seen.
+        let missing: CveId = "CVE-1999-9999999".parse().unwrap();
+        assert_eq!(
+            state.try_apply_delta(&db0, &[missing]),
+            Err(UpdateError::MissingEntry { id: missing })
+        );
+        assert_eq!(state.digest(), before, "rejected update tore the state");
+
+        // A new entry inserted out of push order: rebuild the database
+        // with the fresh entry first, so it is present but misplaced.
+        let mut fresh_entry = db0.iter().next().unwrap().clone();
+        fresh_entry.id = "CVE-2030-0001".parse().unwrap();
+        let mut shuffled = Database::new();
+        shuffled.push(fresh_entry.clone());
+        for e in db0.iter() {
+            shuffled.push(e.clone());
+        }
+        assert_eq!(
+            state.try_apply_delta(&shuffled, &[fresh_entry.id]),
+            Err(UpdateError::MisplacedEntry {
+                id: fresh_entry.id,
+                expected_index: db0.len(),
+            })
+        );
+        assert_eq!(state.digest(), before, "rejected update tore the state");
+
+        // Replaying the corrected delta afterwards equals a fresh build.
+        let mut db = db0.clone();
+        db.push(fresh_entry.clone());
+        state
+            .try_apply_delta(&db, &[fresh_entry.id])
+            .expect("corrected delta applies");
+        assert_eq!(state.digest(), ServeIndex::with_shards(&db, 8).digest());
     }
 
     #[test]

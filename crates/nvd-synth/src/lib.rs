@@ -44,6 +44,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod delta;
+pub mod faults;
 pub mod latency;
 pub mod names;
 pub mod profile;

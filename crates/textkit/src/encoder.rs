@@ -753,6 +753,23 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "no documents to remove")]
+    fn remove_document_from_empty_idf_panics() {
+        let mut idf = Idf::new(0x5e17);
+        idf.remove_document(&preprocess("never added"));
+    }
+
+    #[test]
+    #[should_panic(expected = "removed document was previously added")]
+    fn remove_never_added_document_panics() {
+        // A document is present, but the removed terms never were: the
+        // count underflow must be a loud panic, not silent corruption.
+        let mut idf = Idf::new(0x5e17);
+        idf.add_document(&preprocess("SQL injection in the login form"));
+        idf.remove_document(&preprocess("completely unrelated words"));
+    }
+
+    #[test]
     fn corpus_encoding_is_bit_identical_to_per_call_encoding() {
         let texts = [
             "SQL injection vulnerability in index.php allows remote attackers",

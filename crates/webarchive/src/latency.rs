@@ -104,8 +104,9 @@ impl Default for LatencyModel {
 /// Word-at-a-time multiply–xor over a byte string (the jitter hash). The
 /// scheduler samples every URL of a batch, so this runs eight bytes per
 /// multiply instead of byte-at-a-time FNV; any fixed mix works, as long as
-/// it is a pure function of the URL.
-fn jitter_hash(bytes: &[u8]) -> u64 {
+/// it is a pure function of the URL. The fault layer reuses it as the base
+/// of its per-attempt draws.
+pub(crate) fn jitter_hash(bytes: &[u8]) -> u64 {
     const K: u64 = 0x517c_c1b7_2722_0a95;
     let mut h = 0u64;
     let mut chunks = bytes.chunks_exact(8);

@@ -28,10 +28,17 @@
 //!   disclosure estimator dispatches on;
 //! * [`latency`] — deterministic virtual-time latency profiles per domain
 //!   (the corpus generator calibrates one model per seed);
+//! * [`faults`] — seeded fault injection: per-host fault modes (hard-down,
+//!   outage windows, transient failures) in a [`FaultPlan`], plus the
+//!   [`RetryPolicy`] (timeouts, bounded retries with exponential backoff +
+//!   URL-hashed jitter, per-host circuit breaker) the scheduler recovers
+//!   with — all pure functions of the seed, never of wall-clock time;
 //! * [`scheduler`] — the request/response crawl engine: per-domain
 //!   politeness queues, a bounded in-flight window, and a virtual-clock
 //!   completion order that is bit-identical at any `NVD_JOBS`, with page
-//!   fetch + date extraction fanned over the `minipar` pool.
+//!   fetch + date extraction fanned over the `minipar` pool; under a fault
+//!   plan the same guarantees extend to retries, timeouts and
+//!   circuit-open resolutions.
 //!
 //! ## Example
 //!
@@ -56,6 +63,7 @@ pub mod archive;
 pub mod crawler;
 pub mod dates;
 pub mod domains;
+pub mod faults;
 pub mod latency;
 pub mod page;
 pub mod scheduler;
@@ -64,8 +72,9 @@ pub use archive::{host_of_url, FetchError, Page, WebArchive};
 pub use crawler::CrawlerSet;
 pub use dates::DateStyle;
 pub use domains::{builtin_domains, domain_spec, DomainCategory, DomainSpec};
+pub use faults::{FaultMode, FaultPlan, RetryPolicy};
 pub use latency::{LatencyModel, LatencyProfile};
 pub use scheduler::{
-    schedule, CrawlCompletion, CrawlEngine, CrawlOutcome, CrawlResult, CrawlSchedule,
-    DEFAULT_WINDOW,
+    schedule, schedule_with_faults, CrawlCompletion, CrawlEngine, CrawlOutcome, CrawlResult,
+    CrawlSchedule, FaultSchedule, RequestFate, DEFAULT_WINDOW,
 };

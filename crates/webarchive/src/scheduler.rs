@@ -53,6 +53,7 @@ use crate::archive::{host_of_url, WebArchive};
 use crate::crawler::CrawlerSet;
 use crate::dates::find_labelled_date;
 use crate::domains::{domain_spec, DomainSpec};
+use crate::faults::{FaultMode, FaultPlan, RetryPolicy};
 use crate::latency::{LatencyModel, LatencyProfile};
 
 /// Default bound on concurrent in-flight requests across all hosts. Sized
@@ -296,6 +297,345 @@ fn windowed_schedule(
     completions
 }
 
+/// How a request under a fault plan ultimately resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFate {
+    /// The final attempt got a response; the replay decides what it says.
+    Delivered,
+    /// Every attempt timed out.
+    TimedOut,
+    /// Never dispatched: the host was abandoned with its circuit breaker
+    /// open, and the queued request resolved immediately.
+    CircuitOpen,
+}
+
+/// A fault-aware crawl plan: one final completion per request (the last
+/// attempt's window, or the abandonment tick for circuit-open requests),
+/// plus per-request attempt counts and fates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSchedule<'u> {
+    /// Final completions, ordered by `(finished_at, id)`.
+    pub completions: Vec<CrawlCompletion>,
+    /// Attempts dispatched per request id (0 for circuit-open requests).
+    pub attempts: Vec<u32>,
+    /// Final disposition per request id.
+    pub fates: Vec<RequestFate>,
+    /// Virtual tick the last request resolved at.
+    pub makespan: u64,
+    /// Distinct hosts the batch touches, in first-appearance order.
+    pub hosts: Vec<&'u str>,
+    /// Interned host id (index into [`Self::hosts`]) per request.
+    pub request_host: Vec<u32>,
+}
+
+/// Per-host retry/breaker state shared by both fault scheduling paths.
+#[derive(Clone)]
+struct FaultHostState {
+    prev_start: u64,
+    busy_until: u64,
+    dispatched: bool,
+    /// Consecutive failed attempts; carries across requests, reset by any
+    /// success.
+    consec: u32,
+    /// Set when the host was abandoned: every still-queued request
+    /// resolves [`RequestFate::CircuitOpen`] at this tick.
+    abandoned_at: Option<u64>,
+}
+
+impl FaultHostState {
+    fn new() -> Self {
+        Self {
+            prev_start: 0,
+            busy_until: 0,
+            dispatched: false,
+            consec: 0,
+            abandoned_at: None,
+        }
+    }
+}
+
+/// Computes the deterministic fault-aware completion order for a batch.
+///
+/// Identical politeness/window semantics to [`schedule`], with the fault
+/// layer on top: an attempt dispatched at tick `t` fails iff
+/// [`FaultPlan::attempt_fails`] says so; a failed attempt occupies its
+/// host (and window slot) for [`RetryPolicy::timeout_ticks`], then the
+/// request retries after exponential backoff + URL-hashed jitter, at the
+/// front of its host's politeness queue. A host whose consecutive-failure
+/// count reaches [`RetryPolicy::breaker_threshold`] is suspended for the
+/// breaker cooldown (the front request then probes; any success closes
+/// the breaker); if a request exhausts [`RetryPolicy::max_attempts`]
+/// while the breaker is tripped, the host is abandoned and its remaining
+/// queue resolves [`RequestFate::CircuitOpen`] on the spot — so hard-down
+/// hosts cost a bounded number of timeouts instead of timing out every
+/// request.
+///
+/// The whole schedule is a pure function of
+/// `(urls, model, window, plan, policy)` — bit-identical at any
+/// `NVD_JOBS`. Like [`schedule`], batches with `hosts <= window` take a
+/// per-host chain fast path; both paths produce the identical schedule on
+/// their shared domain (unit-tested).
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `policy.max_attempts == 0`.
+pub fn schedule_with_faults<'u>(
+    urls: &[&'u str],
+    model: &LatencyModel,
+    window: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> FaultSchedule<'u> {
+    assert!(window >= 1, "schedule: in-flight window must be at least 1");
+    assert!(
+        policy.max_attempts >= 1,
+        "schedule: retry policy needs at least one attempt"
+    );
+
+    let (hosts, request_host) = intern_hosts(urls);
+    let profiles: Vec<&LatencyProfile> = hosts.iter().map(|h| model.profile(h)).collect();
+    let modes: Vec<Option<FaultMode>> = hosts.iter().map(|h| plan.mode(h)).collect();
+
+    let (completions, attempts, fates) = if hosts.len() <= window {
+        chain_fault_schedule(urls, &request_host, &profiles, &modes, plan, policy)
+    } else {
+        windowed_fault_schedule(urls, &request_host, &profiles, &modes, plan, policy, window)
+    };
+    let makespan = completions.last().map_or(0, |c| c.finished_at);
+    FaultSchedule {
+        completions,
+        attempts,
+        fates,
+        makespan,
+        hosts,
+        request_host,
+    }
+}
+
+/// The fault-aware chain fast path: with `window >= hosts` the window
+/// never binds, so each host is an independent serial simulation of its
+/// FIFO — attempts, timeouts, backoffs and breaker state never interact
+/// across hosts.
+fn chain_fault_schedule(
+    urls: &[&str],
+    request_host: &[u32],
+    profiles: &[&LatencyProfile],
+    modes: &[Option<FaultMode>],
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (Vec<CrawlCompletion>, Vec<u32>, Vec<RequestFate>) {
+    let host_count = profiles.len();
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); host_count];
+    for (i, &h) in request_host.iter().enumerate() {
+        queues[h as usize].push(i);
+    }
+
+    let n = urls.len();
+    let mut completions = Vec::with_capacity(n);
+    let mut attempts_out = vec![0u32; n];
+    let mut fates = vec![RequestFate::Delivered; n];
+    for h in 0..host_count {
+        let p = profiles[h];
+        let mode = modes[h];
+        let mut st = FaultHostState::new();
+        for &req in &queues[h] {
+            if let Some(t) = st.abandoned_at {
+                fates[req] = RequestFate::CircuitOpen;
+                completions.push(CrawlCompletion {
+                    id: req,
+                    started_at: t,
+                    finished_at: t,
+                });
+                continue;
+            }
+            let url = urls[req];
+            let mut attempt = 0u32;
+            // Earliest-start floor carrying backoff and breaker cooldown.
+            let mut floor = 0u64;
+            loop {
+                attempt += 1;
+                let mut start = if st.dispatched {
+                    (st.prev_start + p.politeness_ticks).max(st.busy_until)
+                } else {
+                    0
+                };
+                start = start.max(floor);
+                st.dispatched = true;
+                let fails = mode.is_some_and(|m| plan.attempt_fails(m, url, attempt, start));
+                if !fails {
+                    let finish = start + p.sample(url);
+                    st.prev_start = start;
+                    st.busy_until = finish;
+                    st.consec = 0;
+                    attempts_out[req] = attempt;
+                    completions.push(CrawlCompletion {
+                        id: req,
+                        started_at: start,
+                        finished_at: finish,
+                    });
+                    break;
+                }
+                let finish = start + policy.timeout_ticks;
+                st.prev_start = start;
+                st.busy_until = finish;
+                st.consec += 1;
+                let tripped = policy.breaker_threshold > 0 && st.consec >= policy.breaker_threshold;
+                if attempt >= policy.max_attempts {
+                    attempts_out[req] = attempt;
+                    fates[req] = RequestFate::TimedOut;
+                    completions.push(CrawlCompletion {
+                        id: req,
+                        started_at: start,
+                        finished_at: finish,
+                    });
+                    if tripped {
+                        st.abandoned_at = Some(finish);
+                    }
+                    break;
+                }
+                floor = finish + policy.backoff_ticks(url, attempt);
+                if tripped {
+                    floor = floor.max(finish + policy.breaker_cooldown_ticks);
+                }
+            }
+        }
+    }
+    completions.sort_unstable_by_key(|c| (c.finished_at, c.id));
+    (completions, attempts_out, fates)
+}
+
+/// The fault-aware event loop, for batches fanning over more hosts than
+/// the window admits. Same event structure as [`windowed_schedule`], with
+/// failed attempts re-queued at their host's front after backoff and
+/// abandoned hosts drained at the trip tick.
+#[allow(clippy::too_many_arguments)]
+fn windowed_fault_schedule(
+    urls: &[&str],
+    request_host: &[u32],
+    profiles: &[&LatencyProfile],
+    modes: &[Option<FaultMode>],
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    window: usize,
+) -> (Vec<CrawlCompletion>, Vec<u32>, Vec<RequestFate>) {
+    let host_count = profiles.len();
+    let n = urls.len();
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); host_count];
+    for (i, &h) in request_host.iter().enumerate() {
+        queues[h as usize].push_back(i);
+    }
+
+    let mut ready: BTreeSet<(u64, usize)> = (0..host_count).map(|h| (0u64, h)).collect();
+    let mut next_allowed = vec![0u64; host_count];
+    let mut consec = vec![0u32; host_count];
+    let mut in_flight: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut started = vec![0u64; n];
+    let mut attempts = vec![0u32; n];
+    let mut attempt_failed = vec![false; n];
+    let mut fates = vec![RequestFate::Delivered; n];
+    let mut completions = Vec::with_capacity(n);
+    let mut clock = 0u64;
+
+    loop {
+        while in_flight.len() < window {
+            let Some(&(t, h)) = ready.iter().next() else {
+                break;
+            };
+            if t > clock {
+                break;
+            }
+            ready.remove(&(t, h));
+            let req = queues[h].pop_front().expect("ready hosts have work");
+            attempts[req] += 1;
+            let fails =
+                modes[h].is_some_and(|m| plan.attempt_fails(m, urls[req], attempts[req], clock));
+            let finish = clock
+                + if fails {
+                    policy.timeout_ticks
+                } else {
+                    profiles[h].sample(urls[req])
+                };
+            started[req] = clock;
+            attempt_failed[req] = fails;
+            in_flight.push(Reverse((finish, req)));
+            next_allowed[h] = clock + profiles[h].politeness_ticks;
+        }
+
+        let Some(&Reverse((next_finish, _))) = in_flight.peek() else {
+            match ready.iter().next() {
+                Some(&(t, _)) => {
+                    clock = t;
+                    continue;
+                }
+                None => break,
+            }
+        };
+
+        if in_flight.len() < window {
+            if let Some(&(t, _)) = ready.iter().next() {
+                if t < next_finish {
+                    clock = t;
+                    continue;
+                }
+            }
+        }
+
+        let Reverse((finish, req)) = in_flight.pop().expect("peeked non-empty");
+        clock = finish;
+        let h = request_host[req] as usize;
+        if !attempt_failed[req] {
+            consec[h] = 0;
+            completions.push(CrawlCompletion {
+                id: req,
+                started_at: started[req],
+                finished_at: finish,
+            });
+            if !queues[h].is_empty() {
+                ready.insert((next_allowed[h].max(clock), h));
+            }
+            continue;
+        }
+        consec[h] += 1;
+        let tripped = policy.breaker_threshold > 0 && consec[h] >= policy.breaker_threshold;
+        if attempts[req] >= policy.max_attempts {
+            fates[req] = RequestFate::TimedOut;
+            completions.push(CrawlCompletion {
+                id: req,
+                started_at: started[req],
+                finished_at: finish,
+            });
+            if tripped {
+                // Abandon the host: drain its queue as circuit-open, in
+                // FIFO (= ascending id) order at the trip tick.
+                while let Some(q) = queues[h].pop_front() {
+                    fates[q] = RequestFate::CircuitOpen;
+                    completions.push(CrawlCompletion {
+                        id: q,
+                        started_at: clock,
+                        finished_at: clock,
+                    });
+                }
+            } else if !queues[h].is_empty() {
+                ready.insert((next_allowed[h].max(clock), h));
+            }
+        } else {
+            // Retry in place: the failed request goes back to the front,
+            // eligible after politeness, backoff and (if tripped) the
+            // breaker cooldown.
+            queues[h].push_front(req);
+            let mut at =
+                next_allowed[h].max(clock + policy.backoff_ticks(urls[req], attempts[req]));
+            if tripped {
+                at = at.max(clock + policy.breaker_cooldown_ticks);
+            }
+            ready.insert((at, h));
+        }
+    }
+
+    completions.sort_unstable_by_key(|c| (c.finished_at, c.id));
+    (completions, attempts, fates)
+}
+
 /// What one scheduled fetch produced. Failure arms carry no payload — the
 /// caller still holds the URL by id — so failure-heavy batches (the paper's
 /// 14 dead domains) allocate nothing.
@@ -305,6 +645,12 @@ pub enum CrawlResult {
     Fetched(Option<Date>),
     /// The host does not respond (registry-dead or `mark_dead`).
     HostUnreachable,
+    /// Every attempt timed out under the active fault plan (only produced
+    /// by fault-aware crawls).
+    TimedOut,
+    /// The request resolved without dispatch because its host's circuit
+    /// breaker was open (only produced by fault-aware crawls).
+    CircuitOpen,
     /// The host answers but has no page at this URL.
     NotFound,
 }
@@ -334,16 +680,18 @@ pub struct CrawlEngine<'a> {
     archive: &'a WebArchive,
     crawlers: &'a CrawlerSet,
     window: usize,
+    faults: Option<(&'a FaultPlan, RetryPolicy)>,
 }
 
 impl<'a> CrawlEngine<'a> {
     /// An engine over the archive with the given crawler set and the
-    /// default in-flight window.
+    /// default in-flight window. No fault plan: the plain schedule runs.
     pub fn new(archive: &'a WebArchive, crawlers: &'a CrawlerSet) -> Self {
         Self {
             archive,
             crawlers,
             window: DEFAULT_WINDOW,
+            faults: None,
         }
     }
 
@@ -358,20 +706,56 @@ impl<'a> CrawlEngine<'a> {
         self
     }
 
-    /// The crawl plan for a batch, without touching page bodies.
+    /// Attaches a fault plan and retry policy: crawls then run the
+    /// fault-aware schedule, and requests on faulty hosts can resolve
+    /// [`CrawlResult::TimedOut`] or [`CrawlResult::CircuitOpen`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_attempts == 0`.
+    pub fn with_faults(mut self, plan: &'a FaultPlan, policy: RetryPolicy) -> Self {
+        assert!(
+            policy.max_attempts >= 1,
+            "CrawlEngine: retry policy needs at least one attempt"
+        );
+        self.faults = Some((plan, policy));
+        self
+    }
+
+    /// The crawl plan for a batch, without touching page bodies. Ignores
+    /// any attached fault plan; see [`CrawlEngine::schedule_with_faults`].
     pub fn schedule<'u>(&self, urls: &[&'u str]) -> CrawlSchedule<'u> {
         schedule(urls, self.archive.latency(), self.window)
+    }
+
+    /// The fault-aware crawl plan for a batch, using the attached fault
+    /// plan and retry policy (an empty plan and the default policy if none
+    /// was attached).
+    pub fn schedule_with_faults<'u>(&self, urls: &[&'u str]) -> FaultSchedule<'u> {
+        static EMPTY: std::sync::OnceLock<FaultPlan> = std::sync::OnceLock::new();
+        let (plan, policy) = match self.faults {
+            Some((plan, policy)) => (plan, policy),
+            None => (
+                EMPTY.get_or_init(|| FaultPlan::new(0)),
+                RetryPolicy::default(),
+            ),
+        };
+        schedule_with_faults(urls, self.archive.latency(), self.window, plan, &policy)
     }
 
     /// Crawls a batch of URLs: computes the deterministic schedule, then
     /// fetches and extracts each completion on the `minipar` pool.
     ///
     /// Outcomes are returned in virtual completion order — a pure function
-    /// of the batch and the archive's latency model, so results are
+    /// of the batch and the archive's latency model (and, when a fault
+    /// plan is attached, of the plan and policy), so results are
     /// bit-identical at any `NVD_JOBS` setting. Liveness and crawler
     /// dispatch are resolved once per *host*; pages on dead hosts are never
     /// looked up.
     pub fn crawl(&self, urls: &[&str]) -> Vec<CrawlOutcome> {
+        if let Some((plan, policy)) = self.faults {
+            return self.crawl_with_faults(urls, plan, &policy);
+        }
         let plan = self.schedule(urls);
         let results = self.replay(urls, &plan.request_host, &self.resolve_hosts(&plan.hosts));
         plan.completions
@@ -380,6 +764,32 @@ impl<'a> CrawlEngine<'a> {
                 id: c.id,
                 finished_at: c.finished_at,
                 result: results[c.id],
+            })
+            .collect()
+    }
+
+    /// The fault path of [`CrawlEngine::crawl`]: run the fault-aware
+    /// schedule, replay only what the fates say was delivered, and map
+    /// timed-out / circuit-open requests to their failure results.
+    fn crawl_with_faults(
+        &self,
+        urls: &[&str],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Vec<CrawlOutcome> {
+        let sched = schedule_with_faults(urls, self.archive.latency(), self.window, plan, policy);
+        let results = self.replay(urls, &sched.request_host, &self.resolve_hosts(&sched.hosts));
+        sched
+            .completions
+            .iter()
+            .map(|c| CrawlOutcome {
+                id: c.id,
+                finished_at: c.finished_at,
+                result: match sched.fates[c.id] {
+                    RequestFate::Delivered => results[c.id],
+                    RequestFate::TimedOut => CrawlResult::TimedOut,
+                    RequestFate::CircuitOpen => CrawlResult::CircuitOpen,
+                },
             })
             .collect()
     }
@@ -397,7 +807,19 @@ impl<'a> CrawlEngine<'a> {
     /// replay. Callers that consume the completion *stream* use
     /// [`CrawlEngine::crawl`]; the two agree result-for-result
     /// (unit-tested).
+    ///
+    /// With a fault plan attached the elision no longer applies — whether
+    /// an attempt fails can depend on its dispatch tick (outage windows) —
+    /// so this path runs the full fault schedule and scatters the
+    /// completion-ordered outcomes back to request-id order.
     pub fn crawl_results(&self, urls: &[&str]) -> Vec<CrawlResult> {
+        if self.faults.is_some() {
+            let mut results = vec![CrawlResult::NotFound; urls.len()];
+            for outcome in self.crawl(urls) {
+                results[outcome.id] = outcome.result;
+            }
+            return results;
+        }
         let (hosts, request_host) = intern_hosts(urls);
         self.replay(urls, &request_host, &self.resolve_hosts(&hosts))
     }
@@ -632,6 +1054,185 @@ mod tests {
         for outcome in engine.crawl(&urls) {
             assert_eq!(results[outcome.id], outcome.result);
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_schedule() {
+        let urls: Vec<String> = (0..50)
+            .map(|i| format!("https://host{}.example/p{}", i % 6, i))
+            .collect();
+        let refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let m = LatencyModel::uniform(LatencyProfile::new(1_000, 4_000, 700));
+        let plain = schedule(&refs, &m, 4);
+        let faulty =
+            schedule_with_faults(&refs, &m, 4, &FaultPlan::new(7), &RetryPolicy::default());
+        assert_eq!(plain.completions, faulty.completions);
+        assert_eq!(plain.makespan, faulty.makespan);
+        assert!(faulty.attempts.iter().all(|&a| a == 1));
+        assert!(faulty.fates.iter().all(|&f| f == RequestFate::Delivered));
+    }
+
+    #[test]
+    fn fault_chain_fast_path_equals_event_loop() {
+        // Window == hosts so the fast path runs; rerun the event loop
+        // directly and demand the identical schedule, attempts and fates
+        // under a mixed fault plan.
+        let urls: Vec<String> = (0..48)
+            .map(|i| format!("https://host{}.example/page/{i}", i % 6))
+            .collect();
+        let refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let mut m = LatencyModel::uniform(LatencyProfile::new(1_000, 7_777, 900));
+        m.set("host2.example", LatencyProfile::new(50_000, 0, 10));
+        let mut plan = FaultPlan::new(99);
+        plan.set("host0.example", FaultMode::HardDown);
+        plan.set(
+            "host1.example",
+            FaultMode::Outage {
+                from: 0,
+                until: 400_000,
+            },
+        );
+        plan.set("host2.example", FaultMode::Transient { per_mille: 350 });
+        let policy = RetryPolicy {
+            timeout_ticks: 30_000,
+            backoff_base_ticks: 8_000,
+            breaker_cooldown_ticks: 100_000,
+            ..RetryPolicy::default()
+        };
+        let fast = schedule_with_faults(&refs, &m, 6, &plan, &policy);
+        let profiles: Vec<&LatencyProfile> = fast.hosts.iter().map(|h| m.profile(h)).collect();
+        let modes: Vec<Option<FaultMode>> = fast.hosts.iter().map(|h| plan.mode(h)).collect();
+        let looped = windowed_fault_schedule(
+            &refs,
+            &fast.request_host,
+            &profiles,
+            &modes,
+            &plan,
+            &policy,
+            6,
+        );
+        assert_eq!(fast.completions, looped.0, "fault fast path diverged");
+        assert_eq!(fast.attempts, looped.1, "attempt counts diverged");
+        assert_eq!(fast.fates, looped.2, "fates diverged");
+    }
+
+    #[test]
+    fn hard_down_host_trips_breaker_and_abandons_queue() {
+        let urls: Vec<String> = (0..10)
+            .map(|i| format!("https://down.example/p{i}"))
+            .collect();
+        let refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let mut plan = FaultPlan::new(1);
+        plan.set("down.example", FaultMode::HardDown);
+        let policy = RetryPolicy::default(); // threshold 4, max_attempts 3
+        let sched = schedule_with_faults(&refs, &model(100, 0), 8, &plan, &policy);
+        // Request 0 times out after 3 attempts (3 consecutive failures),
+        // request 1's second attempt is the 5th consecutive failure — the
+        // breaker trips mid-request — and exhausting it abandons the host.
+        assert_eq!(sched.fates[0], RequestFate::TimedOut);
+        assert_eq!(sched.attempts[0], 3);
+        assert_eq!(sched.fates[1], RequestFate::TimedOut);
+        for i in 2..10 {
+            assert_eq!(sched.fates[i], RequestFate::CircuitOpen, "request {i}");
+            assert_eq!(sched.attempts[i], 0, "request {i} should never dispatch");
+        }
+        // Bounded cost: 6 timeouts total, not 30.
+        let dispatched: u32 = sched.attempts.iter().sum();
+        assert_eq!(dispatched, 6);
+    }
+
+    #[test]
+    fn outage_host_recovers_with_retries() {
+        let urls = ["https://flaky.example/a", "https://flaky.example/b"];
+        let mut plan = FaultPlan::new(1);
+        // Down until tick 200_000: the first attempts time out, the backed
+        // off retries land after the outage and succeed.
+        plan.set(
+            "flaky.example",
+            FaultMode::Outage {
+                from: 0,
+                until: 200_000,
+            },
+        );
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            timeout_ticks: 90_000,
+            backoff_base_ticks: 30_000,
+            backoff_jitter_ticks: 0,
+            breaker_threshold: 0,
+            breaker_cooldown_ticks: 0,
+        };
+        let sched = schedule_with_faults(&urls, &model(1_000, 0), 8, &plan, &policy);
+        assert!(
+            sched.fates.iter().all(|&f| f == RequestFate::Delivered),
+            "outage should be survivable: {:?}",
+            sched.fates
+        );
+        assert!(sched.attempts[0] > 1, "first request must have retried");
+        // Both final attempts started after the outage ended.
+        let mut by_id = sched.completions.clone();
+        by_id.sort_unstable_by_key(|c| c.id);
+        for c in &by_id {
+            assert!(c.started_at >= 200_000, "dispatched inside the outage");
+        }
+    }
+
+    #[test]
+    fn engine_with_empty_plan_matches_plain_crawl() {
+        use nvd_model::prelude::Date;
+        let mut archive = WebArchive::new();
+        let d: Date = "2015-03-01".parse().unwrap();
+        let mut urls = Vec::new();
+        for i in 0..24 {
+            let host = ["seclists.org", "www.debian.org", "osvdb.org"][i % 3];
+            urls.push(archive.publish(host, "CVE-2015-0001", d, i as u32).unwrap());
+        }
+        let refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let crawlers = CrawlerSet::builtin();
+        let plain = CrawlEngine::new(&archive, &crawlers);
+        let plan = FaultPlan::new(3);
+        let faulty =
+            CrawlEngine::new(&archive, &crawlers).with_faults(&plan, RetryPolicy::default());
+        assert_eq!(plain.crawl(&refs), faulty.crawl(&refs));
+        assert_eq!(plain.crawl_results(&refs), faulty.crawl_results(&refs));
+    }
+
+    #[test]
+    fn faulty_engine_is_bit_identical_across_job_counts() {
+        use nvd_model::prelude::Date;
+        let mut archive = WebArchive::new();
+        let d: Date = "2017-06-01".parse().unwrap();
+        let mut urls = Vec::new();
+        for i in 0..40 {
+            let host = ["seclists.org", "www.debian.org", "marc.info", "osvdb.org"][i % 4];
+            urls.push(archive.publish(host, "CVE-2017-0001", d, i as u32).unwrap());
+        }
+        let refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let crawlers = CrawlerSet::builtin();
+        let mut plan = FaultPlan::new(0xfa17);
+        plan.set("seclists.org", FaultMode::Transient { per_mille: 400 });
+        plan.set("marc.info", FaultMode::HardDown);
+        plan.set(
+            "www.debian.org",
+            FaultMode::Outage {
+                from: 10_000,
+                until: 500_000,
+            },
+        );
+        let engine = CrawlEngine::new(&archive, &crawlers)
+            .with_window(3)
+            .with_faults(&plan, RetryPolicy::default());
+        let serial = minipar::with_jobs(1, || engine.crawl(&refs));
+        let wide = minipar::with_jobs(4, || engine.crawl(&refs));
+        assert_eq!(serial, wide, "fault crawl diverged across job counts");
+        let results = engine.crawl_results(&refs);
+        for outcome in &serial {
+            assert_eq!(results[outcome.id], outcome.result);
+        }
+        assert!(
+            serial.iter().any(|o| o.result == CrawlResult::TimedOut),
+            "hard-down host should time out"
+        );
     }
 
     #[test]
