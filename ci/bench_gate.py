@@ -95,6 +95,17 @@ MANIFEST = {
             ("best_ns", "p99_ns"),
         ),
     ],
+    "BENCH_quality.json": [
+        # Quality assessment must be near-free: assembling the per-CVE
+        # issue ledger during a clean may cost at most 10% over the
+        # NullSink silent path, on the best observation and at p99.
+        (
+            "quality_clean/ledger/jobs_1",
+            "quality_clean/silent",
+            ("best_ns", "p99_ns"),
+            1.10,
+        ),
+    ],
 }
 
 DEFAULT_METRICS = ("best_ns",)

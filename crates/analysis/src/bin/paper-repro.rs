@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p nvd-analysis --bin paper-repro -- \
-//!     [--scale 0.1] [--seed 42] [--profile fast|paper] [--experiments-md PATH]
+//!     [--scale 0.1] [--seed 42] [--profile fast|paper] [--experiments-md PATH] \
+//!     [--quality-md PATH]
 //! ```
 //!
 //! The case studies are independent given the cleaned database, so their
@@ -16,8 +17,8 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use nvd_analysis::{
-    disclosure_study, model_study, pca_study, severity_study, types_study, vendor_study,
-    Experiments,
+    disclosure_study, model_study, pca_study, quality_study, severity_study, types_study,
+    vendor_study, Experiments,
 };
 use nvd_clean::severity::TrainProfile;
 use nvd_model::prelude::Severity;
@@ -27,6 +28,7 @@ struct Args {
     seed: u64,
     profile: TrainProfile,
     experiments_md: Option<String>,
+    quality_md: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         seed: 42,
         profile: TrainProfile::Fast,
         experiments_md: None,
+        quality_md: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -53,10 +56,11 @@ fn parse_args() -> Args {
                 }
             }
             "--experiments-md" => args.experiments_md = Some(value()),
+            "--quality-md" => args.quality_md = Some(value()),
             "--help" | "-h" => {
                 println!(
                     "usage: paper-repro [--scale F] [--seed N] [--profile fast|paper] \
-                     [--experiments-md PATH]"
+                     [--experiments-md PATH] [--quality-md PATH]"
                 );
                 std::process::exit(0);
             }
@@ -379,6 +383,12 @@ fn sections<'a>(exps: &'a Experiments) -> Vec<Section<'a>> {
         }),
     ));
 
+    // --- quality ledger -------------------------------------------------
+    out.push((
+        "Quality ledger — typed per-CVE issue assessment (detector first, fixer second)".into(),
+        Box::new(move || Some(quality_study::render_quality_summary(exps))),
+    ));
+
     // --- §4.4 k-NN type classifier -------------------------------------------
     out.push((
         "§4.4 — description k-NN type classifier (paper: 65.60% over 151 classes)".into(),
@@ -440,6 +450,11 @@ fn main() {
 
     if let Some(path) = args.experiments_md {
         std::fs::write(&path, md).expect("write experiments file");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.quality_md {
+        let report = quality_study::render_quality_md(&exps, args.scale, args.seed);
+        std::fs::write(&path, report).expect("write quality report");
         eprintln!("wrote {path}");
     }
 }

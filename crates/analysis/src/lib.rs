@@ -13,7 +13,9 @@
 //! * [`severity_study`] — Table 9 and Fig. 3 (distributions);
 //! * [`types_study`] — Table 10 (top types by severity);
 //! * [`vendor_study`] — Tables 3, 11, 12, 16 (names);
-//! * [`pca_study`] — Fig. 5 (feature-space structure).
+//! * [`pca_study`] — Fig. 5 (feature-space structure);
+//! * [`quality_study`] — the typed quality ledger (issue counts, corpus
+//!   scores, decile histograms) behind `paper-repro --quality-md`.
 //!
 //! The `paper-repro` binary prints every table and figure in paper order.
 //!
@@ -35,6 +37,7 @@
 pub mod disclosure_study;
 pub mod model_study;
 pub mod pca_study;
+pub mod quality_study;
 pub mod render;
 pub mod severity_study;
 pub mod types_study;
@@ -45,6 +48,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use nvd_clean::cleaner::{CleanOptions, CleanReport, Cleaner};
 use nvd_clean::names::OracleVerifier;
+use nvd_clean::quality::QualityLedger;
 use nvd_clean::severity::{BackportOptions, TrainProfile};
 use nvd_model::prelude::Database;
 use nvd_synth::{generate, SynthConfig, SynthCorpus};
@@ -59,6 +63,8 @@ pub struct Experiments {
     pub cleaned: Database,
     /// The pipeline's findings.
     pub report: CleanReport,
+    /// The typed per-CVE quality ledger the stage-detectors emitted.
+    pub ledger: QualityLedger,
 }
 
 impl Experiments {
@@ -75,11 +81,12 @@ impl Experiments {
             ..CleanOptions::default()
         });
         let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-        let (cleaned, report) = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+        let out = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
         Self {
             corpus,
-            cleaned,
-            report,
+            cleaned: out.database,
+            report: out.report,
+            ledger: out.ledger,
         }
     }
 

@@ -111,15 +111,15 @@ fn ingest_recover(c: &mut Criterion) {
         "target feed quarantined nothing"
     );
     let raw_after = admitted_state.database().clone();
-    let (batch_db, batch_report) = cleaner.clean(&raw_after, archive, &oracle);
+    let batch = cleaner.clean(&raw_after, archive, &oracle);
     assert_eq!(
-        outcome.cleaned.as_slice(),
-        batch_db.as_slice(),
+        outcome.outcome.database.as_slice(),
+        batch.database.as_slice(),
         "quarantine ingest diverged from the batch pipeline"
     );
     assert_eq!(
-        format!("{:?}", outcome.report),
-        format!("{batch_report:?}"),
+        format!("{:?}", outcome.outcome.report),
+        format!("{:?}", batch.report),
         "quarantine ingest report diverged from the batch pipeline"
     );
 

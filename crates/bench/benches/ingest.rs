@@ -58,17 +58,21 @@ fn ingest_delta(c: &mut Criterion) {
     // Parity gate: applying the last delta must equal batch-cleaning the
     // final corpus, entry for entry and report field for report field.
     let final_db = stream.final_database();
-    let (inc_db, inc_report) = warmed.clone().apply_delta(&last_entries, archive, &oracle);
-    let (batch_db, batch_report) = cleaner.clean(&final_db, archive, &oracle);
+    let inc = warmed.clone().apply_delta(&last_entries, archive, &oracle);
+    let batch = cleaner.clean(&final_db, archive, &oracle);
     assert_eq!(
-        inc_db.as_slice(),
-        batch_db.as_slice(),
+        inc.database.as_slice(),
+        batch.database.as_slice(),
         "incremental replay diverged from the batch pipeline"
     );
     assert_eq!(
-        format!("{inc_report:?}"),
-        format!("{batch_report:?}"),
+        format!("{:?}", inc.report),
+        format!("{:?}", batch.report),
         "incremental report diverged from the batch pipeline"
+    );
+    assert_eq!(
+        inc.ledger, batch.ledger,
+        "incremental quality ledger diverged from the batch pipeline"
     );
 
     // 100 samples so the nearest-rank p99 is a real percentile rather than

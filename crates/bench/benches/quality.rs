@@ -1,0 +1,103 @@
+//! Quality-ledger benches: what the typed issue-assessment layer costs on
+//! top of the silent cleaning pipeline.
+//!
+//! Run with `BENCH_JSON=BENCH_quality.json cargo bench -p nvd-bench
+//! --bench quality` to emit the artifact CI uploads. The gated question:
+//! assembling the per-CVE [`QualityLedger`] during `Cleaner::clean` —
+//! every detector pass plus evidence formatting — must stay within 10% of
+//! [`Cleaner::clean_into`] with the [`NullSink`] (the silent path, which
+//! skips assessment entirely), on the best observation *and* at the p99
+//! tail. Parity is asserted before timing: both paths must produce the
+//! identical database and report, and the ledger must be bit-identical
+//! across job counts.
+//!
+//! [`QualityLedger`]: nvd_clean::QualityLedger
+//! [`NullSink`]: nvd_clean::NullSink
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvd_bench::BENCH_SEED;
+use nvd_clean::cleaner::{CleanOptions, Cleaner};
+use nvd_clean::names::OracleVerifier;
+use nvd_clean::NullSink;
+use nvd_synth::{generate, SynthConfig};
+
+/// Same scale as the ingest benches: every sample re-runs the whole
+/// pipeline, so the corpus stays modest.
+const QUALITY_SCALE: f64 = 0.01;
+
+fn options() -> CleanOptions {
+    // Backport off: its stratified training pass dominates wall-clock and
+    // is identical on both sides, which would only dilute the measured
+    // ledger overhead.
+    CleanOptions {
+        run_backport: false,
+        ..CleanOptions::default()
+    }
+}
+
+fn quality_overhead(c: &mut Criterion) {
+    let corpus = generate(&SynthConfig::with_scale(QUALITY_SCALE, BENCH_SEED));
+    let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+    let archive = &corpus.archive;
+    let cleaner = Cleaner::new(options());
+
+    // Parity gates before timing: the ledger path must not perturb the
+    // pipeline output, and the ledger itself must be job-count-invariant.
+    let ledgered = minipar::with_jobs(1, || cleaner.clean(&corpus.database, archive, &oracle));
+    let (silent_db, silent_report) = minipar::with_jobs(1, || {
+        cleaner.clean_into(&corpus.database, archive, &oracle, &mut NullSink)
+    });
+    assert_eq!(
+        ledgered.database.as_slice(),
+        silent_db.as_slice(),
+        "ledger emission changed the cleaned database"
+    );
+    assert_eq!(
+        format!("{:?}", ledgered.report),
+        format!("{silent_report:?}"),
+        "ledger emission changed the report"
+    );
+    assert!(
+        !ledgered.ledger.is_empty(),
+        "the degraded corpus must surface quality issues"
+    );
+    let wide = minipar::with_jobs(4, || cleaner.clean(&corpus.database, archive, &oracle));
+    assert_eq!(
+        ledgered.ledger, wide.ledger,
+        "quality ledger diverged across job counts"
+    );
+
+    // 100 samples so the nearest-rank p99 is a real percentile — the 10%
+    // overhead gate compares tails, not just bests.
+    let mut group = c.benchmark_group("quality_clean");
+    group.sample_size(100);
+    group.bench_function("ledger/jobs_1", |b| {
+        b.iter(|| {
+            minipar::with_jobs(1, || {
+                cleaner.clean(black_box(&corpus.database), archive, &oracle)
+            })
+        })
+    });
+    group.bench_function("ledger/jobs_4", |b| {
+        b.iter(|| {
+            minipar::with_jobs(4, || {
+                cleaner.clean(black_box(&corpus.database), archive, &oracle)
+            })
+        })
+    });
+    group.bench_function("silent", |b| {
+        b.iter(|| {
+            minipar::with_jobs(1, || {
+                cleaner.clean_into(black_box(&corpus.database), archive, &oracle, &mut NullSink)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = quality_overhead
+);
+criterion_main!(benches);

@@ -2,8 +2,9 @@
 //!
 //! Runs the paper's four rectifications in order — disclosure dates (§4.1),
 //! vendor/product names (§4.2), severity backport (§4.3), CWE mining
-//! (§4.4) — producing a rectified [`Database`] plus a [`CleanReport`] with
-//! everything the case studies (§5) need.
+//! (§4.4) — producing a [`CleanOutcome`]: the rectified [`Database`], a
+//! [`CleanReport`] with everything the case studies (§5) need, and the
+//! per-CVE [`QualityLedger`] each stage emits its typed findings into.
 
 use std::collections::BTreeMap;
 
@@ -13,10 +14,12 @@ use webarchive::{CrawlerSet, WebArchive};
 
 use crate::cwe_fix::{rectify_cwe, CweFixOutcome};
 use crate::disclosure::{AggregationRule, DisclosureEstimate, DisclosureEstimator};
+use crate::incremental::QuarantineLedger;
 use crate::names::{
     find_product_candidates, find_vendor_candidates, ApplyStats, NameMapping, PatternBreakdown,
     ProductCandidate, ProductHeuristic, Verifier,
 };
+use crate::quality::{emit_issues, QualityLedger, QualitySink};
 use crate::severity::{backport_v3, BackportOptions, BackportOutcome};
 
 /// Pipeline configuration.
@@ -91,6 +94,22 @@ pub struct CleanReport {
     pub cwe: CweFixOutcome,
 }
 
+/// Everything one cleaning pass produced: the rectified database, the
+/// report over it, and the per-CVE quality ledger the stage-detectors
+/// emitted. Returned by both [`Cleaner::clean`] and
+/// [`crate::incremental::CleanState::apply_delta`], replacing the loose
+/// `(Database, CleanReport)` tuples the two paths used to drift between.
+#[derive(Debug, Clone)]
+pub struct CleanOutcome {
+    /// The rectified database.
+    pub database: Database,
+    /// The clean report (§4.1–§4.4 numbers).
+    pub report: CleanReport,
+    /// The typed per-CVE issue ledger — bit-identical at any `NVD_JOBS`
+    /// and across the batch and incremental paths.
+    pub ledger: QualityLedger,
+}
+
 impl CleanReport {
     /// Estimated disclosure date of a CVE, if the pipeline produced one.
     pub fn estimated_disclosure(&self, id: &CveId) -> Option<Date> {
@@ -130,19 +149,41 @@ impl Cleaner {
         Self { options }
     }
 
-    /// Runs all four rectifications, returning the cleaned database and the
-    /// report. The input database is not modified.
+    /// Runs all four rectifications, returning the cleaned database, the
+    /// report, and the assembled quality ledger. The input database is not
+    /// modified.
     ///
     /// `verifier` stands in for the paper's manual pair vetting; it must be
     /// `Sync` because the per-CVE stages (disclosure estimation, the §4.2
     /// candidate sweeps and their verification, severity feature
-    /// extraction) fan out over the `minipar` pool. Output is bit-identical
-    /// at any `NVD_JOBS` setting.
+    /// extraction) fan out over the `minipar` pool. Output — the ledger
+    /// included — is bit-identical at any `NVD_JOBS` setting.
     pub fn clean<V: Verifier + Sync>(
         &self,
         db: &Database,
         archive: &WebArchive,
         verifier: &V,
+    ) -> CleanOutcome {
+        let mut ledger = QualityLedger::default();
+        let (database, report) = self.clean_into(db, archive, verifier, &mut ledger);
+        CleanOutcome {
+            database,
+            report,
+            ledger,
+        }
+    }
+
+    /// [`Cleaner::clean`] with a pluggable issue sink: the pipeline runs
+    /// identically, then the stage-detectors emit into `sink` — or skip
+    /// all assessment work when the sink is disabled
+    /// ([`crate::quality::NullSink`], the silent path the overhead bench
+    /// baselines against).
+    pub fn clean_into<V: Verifier + Sync, S: QualitySink>(
+        &self,
+        db: &Database,
+        archive: &WebArchive,
+        verifier: &V,
+        sink: &mut S,
     ) -> (Database, CleanReport) {
         let mut cleaned = db.clone();
 
@@ -208,15 +249,16 @@ impl Cleaner {
             None
         };
 
-        (
-            cleaned,
-            CleanReport {
-                disclosure,
-                names,
-                severity,
-                cwe,
-            },
-        )
+        let report = CleanReport {
+            disclosure,
+            names,
+            severity,
+            cwe,
+        };
+        // Quality assessment: every stage re-read as a detector, emitting
+        // typed issues serially (batch cleaning has no quarantine path).
+        emit_issues(&cleaned, &report, &QuarantineLedger::default(), sink);
+        (cleaned, report)
     }
 }
 
@@ -230,8 +272,8 @@ mod tests {
         let corpus = generate(&SynthConfig::with_scale(0.02, 41));
         let cleaner = Cleaner::default();
         let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-        let (db, report) = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
-        (corpus, db, report)
+        let out = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+        (corpus, out.database, out.report)
     }
 
     #[test]
@@ -310,6 +352,40 @@ mod tests {
             "some CWE fixes expected"
         );
         assert!(report.cwe.stats.fixed_other >= report.cwe.stats.fixed_missing);
+    }
+
+    #[test]
+    fn ledger_matches_the_report_and_the_silent_path() {
+        use crate::quality::{IssueKind, NullSink, QualityLedger};
+        let corpus = generate(&SynthConfig::with_scale(0.01, 41));
+        let cleaner = Cleaner::default();
+        let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+        let out = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+
+        // Re-assembling from the report reproduces the ledger exactly, and
+        // the NullSink path returns an identical database + report.
+        let reassembled = QualityLedger::assemble(
+            &out.database,
+            &out.report,
+            &crate::incremental::QuarantineLedger::default(),
+        );
+        assert_eq!(out.ledger, reassembled);
+        let mut sink = NullSink;
+        let (silent_db, silent_report) =
+            cleaner.clean_into(&corpus.database, &corpus.archive, &oracle, &mut sink);
+        assert_eq!(out.database.as_slice(), silent_db.as_slice());
+        assert_eq!(format!("{:?}", out.report), format!("{silent_report:?}"));
+
+        // Every auto-fix the report records shows up as ledger issues.
+        let quality = out.ledger.corpus_quality(&out.database);
+        let vendor_fixes = out.report.names.apply_stats.cves_with_vendor_fixes.len();
+        assert_eq!(
+            quality.by_kind.get(&IssueKind::VendorAlias).copied(),
+            (vendor_fixes > 0).then_some(vendor_fixes)
+        );
+        assert!(quality.auto_fixed > 0);
+        assert!(quality.needs_review > 0);
+        assert!(quality.mean(crate::quality::ScoreAxis::Overall) < 100.0);
     }
 
     #[test]

@@ -63,8 +63,8 @@
 //! let base: Vec<_> = stream.base.iter().cloned().collect();
 //! state.apply_delta(&base, &stream.corpus.archive, &oracle);
 //! for feed in &stream.feeds {
-//!     let (cleaned, report) = state.apply_delta(&feed.entries(), &stream.corpus.archive, &oracle);
-//!     assert_eq!(cleaned.len(), report.disclosure.len());
+//!     let out = state.apply_delta(&feed.entries(), &stream.corpus.archive, &oracle);
+//!     assert_eq!(out.database.len(), out.report.disclosure.len());
 //! }
 //! ```
 
@@ -77,7 +77,7 @@ use nvd_model::prelude::{CveId, Database, ProductName, VendorName};
 use textkit::{preprocess, Idf};
 use webarchive::WebArchive;
 
-use crate::cleaner::{confirm_product, CleanOptions, CleanReport, NameReport};
+use crate::cleaner::{confirm_product, CleanOptions, CleanOutcome, CleanReport, NameReport};
 use crate::cwe_fix::{apply_mined_cwe_ids, mine_entry_cwe_ids, CweFixOutcome};
 use crate::disclosure::{DisclosureEstimate, DisclosureEstimator};
 use crate::names::product::sweep_vendor;
@@ -85,6 +85,7 @@ use crate::names::{
     find_vendor_candidates_cached, NameMapping, PatternBreakdown, ProductCandidate,
     VendorSweepCache, Verifier,
 };
+use crate::quality::QualityLedger;
 use crate::severity::backport_v3;
 
 /// Hashing seed for the carried text-feature state, matching the type
@@ -171,10 +172,10 @@ impl QuarantineLedger {
 /// What one successful transactional ingest produced.
 #[derive(Debug, Clone)]
 pub struct IngestOutcome {
-    /// The cleaned accumulated corpus after admitting the feed.
-    pub cleaned: Database,
-    /// The clean report over the accumulated corpus.
-    pub report: CleanReport,
+    /// The clean outcome over the accumulated corpus: cleaned database,
+    /// report, and the quality ledger (this feed's quarantined items
+    /// included as [`crate::quality::IssueKind::Quarantined`] issues).
+    pub outcome: CleanOutcome,
     /// Number of entries admitted from this feed (identical repeats
     /// collapse into one admission).
     pub admitted: usize,
@@ -276,15 +277,18 @@ impl CleanState {
     }
 
     /// Applies one dated delta (new CVEs and modified redeliveries),
-    /// returning the cleaned accumulated corpus and its report —
-    /// bit-identical to `Cleaner::new(options).clean(state.database(), …)`
-    /// after the same entries were pushed.
+    /// returning the cleaned accumulated corpus, its report, and the
+    /// quality ledger — bit-identical to
+    /// `Cleaner::new(options).clean(state.database(), …)` after the same
+    /// entries were pushed (the ledger additionally carries
+    /// [`crate::quality::IssueKind::Quarantined`] issues for items the
+    /// ingest path isolated, which the batch pipeline never sees).
     pub fn apply_delta<V: Verifier + Sync>(
         &mut self,
         delta: &[CveEntry],
         archive: &WebArchive,
         verifier: &V,
-    ) -> (Database, CleanReport) {
+    ) -> CleanOutcome {
         // Fold the delta into the accumulated corpus. Text-feature updates
         // are queued for the lazy fold in [`Self::idf`]; the §4.2 dirty
         // set collects every vendor whose CPE rows may change — those of
@@ -394,15 +398,23 @@ impl CleanState {
         };
 
         let disclosure = self.disclosure.clone();
-        (
-            cleaned,
-            CleanReport {
-                disclosure,
-                names,
-                severity,
-                cwe,
-            },
-        )
+        let report = CleanReport {
+            disclosure,
+            names,
+            severity,
+            cwe,
+        };
+        // Quality assessment over the whole accumulated corpus: detectors
+        // read only (cleaned, report, quarantine) — all of which equal the
+        // batch pipeline's on the same corpus (quarantine is empty on the
+        // pure-delta path) — so the ledger is bit-identical batch vs
+        // incremental at every step.
+        let ledger = QualityLedger::assemble(&cleaned, &report, &self.quarantine);
+        CleanOutcome {
+            database: cleaned,
+            report,
+            ledger,
+        }
     }
 
     /// Transactionally ingests one feed from raw JSON text.
@@ -521,12 +533,13 @@ impl CleanState {
             .filter_map(|(_, e)| e)
             .collect();
 
-        // Commit: infallible from here on.
-        let (cleaned, report) = self.apply_delta(&admitted, archive, verifier);
+        // Commit: infallible from here on. The quarantine append precedes
+        // the delta so the returned ledger already carries this feed's
+        // `Quarantined` issues.
         self.quarantine.records.extend(quarantined.iter().cloned());
+        let outcome = self.apply_delta(&admitted, archive, verifier);
         IngestOutcome {
-            cleaned,
-            report,
+            outcome,
             admitted: admitted.len(),
             quarantined,
         }
@@ -609,19 +622,22 @@ mod tests {
         steps.extend(stream.feeds.iter().map(|f| f.entries()));
 
         for (i, delta) in steps.iter().enumerate() {
-            let (inc_db, inc_report) = state.apply_delta(delta, &stream.corpus.archive, &oracle);
-            let (batch_db, batch_report) =
-                cleaner.clean(state.database(), &stream.corpus.archive, &oracle);
+            let inc = state.apply_delta(delta, &stream.corpus.archive, &oracle);
+            let batch = cleaner.clean(state.database(), &stream.corpus.archive, &oracle);
             assert_eq!(
-                inc_db.as_slice(),
-                batch_db.as_slice(),
+                inc.database.as_slice(),
+                batch.database.as_slice(),
                 "cleaned database diverged after delta {i}"
             );
             // Debug formatting covers every report field, floats included.
             assert_eq!(
-                format!("{inc_report:?}"),
-                format!("{batch_report:?}"),
+                format!("{:?}", inc.report),
+                format!("{:?}", batch.report),
                 "report diverged after delta {i}"
+            );
+            assert_eq!(
+                inc.ledger, batch.ledger,
+                "quality ledger diverged after delta {i}"
             );
         }
     }
@@ -658,8 +674,15 @@ mod tests {
         let clean = clean_only
             .ingest_json("2020-01-01", &good, &stream.corpus.archive, &oracle)
             .unwrap();
-        assert_eq!(out.cleaned.as_slice(), clean.cleaned.as_slice());
-        assert_eq!(format!("{:?}", out.report), format!("{:?}", clean.report));
+        assert_eq!(
+            out.outcome.database.as_slice(),
+            clean.outcome.database.as_slice()
+        );
+        assert_eq!(
+            format!("{:?}", out.outcome.report),
+            format!("{:?}", clean.outcome.report)
+        );
+        assert_eq!(out.outcome.ledger, clean.outcome.ledger);
     }
 
     #[test]
@@ -701,6 +724,21 @@ mod tests {
         // Neither conflicting copy was admitted: the id's accumulated
         // version (if the base delivered one) is untouched.
         assert_eq!(state.database().get(&conflict_id), conflict_before.as_ref());
+
+        // The quarantine folds into the unified quality ledger: the broken
+        // raw id lands unkeyed, the conflicting copies key to their CVE.
+        use crate::quality::IssueKind;
+        let ledger = &out.outcome.ledger;
+        assert!(ledger
+            .unkeyed()
+            .iter()
+            .any(|(raw, issue)| raw == "CVE-BROKEN" && issue.kind == IssueKind::Quarantined));
+        if state.database().get(&conflict_id).is_some() {
+            assert!(ledger
+                .issues_for(&conflict_id)
+                .iter()
+                .any(|i| i.kind == IssueKind::Quarantined));
+        }
     }
 
     #[test]

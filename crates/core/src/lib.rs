@@ -14,8 +14,10 @@
 //! | 4.3 | two thirds of CVEs lack CVSS v3 | learn v3 from v2 features + CWE (LR/SVR/CNN/DNN) | [`severity`] |
 //! | 4.4 | degenerate CWE labels | mine `CWE-\d+` from descriptions; k-NN description classifier | [`cwe_fix`], [`typeclf`] |
 //!
-//! [`cleaner`] chains all four into a pipeline producing a rectified
-//! database plus a [`cleaner::CleanReport`].
+//! [`cleaner`] chains all four into a pipeline producing a
+//! [`cleaner::CleanOutcome`]: the rectified database, a
+//! [`cleaner::CleanReport`], and the typed per-CVE
+//! [`quality::QualityLedger`] every stage emits its findings into.
 //!
 //! ## Example
 //!
@@ -26,13 +28,14 @@
 //!
 //! let corpus = generate(&SynthConfig::with_scale(0.003, 1));
 //! let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-//! let (cleaned, report) = Cleaner::default().clean(
+//! let outcome = Cleaner::default().clean(
 //!     &corpus.database,
 //!     &corpus.archive,
 //!     &oracle,
 //! );
-//! assert!(cleaned.vendor_set().len() <= corpus.database.vendor_set().len());
-//! assert_eq!(report.disclosure.len(), cleaned.len());
+//! assert!(outcome.database.vendor_set().len() <= corpus.database.vendor_set().len());
+//! assert_eq!(outcome.report.disclosure.len(), outcome.database.len());
+//! assert!(outcome.ledger.total_issues() > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,15 +46,20 @@ pub mod cwe_fix;
 pub mod disclosure;
 pub mod incremental;
 pub mod names;
+pub mod quality;
 pub mod severity;
 pub mod typeclf;
 
-pub use cleaner::{CleanOptions, CleanReport, Cleaner, NameReport};
+pub use cleaner::{CleanOptions, CleanOutcome, CleanReport, Cleaner, NameReport};
 pub use cwe_fix::{extract_cwe_ids, rectify_cwe, CweFixOutcome, CweFixStats};
 pub use disclosure::{AggregationRule, DisclosureEstimate, DisclosureEstimator, LagSummary};
 pub use incremental::{
     CleanState, IngestError, IngestOutcome, QuarantineLedger, QuarantineReason, QuarantineRecord,
 };
 pub use names::{NameMapping, OracleVerifier, Verifier};
+pub use quality::{
+    CorpusQuality, IssueKind, IssueSeverity, NullSink, QualityIssue, QualityLedger, QualityScore,
+    QualitySink, QualityStage, Resolution, ScoreAxis,
+};
 pub use severity::{backport_v3, BackportOptions, BackportOutcome, ModelKind, TrainProfile};
 pub use typeclf::{train_type_classifier, TypeClassifier, TypeClassifierOptions};

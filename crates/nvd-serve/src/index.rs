@@ -32,8 +32,9 @@
 //! updated state is **bit-identical** (digest-equal) to a fresh build of
 //! the updated database, which `tests/determinism.rs` enforces.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use nvd_clean::quality::{QualityIssue, QualityLedger, QualityScore, Resolution};
 use nvd_model::prelude::{
     CveEntry, CveId, CweId, Database, Date, ProductName, Severity, VendorName,
 };
@@ -147,6 +148,10 @@ pub struct ServeIndexState {
     date_order: Vec<u32>,
     /// Per-entry projections, aligned with `ids`.
     projections: Vec<EntryProjection>,
+    /// Per-CVE quality issues for served entries, attached via
+    /// [`ServeIndexState::set_quality`]; ids absent here serve as
+    /// issue-free (perfect score). Empty until a ledger is attached.
+    quality: BTreeMap<CveId, Vec<QualityIssue>>,
 }
 
 /// A sharded view over one database: the owned [`ServeIndexState`] plus
@@ -242,7 +247,27 @@ impl ServeIndexState {
             severity_postings,
             date_order,
             projections,
+            quality: BTreeMap::new(),
         }
+    }
+
+    /// Attaches (or refreshes) the quality ledger the read path serves
+    /// from, replacing any previously attached issues wholesale.
+    ///
+    /// Only keyed issues for **indexed** ids are kept — a ledger's
+    /// unkeyed records describe quarantined raw documents that never
+    /// became entries, so they have no served identity. The replace is a
+    /// map rebuild, not an index rebuild: after a warm
+    /// [`Self::apply_delta`], calling this with the delta's fresh ledger
+    /// brings quality answers up to date while every shard and posting
+    /// list stays in place. The refreshed state is digest-identical to a
+    /// fresh build of the same database with the same ledger attached.
+    pub fn set_quality(&mut self, ledger: &QualityLedger) {
+        self.quality = ledger
+            .iter()
+            .filter(|(id, _)| self.index_of(**id).is_some())
+            .map(|(id, issues)| (*id, issues.to_vec()))
+            .collect();
     }
 
     /// Absorbs one delta in place: `db` is the **already-updated**
@@ -487,6 +512,21 @@ impl ServeIndexState {
             fold_postings(&mut h, std::slice::from_ref(list));
         }
         fold_postings(&mut h, std::slice::from_ref(&self.date_order));
+        for (id, issues) in &self.quality {
+            h = fnv1a(h, &hash_cve_id(*id).to_le_bytes());
+            h = fnv1a(h, &(issues.len() as u64).to_le_bytes());
+            for issue in issues {
+                h = fnv1a(h, &[issue.kind.code(), issue.severity.code()]);
+                match &issue.resolution {
+                    Resolution::AutoFixed { fix } => {
+                        h = fnv1a(h, b"fix");
+                        h = fnv1a(h, fix.as_bytes());
+                    }
+                    Resolution::NeedsReview => h = fnv1a(h, b"rev"),
+                }
+                h = fnv1a(h, issue.evidence.as_bytes());
+            }
+        }
         h
     }
 }
@@ -548,6 +588,14 @@ impl<'a> ServeIndex<'a> {
     /// can be pushed and absorbed via [`ServeIndexState::apply_delta`].
     pub fn into_state(self) -> ServeIndexState {
         self.state
+    }
+
+    /// Attaches a quality ledger for [`Query::QualityLookup`] /
+    /// [`Query::QualityHistogram`] answers (see
+    /// [`ServeIndexState::set_quality`]).
+    pub fn with_quality(mut self, ledger: &QualityLedger) -> Self {
+        self.state.set_quality(ledger);
+        self
     }
 
     /// Number of indexed entries.
@@ -704,8 +752,38 @@ impl QueryEngine for ServeIndex<'_> {
                     .map(|(cwe, list)| (*cwe, list.len()))
                     .collect(),
             ),
+            Query::QualityLookup(id) => match self.state.index_of(*id) {
+                None => QueryResult::Quality(None),
+                Some(_) => {
+                    let issues: &[QualityIssue] =
+                        self.state.quality.get(id).map_or(&[], |v| v.as_slice());
+                    QueryResult::Quality(Some((QualityScore::from_issues(issues), issues)))
+                }
+            },
+            Query::QualityHistogram { axis } => {
+                // Entries without attached issues are issue-free: all in
+                // the perfect decile, counted without being visited.
+                let mut counts = [0usize; 11];
+                counts[10] = self.len() - self.state.quality.len();
+                for issues in self.state.quality.values() {
+                    let bucket = QualityScore::from_issues(issues).bucket(*axis);
+                    counts[bucket as usize] += 1;
+                }
+                QueryResult::QualityHistogram(quality_histogram_from_counts(&counts))
+            }
         }
     }
+}
+
+/// Converts a per-decile count array (indexed by score bucket 0..=10)
+/// into canonical non-empty ascending buckets.
+pub(crate) fn quality_histogram_from_counts(counts: &[usize; 11]) -> Vec<(u8, usize)> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(bucket, &c)| (bucket as u8, c))
+        .collect()
 }
 
 /// Converts a per-band count array (indexed by `Severity as usize`) into

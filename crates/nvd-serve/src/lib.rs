@@ -21,6 +21,15 @@
 //! shards/postings with [`ServeIndexState::apply_delta`], and re-attach —
 //! the result is digest-identical to a full rebuild.
 //!
+//! The cleaning pipeline's per-CVE quality ledger is served through the
+//! same API: attach it with [`ServeIndex::with_quality`] (or refresh a
+//! warm state via [`ServeIndexState::set_quality`] after a delta), then
+//! ask [`Query::QualityLookup`] for one entry's typed issue record and
+//! score, or [`Query::QualityHistogram`] for corpus score-decile counts
+//! on any axis. Engines without an attached ledger serve every entry as
+//! issue-free, so quality queries stay answerable (and parity-checkable)
+//! everywhere.
+//!
 //! **Determinism contract:** query answers are *canonical* (see
 //! [`query`]), so results are bit-identical at any shard count and any
 //! `NVD_JOBS`, and identical between [`ServeIndex`] and [`LinearScan`].
@@ -59,6 +68,7 @@ pub mod scan;
 pub mod workload;
 
 pub use index::{ServeIndex, ServeIndexState, UpdateError};
+pub use nvd_clean::quality::{QualityIssue, QualityLedger, QualityScore, ScoreAxis};
 pub use query::{run_workload, Query, QueryEngine, QueryResult, WorkloadSummary};
 pub use scan::LinearScan;
 pub use workload::{generate_workload, WorkloadProfile};
@@ -258,6 +268,104 @@ mod tests {
             warm.get(victim.id).map(|e| &e.affected),
             Some(&donor.affected)
         );
+    }
+
+    /// Cleans the corpus at (0.004, 33) and returns `(cleaned, ledger)`.
+    /// Backport off: quality parity does not depend on it and the
+    /// stratified training pass dominates test wall-clock.
+    fn cleaned_with_ledger() -> (Database, QualityLedger) {
+        use nvd_clean::cleaner::{CleanOptions, Cleaner};
+        use nvd_clean::names::OracleVerifier;
+        let corpus = generate(&SynthConfig::with_scale(0.004, 33));
+        let cleaner = Cleaner::new(CleanOptions {
+            run_backport: false,
+            ..CleanOptions::default()
+        });
+        let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
+        let out = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+        (out.database, out.ledger)
+    }
+
+    #[test]
+    fn quality_answers_match_linear_scan_at_any_shard_count() {
+        let (db, ledger) = cleaned_with_ledger();
+        assert!(!ledger.is_empty(), "fixture must surface quality issues");
+        let scan = LinearScan::with_ledger(&db, &ledger);
+        let absent: CveId = "CVE-1999-9999999".parse().unwrap();
+        let axes = [
+            ScoreAxis::Completeness,
+            ScoreAxis::Consistency,
+            ScoreAxis::Accuracy,
+            ScoreAxis::Overall,
+        ];
+        for shards in [1usize, 3, 16] {
+            let index = ServeIndex::with_shards(&db, shards).with_quality(&ledger);
+            for entry in db.iter() {
+                let q = Query::QualityLookup(entry.id);
+                assert_eq!(
+                    index.execute(&q),
+                    scan.execute(&q),
+                    "quality lookup diverged at shard_count={shards}"
+                );
+            }
+            assert_eq!(
+                index.execute(&Query::QualityLookup(absent)),
+                QueryResult::Quality(None)
+            );
+            for axis in axes {
+                let q = Query::QualityHistogram { axis };
+                let result = index.execute(&q);
+                assert_eq!(
+                    result,
+                    scan.execute(&q),
+                    "quality histogram diverged at shard_count={shards}"
+                );
+                let QueryResult::QualityHistogram(buckets) = result else {
+                    panic!("quality histogram expected");
+                };
+                assert_eq!(
+                    buckets.iter().map(|(_, c)| c).sum::<usize>(),
+                    db.len(),
+                    "every served entry lands in exactly one bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unattached_quality_serves_perfect_scores() {
+        let db = corpus_db();
+        let index = ServeIndex::build(&db);
+        let scan = LinearScan::new(&db);
+        let id = db.iter().next().unwrap().id;
+        let hit = index.execute(&Query::QualityLookup(id));
+        assert_eq!(hit, scan.execute(&Query::QualityLookup(id)));
+        let QueryResult::Quality(Some((score, issues))) = hit else {
+            panic!("known id must hit");
+        };
+        assert_eq!(score, QualityScore::perfect());
+        assert!(issues.is_empty());
+        let q = Query::QualityHistogram {
+            axis: ScoreAxis::Overall,
+        };
+        assert_eq!(index.execute(&q), scan.execute(&q));
+        assert_eq!(
+            index.execute(&q),
+            QueryResult::QualityHistogram(vec![(10, db.len())])
+        );
+    }
+
+    #[test]
+    fn digest_covers_attached_quality() {
+        let (db, ledger) = cleaned_with_ledger();
+        let bare = ServeIndex::build(&db).digest();
+        let attached = ServeIndex::build(&db).with_quality(&ledger).digest();
+        assert_ne!(bare, attached, "attaching a non-empty ledger must show");
+        // The warm path — set_quality on a detached state — lands on the
+        // same digest as the build-time attach.
+        let mut state = ServeIndex::build(&db).into_state();
+        state.set_quality(&ledger);
+        assert_eq!(state.digest(), attached);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! [`ServeIndex`]: crate::ServeIndex
 //! [`LinearScan`]: crate::LinearScan
 
+use nvd_clean::quality::{QualityIssue, QualityScore, Resolution, ScoreAxis};
 use nvd_model::prelude::{CveEntry, CveId, CweId, Date, ProductName, Severity, VendorName};
 
 /// A single read-path request.
@@ -45,6 +46,16 @@ pub enum Query {
     },
     /// Entry counts per effective specific CWE id.
     CweHistogram,
+    /// The quality-assessment record of one CVE: its per-axis
+    /// [`QualityScore`] plus the typed issue list the cleaning stages
+    /// emitted for it (the "how trustworthy is this entry" ask).
+    QualityLookup(CveId),
+    /// Entry counts per score decile (bucket = axis score / 10, so
+    /// 0..=10) on one quality axis — the corpus-health dashboard poll.
+    QualityHistogram {
+        /// The quality axis to bucket on.
+        axis: ScoreAxis,
+    },
 }
 
 /// The answer to a [`Query`], borrowing entry data from the served database.
@@ -59,6 +70,12 @@ pub enum QueryResult<'db> {
     SeverityHistogram(Vec<(Severity, usize)>),
     /// Non-empty CWE buckets, ascending by id.
     CweHistogram(Vec<(CweId, usize)>),
+    /// Quality-lookup hit (score plus the served issue slice, possibly
+    /// empty for an issue-free entry) or miss (`None`: unknown CVE).
+    Quality(Option<(QualityScore, &'db [QualityIssue])>),
+    /// Non-empty score-decile buckets `(bucket, count)`, ascending by
+    /// bucket; every served entry lands in exactly one bucket.
+    QualityHistogram(Vec<(u8, usize)>),
 }
 
 /// 64-bit FNV-1a, the workspace's standing choice for cheap stable hashing.
@@ -89,6 +106,9 @@ impl QueryResult<'_> {
             QueryResult::Ids(ids) => ids.len(),
             QueryResult::SeverityHistogram(h) => h.len(),
             QueryResult::CweHistogram(h) => h.len(),
+            // A hit carries the score (1 item) plus its issues.
+            QueryResult::Quality(q) => q.map_or(0, |(_, issues)| 1 + issues.len()),
+            QueryResult::QualityHistogram(h) => h.len(),
         }
     }
 
@@ -133,6 +153,32 @@ impl QueryResult<'_> {
                 let mut h = fnv1a(FNV_OFFSET, b"cwe");
                 for (id, count) in buckets {
                     h = fnv1a(h, &id.number().to_le_bytes());
+                    h = fnv1a(h, &(*count as u64).to_le_bytes());
+                }
+                h
+            }
+            QueryResult::Quality(q) => {
+                let mut h = fnv1a(FNV_OFFSET, b"qual");
+                if let Some((score, issues)) = q {
+                    h = fnv1a(h, &[score.completeness, score.consistency, score.accuracy]);
+                    for issue in *issues {
+                        h = fnv1a(h, &[issue.kind.code(), issue.severity.code()]);
+                        match &issue.resolution {
+                            Resolution::AutoFixed { fix } => {
+                                h = fnv1a(h, b"fix");
+                                h = fnv1a(h, fix.as_bytes());
+                            }
+                            Resolution::NeedsReview => h = fnv1a(h, b"rev"),
+                        }
+                        h = fnv1a(h, issue.evidence.as_bytes());
+                    }
+                }
+                h
+            }
+            QueryResult::QualityHistogram(buckets) => {
+                let mut h = fnv1a(FNV_OFFSET, b"qhst");
+                for (bucket, count) in buckets {
+                    h = fnv1a(h, &[*bucket]);
                     h = fnv1a(h, &(*count as u64).to_le_bytes());
                 }
                 h

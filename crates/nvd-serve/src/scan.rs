@@ -8,21 +8,36 @@
 //! [`ServeIndex`](crate::ServeIndex); only the cost differs — every query
 //! is `O(database)` here, independent of selectivity.
 
+use nvd_clean::quality::{QualityLedger, QualityScore};
 use nvd_model::prelude::{CveId, Database};
 
-use crate::index::histogram_from_counts;
+use crate::index::{histogram_from_counts, quality_histogram_from_counts};
 use crate::query::{effective_severity, Query, QueryEngine, QueryResult};
 
 /// Full-scan query engine over an unindexed database.
 #[derive(Debug)]
 pub struct LinearScan<'a> {
     db: &'a Database,
+    /// Quality ledger for [`Query::QualityLookup`] / `QualityHistogram`
+    /// answers; without one, every served entry answers as issue-free
+    /// (perfect score) — the same convention an index without attached
+    /// quality follows, so the two engines stay comparable either way.
+    ledger: Option<&'a QualityLedger>,
 }
 
 impl<'a> LinearScan<'a> {
     /// Wraps a database without building anything.
     pub fn new(db: &'a Database) -> Self {
-        Self { db }
+        Self { db, ledger: None }
+    }
+
+    /// Wraps a database plus the quality ledger its cleaning run emitted,
+    /// so quality queries answer from real per-CVE issue records.
+    pub fn with_ledger(db: &'a Database, ledger: &'a QualityLedger) -> Self {
+        Self {
+            db,
+            ledger: Some(ledger),
+        }
     }
 }
 
@@ -91,6 +106,23 @@ impl QueryEngine for LinearScan<'_> {
                     }
                 }
                 QueryResult::CweHistogram(buckets)
+            }
+            Query::QualityLookup(id) => {
+                if self.db.iter().any(|entry| entry.id == *id) {
+                    let issues = self.ledger.map_or(&[][..], |l| l.issues_for(id));
+                    QueryResult::Quality(Some((QualityScore::from_issues(issues), issues)))
+                } else {
+                    QueryResult::Quality(None)
+                }
+            }
+            Query::QualityHistogram { axis } => {
+                let mut counts = [0usize; 11];
+                for entry in self.db.iter() {
+                    let issues = self.ledger.map_or(&[][..], |l| l.issues_for(&entry.id));
+                    let bucket = QualityScore::from_issues(issues).bucket(*axis);
+                    counts[bucket as usize] += 1;
+                }
+                QueryResult::QualityHistogram(quality_histogram_from_counts(&counts))
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod faults;
 pub mod latency;
 pub mod names;
 pub mod profile;
+pub mod quality_truth;
 pub mod severity;
 pub mod sidedb;
 pub mod texts;

@@ -1,0 +1,142 @@
+//! Ground-truth quality-degradation labels for a generated corpus.
+//!
+//! The generator injects every §3 degradation deliberately — missing
+//! references, alias names, degenerate CWE labels, withheld v3 vectors,
+//! publication lag — and [`GroundTruth`](crate::GroundTruth) records the
+//! secrets. This module flattens those secrets into per-CVE
+//! [`DegradationKind`] label sets so the cleaning pipeline's quality
+//! detectors can be scored: the precision/recall harness in the workspace
+//! test suite maps each detector's emitted issue kind onto the label of
+//! the degradation it claims to have found and compares against
+//! [`expected_issues`].
+//!
+//! The enum is deliberately this crate's own (not the cleaner's
+//! `IssueKind`): the generator must stay ignorant of the pipeline under
+//! evaluation, and the dependency points the other way anyway.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nvd_model::prelude::{CveId, CweLabel};
+
+use crate::SynthCorpus;
+
+/// One injected quality degradation, from the generator's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationKind {
+    /// The entry was generated without reference URLs, so no disclosure
+    /// evidence exists to be crawled.
+    MissingDisclosure,
+    /// The entry's NVD publication date lags its true disclosure date.
+    PublicationLag,
+    /// The entry was recorded under an injected vendor alias.
+    VendorAlias,
+    /// The entry was recorded under an injected product alias.
+    ProductAlias,
+    /// The entry's CWE label was degraded to `NVD-CWE-Other`.
+    DegenerateCwe,
+    /// The entry's CWE label was degraded to `NVD-CWE-noinfo` or left
+    /// unassigned.
+    MissingCwe,
+    /// The entry's true CVSS v3 vector was withheld (v2-era entry).
+    MissingCvssV3,
+}
+
+impl DegradationKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [DegradationKind; 7] = [
+        DegradationKind::MissingDisclosure,
+        DegradationKind::PublicationLag,
+        DegradationKind::VendorAlias,
+        DegradationKind::ProductAlias,
+        DegradationKind::DegenerateCwe,
+        DegradationKind::MissingCwe,
+        DegradationKind::MissingCvssV3,
+    ];
+
+    /// Stable kebab-case name (matches the cleaner's issue-kind naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationKind::MissingDisclosure => "missing-disclosure",
+            DegradationKind::PublicationLag => "publication-lag",
+            DegradationKind::VendorAlias => "vendor-alias",
+            DegradationKind::ProductAlias => "product-alias",
+            DegradationKind::DegenerateCwe => "degenerate-cwe",
+            DegradationKind::MissingCwe => "missing-cwe",
+            DegradationKind::MissingCvssV3 => "missing-cvss-v3",
+        }
+    }
+}
+
+/// The injected degradations per CVE, derived from the corpus secrets.
+///
+/// A pure function of the generated database plus its
+/// [`GroundTruth`](crate::GroundTruth); CVEs with no injected degradation
+/// are absent from the map.
+pub fn expected_issues(corpus: &SynthCorpus) -> BTreeMap<CveId, BTreeSet<DegradationKind>> {
+    let truth = &corpus.truth;
+    let mut expected: BTreeMap<_, BTreeSet<DegradationKind>> = BTreeMap::new();
+    for entry in corpus.database.iter() {
+        let mut kinds = BTreeSet::new();
+        if entry.references.is_empty() {
+            kinds.insert(DegradationKind::MissingDisclosure);
+        } else if truth
+            .disclosure
+            .get(&entry.id)
+            .is_some_and(|&d| d < entry.published)
+        {
+            kinds.insert(DegradationKind::PublicationLag);
+        }
+        if truth.mislabeled_vendor.contains(&entry.id) {
+            kinds.insert(DegradationKind::VendorAlias);
+        }
+        if truth.mislabeled_product.contains(&entry.id) {
+            kinds.insert(DegradationKind::ProductAlias);
+        }
+        match entry.effective_cwe() {
+            CweLabel::Other => {
+                kinds.insert(DegradationKind::DegenerateCwe);
+            }
+            CweLabel::NoInfo | CweLabel::Unassigned => {
+                kinds.insert(DegradationKind::MissingCwe);
+            }
+            CweLabel::Specific(_) => {}
+        }
+        if entry.cvss_v3.is_none() {
+            kinds.insert(DegradationKind::MissingCvssV3);
+        }
+        if !kinds.is_empty() {
+            expected.insert(entry.id, kinds);
+        }
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, SynthConfig};
+
+    #[test]
+    fn expected_issues_cover_the_injected_degradations() {
+        let corpus = generate(&SynthConfig::with_scale(0.005, 11));
+        let expected = expected_issues(&corpus);
+        assert!(!expected.is_empty(), "degradations are always injected");
+        // Every mislabeled-vendor secret surfaces as a VendorAlias label.
+        for id in &corpus.truth.mislabeled_vendor {
+            assert!(
+                expected[id].contains(&DegradationKind::VendorAlias),
+                "{id} missing its vendor-alias label"
+            );
+        }
+        // No-reference entries are labeled, and exclusively so for the
+        // disclosure axis (lag is unknowable without evidence).
+        for entry in corpus.database.iter() {
+            let has = |k| expected.get(&entry.id).is_some_and(|s| s.contains(&k));
+            assert_eq!(
+                entry.references.is_empty(),
+                has(DegradationKind::MissingDisclosure)
+            );
+            assert_eq!(entry.cvss_v3.is_none(), has(DegradationKind::MissingCvssV3));
+        }
+    }
+}

@@ -53,7 +53,7 @@ fn main() {
         // Incremental path: absorb the delta into the carried clean state
         // and the warm serve index.
         let started = Instant::now();
-        let (cleaned, report) = state.apply_delta(entries, archive, &oracle);
+        let inc = state.apply_delta(entries, archive, &oracle);
         let touched: Vec<CveId> = entries.iter().map(|e| e.id).collect();
         for entry in entries {
             raw.push(entry.clone());
@@ -64,16 +64,21 @@ fn main() {
         // Batch path over the same accumulated corpus, for comparison and
         // as a live equivalence check.
         let started = Instant::now();
-        let (batch, batch_report) = cleaner.clean(&raw, archive, &oracle);
+        let batch = cleaner.clean(&raw, archive, &oracle);
         let rebuilt = ServeIndex::with_shards(&raw, ServeIndex::DEFAULT_SHARDS);
         let from_scratch = started.elapsed();
 
-        assert_eq!(cleaned.as_slice(), batch.as_slice(), "clean diverged");
         assert_eq!(
-            format!("{report:?}"),
-            format!("{batch_report:?}"),
+            inc.database.as_slice(),
+            batch.database.as_slice(),
+            "clean diverged"
+        );
+        assert_eq!(
+            format!("{:?}", inc.report),
+            format!("{:?}", batch.report),
             "report diverged"
         );
+        assert_eq!(inc.ledger, batch.ledger, "quality ledger diverged");
         assert_eq!(serve.digest(), rebuilt.digest(), "serve index diverged");
 
         println!(
@@ -82,7 +87,7 @@ fn main() {
             raw.len(),
             incremental,
             from_scratch,
-            report.names.vendor_confirmed
+            inc.report.names.vendor_confirmed
         );
     }
 

@@ -28,12 +28,11 @@ fn main() {
         let (digest, cleaned_len, confirmed) = minipar::with_jobs(jobs, || {
             let corpus = generate(&config);
             let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-            let (cleaned, report) =
-                Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+            let out = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
             (
                 corpus.digest(),
-                cleaned.len(),
-                report.names.vendor_confirmed,
+                out.database.len(),
+                out.report.names.vendor_confirmed,
             )
         });
         println!(

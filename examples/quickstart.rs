@@ -25,7 +25,8 @@ fn main() {
 
     println!("running the cleaning pipeline (disclosure, names, severity, CWE)…");
     let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-    let (cleaned, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    let outcome = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    let (cleaned, report, ledger) = (outcome.database, outcome.report, outcome.ledger);
 
     // §4.1 — disclosure dates.
     let improved = cleaned
@@ -66,6 +67,24 @@ fn main() {
         "  CWE fixes: {} entries corrected ({} were NVD-CWE-Other)",
         report.cwe.stats.total_corrected(),
         report.cwe.stats.fixed_other
+    );
+
+    // Quality ledger — the typed per-CVE view of everything above.
+    let quality = ledger.corpus_quality(&cleaned);
+    println!(
+        "  quality ledger: {} issues on {} of {} CVEs ({} auto-fixed, {} need review)",
+        ledger.total_issues(),
+        quality.entries_with_issues,
+        quality.entries,
+        quality.auto_fixed,
+        quality.needs_review
+    );
+    println!(
+        "  corpus score: completeness {:.1}, consistency {:.1}, accuracy {:.1} (overall {:.1}/100)",
+        quality.mean(nvd_clean::ScoreAxis::Completeness),
+        quality.mean(nvd_clean::ScoreAxis::Consistency),
+        quality.mean(nvd_clean::ScoreAxis::Accuracy),
+        quality.mean(nvd_clean::ScoreAxis::Overall)
     );
     println!("done.");
 }

@@ -33,7 +33,8 @@ fn main() {
     ];
 
     let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-    let (cleaned, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    let outcome = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    let (cleaned, report) = (outcome.database, outcome.report);
 
     // One immutable index per database snapshot: the watch sweep below is
     // interned-postings lookups, not per-vendor database walks.

@@ -14,7 +14,9 @@ fn mapping_transfers_to_side_databases() {
         run_backport: false,
         ..CleanOptions::default()
     });
-    let (_, report) = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+    let report = cleaner
+        .clean(&corpus.database, &corpus.archive, &oracle)
+        .report;
     let mapping = &report.names.mapping;
 
     let sf = mapping.count_mappable(corpus.security_focus.vendors.iter());

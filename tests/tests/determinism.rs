@@ -16,14 +16,15 @@ fn same_seed_same_corpus_and_cleaning() {
     let run = || {
         let corpus = generate(&SynthConfig::with_scale(0.01, 777));
         let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-        let (db, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
-        let sev = report.severity.as_ref().unwrap();
+        let out = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+        let sev = out.report.severity.as_ref().unwrap();
         (
-            db.iter().cloned().collect::<Vec<_>>(),
-            report.disclosure.clone(),
+            out.database.iter().cloned().collect::<Vec<_>>(),
+            out.report.disclosure.clone(),
             sev.predictions.clone(),
             sev.chosen,
-            report.cwe.corrections.clone(),
+            out.report.cwe.corrections.clone(),
+            out.ledger.clone(),
         )
     };
     let a = run();
@@ -33,6 +34,7 @@ fn same_seed_same_corpus_and_cleaning() {
     assert_eq!(a.2, b.2, "severity predictions differ");
     assert_eq!(a.3, b.3, "chosen model differs");
     assert_eq!(a.4, b.4, "CWE corrections differ");
+    assert_eq!(a.5, b.5, "quality ledgers differ");
 }
 
 #[test]
@@ -45,13 +47,14 @@ fn pipeline_is_bit_identical_across_job_counts() {
         minipar::with_jobs(jobs, || {
             let corpus = generate(&SynthConfig::with_scale(0.01, 777));
             let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-            let (db, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+            let out = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
             (
                 corpus.digest(),
-                db.iter().cloned().collect::<Vec<_>>(),
-                report.disclosure.clone(),
-                report.severity.as_ref().unwrap().predictions.clone(),
-                report.names.vendor_confirmed,
+                out.database.iter().cloned().collect::<Vec<_>>(),
+                out.report.disclosure.clone(),
+                out.report.severity.as_ref().unwrap().predictions.clone(),
+                out.report.names.vendor_confirmed,
+                out.ledger.clone(),
             )
         })
     };
@@ -62,6 +65,7 @@ fn pipeline_is_bit_identical_across_job_counts() {
     assert_eq!(serial.2, wide.2, "disclosure estimates diverged");
     assert_eq!(serial.3, wide.3, "severity predictions diverged");
     assert_eq!(serial.4, wide.4, "name verification diverged");
+    assert_eq!(serial.5, wide.5, "quality ledger diverged across jobs");
 }
 
 #[test]
@@ -318,10 +322,11 @@ fn incremental_ingestion_is_bit_identical_across_job_counts() {
             steps.extend(stream.feeds.iter().map(|f| f.entries()));
             let mut out = Vec::new();
             for delta in &steps {
-                let (db, report) = state.apply_delta(delta, &stream.corpus.archive, &oracle);
+                let step = state.apply_delta(delta, &stream.corpus.archive, &oracle);
                 out.push((
-                    db.iter().cloned().collect::<Vec<_>>(),
-                    format!("{report:?}"),
+                    step.database.iter().cloned().collect::<Vec<_>>(),
+                    format!("{:?}", step.report),
+                    step.ledger,
                 ));
             }
             out
@@ -375,6 +380,54 @@ fn warm_serve_updates_match_full_rebuilds_at_any_shard_count() {
             fresh,
             "warm updates diverged from rebuilds at {shards} shards"
         );
+    }
+}
+
+#[test]
+fn served_quality_answers_are_shard_invariant_at_every_delta() {
+    // The quality read path rides the same contract as every other query:
+    // at every delta, a warm-refreshed quality attachment must answer
+    // lookups and histograms identically to the linear-scan replica over
+    // the same cleaned database and ledger, at any shard count.
+    use nvd_clean::{CleanOptions, CleanState};
+    use nvd_serve::{LinearScan, Query, QueryEngine, ScoreAxis, ServeIndex};
+    use nvd_synth::delta::generate_delta_stream;
+    let stream = generate_delta_stream(&SynthConfig::with_scale(0.004, 99), 3);
+    let oracle = OracleVerifier::new(stream.corpus.truth.vendor_alias_map());
+    let mut state = CleanState::new(CleanOptions {
+        run_backport: false,
+        ..CleanOptions::default()
+    });
+    let base: Vec<_> = stream.base.iter().cloned().collect();
+    let mut steps: Vec<Vec<CveEntry>> = vec![base];
+    steps.extend(stream.feeds.iter().map(|f| f.entries()));
+    for (i, delta) in steps.iter().enumerate() {
+        let out = state.apply_delta(delta, &stream.corpus.archive, &oracle);
+        let scan = LinearScan::with_ledger(&out.database, &out.ledger);
+        let mut queries: Vec<Query> = out
+            .database
+            .iter()
+            .map(|e| Query::QualityLookup(e.id))
+            .collect();
+        queries.extend(
+            [
+                ScoreAxis::Completeness,
+                ScoreAxis::Consistency,
+                ScoreAxis::Accuracy,
+                ScoreAxis::Overall,
+            ]
+            .map(|axis| Query::QualityHistogram { axis }),
+        );
+        for shards in [1usize, 4, 16] {
+            let index = ServeIndex::with_shards(&out.database, shards).with_quality(&out.ledger);
+            for query in &queries {
+                assert_eq!(
+                    index.execute(query),
+                    scan.execute(query),
+                    "quality answer diverged at delta {i}, {shards} shards"
+                );
+            }
+        }
     }
 }
 
@@ -434,18 +487,24 @@ proptest! {
         let mut state = CleanState::new(options.clone());
         let cleaner = Cleaner::new(options);
         for (i, delta) in steps.iter().enumerate() {
-            let (inc_db, inc_report) = state.apply_delta(delta, &archive, &oracle);
-            let (batch_db, batch_report) = cleaner.clean(state.database(), &archive, &oracle);
+            let inc = state.apply_delta(delta, &archive, &oracle);
+            let batch = cleaner.clean(state.database(), &archive, &oracle);
             prop_assert_eq!(
-                inc_db.as_slice(),
-                batch_db.as_slice(),
+                inc.database.as_slice(),
+                batch.database.as_slice(),
                 "cleaned database diverged at delta {}",
                 i
             );
             prop_assert_eq!(
-                format!("{:?}", inc_report),
-                format!("{:?}", batch_report),
+                format!("{:?}", inc.report),
+                format!("{:?}", batch.report),
                 "report diverged at delta {}",
+                i
+            );
+            prop_assert_eq!(
+                &inc.ledger,
+                &batch.ledger,
+                "quality ledger diverged at delta {}",
                 i
             );
         }

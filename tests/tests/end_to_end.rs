@@ -9,8 +9,8 @@ use nvd_synth::{generate, SynthConfig};
 fn pipeline(scale: f64, seed: u64) -> (nvd_synth::SynthCorpus, Database, nvd_clean::CleanReport) {
     let corpus = generate(&SynthConfig::with_scale(scale, seed));
     let oracle = OracleVerifier::new(corpus.truth.vendor_alias_map());
-    let (db, report) = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
-    (corpus, db, report)
+    let out = Cleaner::default().clean(&corpus.database, &corpus.archive, &oracle);
+    (corpus, out.database, out.report)
 }
 
 #[test]
@@ -109,7 +109,8 @@ fn cleaning_is_idempotent_on_names() {
         run_backport: false,
         ..CleanOptions::default()
     });
-    let (db2, report2) = cleaner.clean(&db, &corpus.archive, &oracle);
+    let second = cleaner.clean(&db, &corpus.archive, &oracle);
+    let (db2, report2) = (second.database, second.report);
     assert_eq!(
         db.vendor_set().len(),
         db2.vendor_set().len(),

@@ -187,14 +187,18 @@ fn replay_after_rollback_equals_never_having_failed() {
             .ingest_json(&label, &good, archive, &oracle)
             .expect("clean payload ingests");
         assert_eq!(
-            a.cleaned.as_slice(),
-            b.cleaned.as_slice(),
+            a.outcome.database.as_slice(),
+            b.outcome.database.as_slice(),
             "cleaned corpus diverged after rollback at {label}"
         );
         assert_eq!(
-            format!("{:?}", a.report),
-            format!("{:?}", b.report),
+            format!("{:?}", a.outcome.report),
+            format!("{:?}", b.outcome.report),
             "clean report diverged after rollback at {label}"
+        );
+        assert_eq!(
+            a.outcome.ledger, b.outcome.ledger,
+            "quality ledger diverged after rollback at {label}"
         );
         assert_eq!(a.admitted, b.admitted);
         assert_eq!(a.quarantined, b.quarantined);
@@ -308,9 +312,16 @@ fn malformed_feeds_round_trip_through_parse_and_ingest() {
     assert!(outcome.quarantined.is_empty());
     let mut reference = CleanState::new(empty_options());
     let entries: Vec<CveEntry> = db.iter().cloned().collect();
-    let (ref_db, ref_report) = reference.apply_delta(&entries, &archive, &oracle);
-    assert_eq!(outcome.cleaned.as_slice(), ref_db.as_slice());
-    assert_eq!(format!("{:?}", outcome.report), format!("{ref_report:?}"));
+    let reference_out = reference.apply_delta(&entries, &archive, &oracle);
+    assert_eq!(
+        outcome.outcome.database.as_slice(),
+        reference_out.database.as_slice()
+    );
+    assert_eq!(
+        format!("{:?}", outcome.outcome.report),
+        format!("{:?}", reference_out.report)
+    );
+    assert_eq!(outcome.outcome.ledger, reference_out.ledger);
 }
 
 /// Random well-formed delta feeds over a tiny CPE alphabet, as ordered
@@ -367,15 +378,21 @@ proptest! {
             let a = faulty.ingest_json(&label, good, &archive, &oracle).unwrap();
             let b = clean.ingest_json(&label, good, &archive, &oracle).unwrap();
             prop_assert_eq!(
-                a.cleaned.as_slice(),
-                b.cleaned.as_slice(),
+                a.outcome.database.as_slice(),
+                b.outcome.database.as_slice(),
                 "cleaned corpus diverged at step {}",
                 i
             );
             prop_assert_eq!(
-                format!("{:?}", a.report),
-                format!("{:?}", b.report),
+                format!("{:?}", a.outcome.report),
+                format!("{:?}", b.outcome.report),
                 "report diverged at step {}",
+                i
+            );
+            prop_assert_eq!(
+                &a.outcome.ledger,
+                &b.outcome.ledger,
+                "quality ledger diverged at step {}",
                 i
             );
         }

@@ -63,7 +63,9 @@ fn cleaned_database_still_serialises() {
         run_backport: false,
         ..CleanOptions::default()
     });
-    let (cleaned, _) = cleaner.clean(&corpus.database, &corpus.archive, &oracle);
+    let cleaned = cleaner
+        .clean(&corpus.database, &corpus.archive, &oracle)
+        .database;
     let doc = to_feed(&cleaned, "2018-05-21T00:00Z");
     let back = from_feed(&doc).expect("round trip");
     assert_eq!(back.len(), cleaned.len());
